@@ -1,0 +1,35 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure at a scaled-down trace
+length (pure-Python simulation; see DESIGN.md) and asserts the *shape*
+claims the paper makes.  Set ``REPRO_BENCH_RECORDS`` to run closer to
+paper scale.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.config import SimConfig
+
+#: Measured loads per single-core run (override with REPRO_BENCH_RECORDS).
+BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "15000"))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Single-core benchmark configuration."""
+    return SimConfig.quick(
+        measure_records=BENCH_RECORDS, warmup_records=BENCH_RECORDS // 4
+    )
+
+
+@pytest.fixture(scope="session")
+def multicore_records():
+    """Per-core measured loads for the (much costlier) mix benches."""
+    return max(2_000, BENCH_RECORDS // 3)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Ablation benches for PPF's design choices (DESIGN.md list).
+
+Not a paper figure: these quantify the mechanisms the paper describes
+qualitatively — the Reject Table's false-negative recovery, the
+two-level fill thresholds, the feature set and the aggressive re-tuning
+of SPP underneath the filter.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.ablations import report, run_ablations
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import memory_intensive_subset, workload_by_name
+
+VARIANTS = (
+    "spp",
+    "ppf-full",
+    "no-reject-table",
+    "single-level",
+    "address-only",
+    "all-features",
+    "stock-spp-under",
+    "no-displacement",
+    "no-theta",
+)
+
+
+def test_ablations(benchmark, bench_config):
+    config = SimConfig.quick(
+        measure_records=max(6_000, bench_config.measure_records // 2),
+        warmup_records=bench_config.warmup_records // 2,
+    )
+    workloads = [
+        workload_by_name(name)
+        for name in ("603.bwaves_s", "623.xalancbmk_s", "605.mcf_s", "619.lbm_s")
+    ]
+    result = run_once(
+        benchmark, run_ablations, workloads=workloads, config=config, variants=VARIANTS
+    )
+    print("\n" + report(result))
+
+    full = result.geomeans["ppf-full"]
+    # The full design beats plain SPP on this slice.
+    assert full > result.geomeans["spp"]
+    # Aggressive SPP underneath matters: stock-SPP-under gives up gain.
+    assert full >= result.geomeans["stock-spp-under"] * 0.99
+    # Every ablated variant still beats no prefetching.
+    for variant in VARIANTS:
+        assert result.geomeans[variant] > 1.0, variant
+    # No ablation should *improve* on the full design by a wide margin
+    # (each mechanism pays for itself or is neutral at this scale).
+    for variant in VARIANTS:
+        if variant != "spp":
+            assert result.geomeans[variant] <= full * 1.05, variant

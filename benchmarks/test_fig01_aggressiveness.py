@@ -1,0 +1,29 @@
+"""Figure 1 — aggressive lookahead without a filter wastes bandwidth.
+
+Paper shape: on 603.bwaves_s, as SPP's lookahead is re-tuned from depth
+7 to 15, TOTAL_PF grows faster than GOOD_PF and IPC degrades.
+"""
+
+from conftest import run_once
+
+from repro.harness.figure01 import report, run_figure1
+
+
+def test_fig01_aggressiveness_sweep(benchmark, bench_config):
+    result = run_once(
+        benchmark, run_figure1, depths=(7, 9, 11, 13, 15), config=bench_config
+    )
+    print("\n" + report(result))
+    rows = result.normalized()
+
+    # TOTAL_PF grows with depth and ends above GOOD_PF.
+    totals = [row["total_pf"] for row in rows]
+    assert totals[-1] > totals[0]
+    assert result.overprefetch_grows_faster
+
+    # GOOD_PF grows slower than TOTAL_PF at every depth past the first.
+    for row in rows[1:]:
+        assert row["total_pf"] >= row["good_pf"]
+
+    # IPC at max aggressiveness is below the best point of the sweep.
+    assert result.ipc_degrades

@@ -1,0 +1,18 @@
+"""Figures 2–5 — architecture conformance checks.
+
+The diagrams pin structure sizes (ST 256 / PT 512 / weight tables per
+feature / 1,024-entry Prefetch and Reject tables) and the data-path
+order (infer → record → retrieve → train).
+"""
+
+from conftest import run_once
+
+from repro.harness.figures02_05 import report, run_architecture_checks
+
+
+def test_fig02_05_architecture_conformance(benchmark):
+    checks = run_once(benchmark, run_architecture_checks)
+    print("\n" + report(checks))
+    failing = [c.name for c in checks if not c.ok]
+    assert not failing, f"architecture drift: {failing}"
+    assert len(checks) >= 10

@@ -1,0 +1,79 @@
+"""Figures 6–8 — feature-selection evidence (§5.5).
+
+Paper shapes:
+* Fig. 6 — Page⊕Confidence weights push out toward saturation (strong
+  signal); Last-Signature weights concentrate near zero (rejected).
+* Fig. 7 — Page⊕Confidence has the strongest global Pearson factor of
+  the production features; several features show moderate-to-high |P|.
+* Fig. 8 — globally-weak features (PC⊕Delta etc.) still correlate well
+  on *some* traces.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.correlation import (
+    histogram_concentration_near_zero,
+    histogram_saturation,
+)
+from repro.harness.figures06_08 import (
+    FIGURE8_FEATURES,
+    figure6_report,
+    figure7_report,
+    figure8_report,
+    run_feature_evidence,
+)
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import memory_intensive_subset
+
+
+@pytest.fixture(scope="module")
+def evidence(bench_config):
+    config = SimConfig.quick(
+        measure_records=max(6_000, bench_config.measure_records // 2),
+        warmup_records=bench_config.warmup_records // 2,
+    )
+    return run_feature_evidence(
+        workloads=memory_intensive_subset()[:6], config=config
+    )
+
+
+def test_fig06_weight_histograms(benchmark, evidence):
+    run_once(benchmark, lambda: None)
+    print("\n" + figure6_report(evidence))
+    strong = evidence.histograms["page_xor_confidence"]
+    weak = evidence.histograms["last_signature"]
+    # The rejected feature's weights concentrate near zero more than the
+    # kept feature's *touched* weights saturate toward the rails.
+    assert histogram_concentration_near_zero(weak) > histogram_concentration_near_zero(
+        strong
+    ) or histogram_saturation(strong) > histogram_saturation(weak)
+
+
+def test_fig07_global_pearson(benchmark, evidence):
+    run_once(benchmark, lambda: None)
+    print("\n" + figure7_report(evidence))
+    pearsons = evidence.global_pearson
+    production = [f.name for f in evidence.study.features[:9]]
+    # The strongest production feature shows real correlation...
+    assert max(abs(pearsons[name]) for name in production) > 0.5
+    # ...and beats the rejected Last-Signature feature.
+    best = max(production, key=lambda name: abs(pearsons[name]))
+    assert abs(pearsons[best]) > abs(pearsons["last_signature"])
+
+
+def test_fig08_per_trace_variation(benchmark, evidence):
+    run_once(benchmark, lambda: None)
+    print("\n" + figure8_report(evidence))
+    for feature in FIGURE8_FEATURES:
+        by_trace = evidence.per_trace[feature]
+        values = [abs(v) for v in by_trace.values()]
+        # Figure 8's point: weak-on-average features still earn useful
+        # correlation (|P| > 0.3) on at least one trace.
+        assert max(values) > 0.3, feature
+        # and the spread across traces is visible
+    spreads = [
+        max(evidence.per_trace[f].values()) - min(evidence.per_trace[f].values())
+        for f in FIGURE8_FEATURES
+    ]
+    assert max(spreads) > 0.1

@@ -1,0 +1,32 @@
+"""Figure 11 — 4-core weighted-IPC speedups on memory-intensive mixes.
+
+Paper shape: every scheme gains more than single-core; PPF leads
+(paper: +11.4% over SPP) and its margin over SPP is larger than the
+single-core margin because filtering protects the shared LLC and DRAM.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.figures11_12 import report, run_figure11
+from repro.sim.config import SimConfig
+
+
+def test_fig11_4core_mixes(benchmark, multicore_records):
+    config = SimConfig.multicore(4)
+    config.measure_records = multicore_records
+    config.warmup_records = multicore_records // 4
+    result = run_once(
+        benchmark, run_figure11, mix_count=4, config=config, schemes=("spp", "ppf")
+    )
+    print("\n" + report(result))
+
+    # Everyone beats no-prefetching on memory-intensive mixes.
+    assert result.geomean("spp") > 1.0
+    assert result.geomean("ppf") > 1.0
+    # PPF leads SPP.
+    assert result.geomean("ppf") > result.geomean("spp")
+    assert result.ppf_over_spp_percent() > 0
+    # The sorted series is monotonically non-decreasing by construction.
+    series = result.sorted_series("ppf")
+    assert series == sorted(series)

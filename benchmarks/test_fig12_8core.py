@@ -1,0 +1,25 @@
+"""Figure 12 — 8-core weighted-IPC speedups on memory-intensive mixes.
+
+Paper shape: PPF stays ahead of SPP at 8 cores (+9.65% in the paper);
+shared-resource pressure keeps the filter valuable.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures11_12 import report, run_figure12
+from repro.sim.config import SimConfig
+
+
+def test_fig12_8core_mixes(benchmark, multicore_records):
+    records = max(1_500, multicore_records // 2)
+    config = SimConfig.multicore(8)
+    config.measure_records = records
+    config.warmup_records = records // 4
+    result = run_once(
+        benchmark, run_figure12, mix_count=3, config=config, schemes=("spp", "ppf")
+    )
+    print("\n" + report(result))
+
+    assert result.geomean("spp") > 1.0
+    assert result.geomean("ppf") > result.geomean("spp")
+    assert result.ppf_over_spp_percent() > 0

@@ -1,0 +1,43 @@
+"""Figure 13 — cross-validation on unseen workloads (§6.4).
+
+PPF's configuration was developed against the SPEC CPU 2017 models;
+here it runs unchanged on the CloudSuite and SPEC CPU 2006 models.
+
+Paper shapes: CloudSuite is prefetch-agnostic (small gains) but PPF
+still edges out SPP; on SPEC CPU 2006 PPF leads SPP on the
+memory-intensive subset and the full suite.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.figure13 import report, run_figure13
+from repro.sim.config import SimConfig
+
+
+def test_fig13_cross_validation(benchmark, bench_config):
+    config = SimConfig.quick(
+        measure_records=max(6_000, bench_config.measure_records // 2),
+        warmup_records=bench_config.warmup_records // 2,
+    )
+    result = run_once(
+        benchmark,
+        run_figure13,
+        config=config,
+        schemes=("spp", "ppf"),
+        spec2006_subset=10,
+    )
+    print("\n" + report(result))
+
+    # Fig 13a: CloudSuite gains are modest for every scheme...
+    cloud_ppf = result.cloudsuite_geomean("ppf")
+    cloud_spp = result.cloudsuite_geomean("spp")
+    assert cloud_ppf < 2.0  # prefetch-agnostic: nothing doubles
+    # ...but PPF does not lose to SPP on unseen server workloads.
+    assert cloud_ppf >= cloud_spp * 0.99
+
+    # Fig 13b: SPEC CPU 2006 — PPF ahead of SPP, untuned.
+    assert result.spec2006_geomean("ppf", memory_intensive_only=True) > (
+        result.spec2006_geomean("spp", memory_intensive_only=True)
+    )
+    assert result.spec2006_geomean("ppf") > result.spec2006_geomean("spp")

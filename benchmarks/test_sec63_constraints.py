@@ -1,0 +1,40 @@
+"""Section 6.3 — small-LLC and low-bandwidth constraint studies.
+
+Paper shapes: PPF stays at or ahead of SPP under both constraints;
+under low DRAM bandwidth the absolute gains shrink for every scheme
+(prefetching competes with demands for scarce bus slots).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.constraints import report, run_constraints
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import memory_intensive_subset
+
+
+def test_sec63_memory_constraints(benchmark, bench_config):
+    config = SimConfig.quick(
+        measure_records=max(6_000, bench_config.measure_records // 2),
+        warmup_records=bench_config.warmup_records // 2,
+    )
+    workloads = memory_intensive_subset()[:6]
+    result = run_once(
+        benchmark,
+        run_constraints,
+        workloads=workloads,
+        config=config,
+        schemes=("spp", "ppf"),
+    )
+    print("\n" + report(result))
+
+    # PPF >= SPP under every constraint.
+    for constraint in ("default", "small-llc", "low-bandwidth"):
+        assert result.geomean(constraint, "ppf") >= result.geomean(constraint, "spp") * 0.99, constraint
+
+    # Low bandwidth shrinks everyone's gains vs the default machine.
+    assert result.geomean("low-bandwidth", "spp") < result.geomean("default", "spp")
+    assert result.geomean("low-bandwidth", "ppf") < result.geomean("default", "ppf")
+
+    # Both schemes still help under the small LLC.
+    assert result.geomean("small-llc", "ppf") > 1.0

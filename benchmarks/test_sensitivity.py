@@ -1,0 +1,53 @@
+"""Threshold-sensitivity benches (the §3.2 re-tuning methodology).
+
+Quantifies how much PPF's inference (τ) and training-saturation (θ)
+thresholds matter — evidence behind the paper's statement that the
+filter "adapts quickly to changes in memory behavior" with the guards
+in place.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.sensitivity import report, sweep_thresholds
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+WORKLOADS = [
+    workload_by_name("603.bwaves_s"),
+    workload_by_name("623.xalancbmk_s"),
+    workload_by_name("605.mcf_s"),
+]
+
+
+@pytest.fixture(scope="module")
+def mini_config(bench_config):
+    return SimConfig.quick(
+        measure_records=max(5_000, bench_config.measure_records // 3),
+        warmup_records=bench_config.warmup_records // 3,
+    )
+
+
+def test_tau_sensitivity(benchmark, mini_config):
+    result = run_once(
+        benchmark, sweep_thresholds, "tau", workloads=WORKLOADS, config=mini_config
+    )
+    print("\n" + report(result))
+    # The accept rate must respond monotonically in direction: the most
+    # permissive tau accepts at least as much as the strictest.
+    by_setting = {p.setting: p for p in result.points}
+    assert by_setting[(-20, -40)].mean_accept_rate >= by_setting[(10, 0)].mean_accept_rate
+    # The default-neighbourhood settings are competitive: within 15% of
+    # the best sweep point.
+    default_point = by_setting[(-5, -15)]
+    assert default_point.geomean_speedup >= result.best().geomean_speedup * 0.85
+
+
+def test_theta_sensitivity(benchmark, mini_config):
+    result = run_once(
+        benchmark, sweep_thresholds, "theta", workloads=WORKLOADS, config=mini_config
+    )
+    print("\n" + report(result))
+    by_setting = {p.setting: p for p in result.points}
+    # The paper's-style guard (90) performs within 10% of the best.
+    assert by_setting[(90, -90)].geomean_speedup >= result.best().geomean_speedup * 0.9

@@ -1,0 +1,17 @@
+"""Table 1 — simulation parameters (configuration dump)."""
+
+from conftest import run_once
+
+from repro.harness.tables import table1_report
+from repro.sim.config import SimConfig
+
+
+def test_tab01_simulation_parameters(benchmark):
+    report = run_once(benchmark, table1_report, SimConfig.default())
+    print("\n" + report)
+    # The rows the paper's Table 1 pins down.
+    assert "512 KB, 8-way" in report  # L2
+    assert "2048 KB/core" in report  # LLC
+    assert "12.8 GB/s" in report  # DRAM bandwidth
+    assert "LRU at all levels" in report
+    assert "L2 demand accesses only" in report

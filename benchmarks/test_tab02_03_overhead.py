@@ -1,0 +1,21 @@
+"""Tables 2–3 — storage overhead, matched bit-for-bit to the paper."""
+
+from conftest import run_once
+
+from repro.analysis.overhead import overhead_report
+from repro.harness.tables import table2_report, table3_report
+
+
+def test_tab02_03_storage_overhead(benchmark):
+    report = run_once(benchmark, overhead_report)
+    print("\n" + table2_report())
+    print("\n" + table3_report())
+    # Table 2: one Prefetch Table entry is exactly 85 bits.
+    assert report["prefetch_table_entry_bits"] == 85
+    # Table 3: perceptron weight banks are 113,280 bits.
+    assert report["perceptron_weight_bits"] == 113_280
+    # Table 3 bottom line: 322,240 bits = 39.34 KB.
+    assert report["total_bits"] == 322_240
+    assert report["total_kilobytes"] == 39.34
+    # §5.6: the perceptron sum needs ceil(log2 9) = 4 adder stages.
+    assert report["adder_tree_depth"] == 4

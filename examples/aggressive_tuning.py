@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The Figure 1 story: aggressiveness without a filter wastes bandwidth.
+
+Sweeps SPP's lookahead to fixed depths on the 603.bwaves_s model and
+prints the normalized IPC / TOTAL_PF / GOOD_PF series (paper Figure 1),
+then shows what PPF achieves at full aggressiveness — more coverage
+*and* more accuracy at once.
+
+Usage:
+    python examples/aggressive_tuning.py [n-records]
+"""
+
+import sys
+
+from repro import make_ppf_spp, run_single_core, workload_by_name
+from repro.harness import render_table
+from repro.harness.figure01 import report, run_figure1
+from repro.sim import SimConfig
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    config = SimConfig.quick(measure_records=n_records, warmup_records=n_records // 4)
+
+    result = run_figure1(config=config)
+    print(report(result))
+    print(
+        f"\nTOTAL_PF outgrows GOOD_PF: {result.overprefetch_grows_faster}"
+        f"\nIPC degrades past the knee: {result.ipc_degrades}"
+    )
+
+    workload = workload_by_name("603.bwaves_s")
+    baseline = run_single_core(workload, "none", config)
+    ppf = make_ppf_spp()
+    filtered = run_single_core(workload, ppf, config)
+    rows = [
+        (
+            "PPF over aggressive SPP",
+            filtered.ipc / baseline.ipc,
+            filtered.accuracy,
+            filtered.average_lookahead_depth,
+        )
+    ]
+    print()
+    print(
+        render_table(
+            ["scheme", "speedup", "accuracy", "avg depth"],
+            rows,
+            title="The filter resolves the trade-off",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

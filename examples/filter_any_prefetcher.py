@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""PPF over a *different* prefetcher: the §3.2 generality claim.
+
+The paper stresses that PPF "can be adapted to be used over any
+underlying prefetcher".  This example wraps the perceptron filter
+around BOP and around the stride prefetcher — neither exports SPP's
+signature/confidence metadata, so the filter runs on the
+prefetcher-agnostic feature subset — and compares filtered vs
+unfiltered behaviour on a pointer-chasing workload where both
+baselines over-prefetch.
+
+Usage:
+    python examples/filter_any_prefetcher.py [n-records]
+"""
+
+import sys
+
+from repro import PPF, BOP, run_single_core, workload_by_name
+from repro.core.features import production_features
+from repro.harness import render_table
+from repro.prefetchers import StridePrefetcher
+from repro.sim import SimConfig
+
+#: Features that need no prefetcher-specific metadata (§3.2: "Some of
+#: the features we developed use information derived directly from
+#: program execution, agnostic to the underlying prefetcher").
+AGNOSTIC = {"phys_address", "cache_line", "page_address", "pc_path_hash", "pc_xor_depth"}
+
+
+def agnostic_features():
+    return [f for f in production_features() if f.name in AGNOSTIC]
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 25_000
+    config = SimConfig.quick(measure_records=n_records, warmup_records=n_records // 4)
+    workload = workload_by_name("605.mcf_s")
+
+    schemes = [
+        ("BOP, unfiltered", BOP()),
+        ("PPF over BOP", PPF(underlying=BOP(), features=agnostic_features())),
+        ("stride, unfiltered", StridePrefetcher()),
+        (
+            "PPF over stride",
+            PPF(underlying=StridePrefetcher(), features=agnostic_features()),
+        ),
+    ]
+    baseline = run_single_core(workload, "none", config)
+    rows = []
+    for label, prefetcher in schemes:
+        result = run_single_core(workload, prefetcher, config)
+        rows.append(
+            (
+                label,
+                result.ipc / baseline.ipc,
+                result.prefetches_issued,
+                result.accuracy,
+            )
+        )
+    print(
+        render_table(
+            ["scheme", "speedup", "issued", "accuracy"],
+            rows,
+            title=f"Filtering arbitrary prefetchers — {workload.name}",
+        )
+    )
+    print(
+        "\nThe filter raises accuracy for prefetchers it was never tuned"
+        "\nfor, using only program-derived features (§3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

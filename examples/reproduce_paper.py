@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce any paper table/figure from the experiment registry.
+
+Usage:
+    python examples/reproduce_paper.py            # list experiments
+    python examples/reproduce_paper.py fig9-10    # run one experiment
+    python examples/reproduce_paper.py all        # run everything
+    python examples/reproduce_paper.py fig1 --records 50000
+
+Experiments run at a scaled-down trace length by default (pure-Python
+simulation of full 1B-instruction SimPoints is infeasible); pass
+``--records`` to trade runtime for fidelity.
+"""
+
+import argparse
+
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.sim import SimConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", nargs="?", help="experiment id, or 'all'")
+    parser.add_argument(
+        "--records", type=int, default=20_000, help="measured loads per run"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="warmup loads (default records/4)"
+    )
+    args = parser.parse_args()
+
+    if not args.experiment:
+        print("Available experiments:")
+        for experiment in EXPERIMENTS.values():
+            print(f"  {experiment.id:10s} {experiment.paper_anchor:12s} {experiment.description}")
+        return
+
+    config = SimConfig.quick(
+        measure_records=args.records,
+        warmup_records=args.warmup if args.warmup is not None else args.records // 4,
+    )
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        print(run_experiment(experiment_id, config))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""SimPoint-style sampling: simulate slices, not whole traces (§5.3).
+
+The paper's methodology never simulates whole programs: SimPoint picks
+representative weighted slices and per-application results are the
+weighted mean over slices.  This example reproduces that workflow:
+
+1. generate a long phase-changing trace (the xalancbmk model),
+2. cluster its windows and select SimPoints with weights,
+3. simulate PPF vs no-prefetching on *only* the selected windows,
+4. compare the SimPoint-weighted speedup against the full-trace truth.
+
+Usage:
+    python examples/simpoint_sampling.py [n-records] [window-size]
+"""
+
+import sys
+
+from repro import workload_by_name
+from repro.cpu import O3Core
+from repro.harness import render_table
+from repro.memory import MemoryHierarchy
+from repro.sim import SimConfig, make_prefetcher, run_single_core
+from repro.workloads import select_simpoints, weighted_mean, window_records
+
+
+def simulate_records(records, scheme, config):
+    """IPC of one record list under one scheme (with its own warmup)."""
+    hierarchy = MemoryHierarchy(
+        num_cores=1, config=config.hierarchy, dram_config=config.dram,
+        prefetchers=[make_prefetcher(scheme)],
+    )
+    core = O3Core(0, hierarchy, config.core)
+    warmup = len(records) // 2
+    for rec in records[:warmup]:
+        core.step(rec)
+    hierarchy.reset_stats()
+    core.begin_measurement()
+    for rec in records[warmup:]:
+        core.step(rec)
+    core.drain()
+    return core.result().ipc
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    window_size = int(sys.argv[2]) if len(sys.argv) > 2 else 5_000
+    workload = workload_by_name("623.xalancbmk_s")
+    config = SimConfig.default()
+    trace = list(workload.trace(n_records, seed=1))
+
+    simpoints = select_simpoints(trace, window_size, max_clusters=4)
+    rows = [(sp.window_index, f"{sp.weight:.2f}") for sp in simpoints]
+    print(render_table(["window", "weight"], rows, title="Selected SimPoints"))
+
+    speedups = []
+    for sp in simpoints:
+        window = window_records(trace, window_size, sp.window_index)
+        base = simulate_records(window, "none", config)
+        ppf = simulate_records(window, "ppf", config)
+        speedups.append(ppf / base)
+    sampled = weighted_mean(speedups, [sp.weight for sp in simpoints])
+
+    full_config = SimConfig.quick(
+        measure_records=n_records // 2, warmup_records=n_records // 2
+    )
+    full_base = run_single_core(workload, "none", full_config)
+    full_ppf = run_single_core(workload, "ppf", full_config)
+    full = full_ppf.ipc / full_base.ipc
+
+    simulated = len(simpoints) * window_size
+    print(f"\nSimPoint-weighted PPF speedup : {sampled:.3f} "
+          f"({simulated} of {n_records} records simulated per scheme)")
+    print(f"Full-trace PPF speedup        : {full:.3f}")
+    print(f"Sampling error                : {100 * abs(sampled - full) / full:.1f}%")
+    print(
+        "\nNote: at toy trace scale the estimate is conservative — each"
+        "\nwindow's warmup is too short to fully train SPP/PPF, unlike the"
+        "\npaper's 200M-instruction warmups. Raise the window size to"
+        "\nwatch the sampling error shrink."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — Perceptron-Based Prefetch Filtering (PPF), ISCA 2019.
+
+A full Python reproduction of Bhatia et al., "Perceptron-Based Prefetch
+Filtering": the PPF filter itself (:mod:`repro.core`), the SPP / BOP /
+DA-AMPM prefetchers it is evaluated against (:mod:`repro.prefetchers`),
+a trace-driven cache-hierarchy + DRAM simulator (:mod:`repro.memory`,
+:mod:`repro.cpu`), SPEC-like workload models (:mod:`repro.workloads`),
+simulation drivers (:mod:`repro.sim`), the feature-selection and
+overhead analyses (:mod:`repro.analysis`) and one experiment per paper
+table/figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import make_ppf_spp, run_single_core, workload_by_name
+
+    result = run_single_core(workload_by_name("603.bwaves_s"), make_ppf_spp())
+    print(result.ipc, result.accuracy)
+"""
+
+from .core import (
+    PPF,
+    Decision,
+    FeatureContext,
+    FilterConfig,
+    PerceptronFilter,
+    exploration_features,
+    make_ppf_spp,
+    production_features,
+)
+from .cpu import CoreConfig, O3Core, TraceRecord
+from .memory import Cache, DRAMConfig, HierarchyConfig, MemoryHierarchy
+from .prefetchers import AMPM, BOP, DAAMPM, SPP, NullPrefetcher, Prefetcher, SPPConfig
+from .sim import (
+    ExperimentRunner,
+    SimConfig,
+    geometric_mean,
+    run_multi_core,
+    run_single_core,
+)
+from .workloads import (
+    WorkloadMix,
+    WorkloadSpec,
+    cloudsuite_workloads,
+    memory_intensive_mixes,
+    memory_intensive_subset,
+    random_mixes,
+    spec2006_workloads,
+    spec2017_workloads,
+    workload_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PPF",
+    "Decision",
+    "FeatureContext",
+    "FilterConfig",
+    "PerceptronFilter",
+    "exploration_features",
+    "make_ppf_spp",
+    "production_features",
+    "CoreConfig",
+    "O3Core",
+    "TraceRecord",
+    "Cache",
+    "DRAMConfig",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "AMPM",
+    "BOP",
+    "DAAMPM",
+    "SPP",
+    "NullPrefetcher",
+    "Prefetcher",
+    "SPPConfig",
+    "ExperimentRunner",
+    "SimConfig",
+    "geometric_mean",
+    "run_multi_core",
+    "run_single_core",
+    "WorkloadMix",
+    "WorkloadSpec",
+    "cloudsuite_workloads",
+    "memory_intensive_mixes",
+    "memory_intensive_subset",
+    "random_mixes",
+    "spec2006_workloads",
+    "spec2017_workloads",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``experiments``            — list the registered paper experiments
+* ``run <id> [--records N]`` — regenerate one table/figure
+* ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
+* ``workloads``              — list the modelled benchmark suites
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness.experiments import EXPERIMENTS, run_experiment
+from .harness.validate import report_scorecard, validate
+from .sim.config import SimConfig
+from .sim.single_core import PREFETCHER_FACTORIES, run_single_core
+from .workloads.cloudsuite import cloudsuite_workloads
+from .workloads.spec2006 import spec2006_workloads
+from .workloads.spec2017 import spec2017_workloads, workload_by_name
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.id:10s} {experiment.paper_anchor:12s} {experiment.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SimConfig.quick(
+        measure_records=args.records, warmup_records=args.records // 4
+    )
+    print(run_experiment(args.id, config))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    catalog = spec2017_workloads() + spec2006_workloads() + cloudsuite_workloads()
+    workload = workload_by_name(args.workload, catalog)
+    config = SimConfig.quick(
+        measure_records=args.records, warmup_records=args.records // 4
+    )
+    baseline = run_single_core(workload, "none", config)
+    result = run_single_core(workload, args.prefetcher, config)
+    print(
+        f"{workload.name} / {args.prefetcher}: "
+        f"ipc={result.ipc:.3f} speedup={result.ipc / baseline.ipc:.3f} "
+        f"accuracy={result.accuracy:.2f} l2mpki={result.l2_mpki:.2f}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    config = SimConfig.quick(
+        measure_records=args.records, warmup_records=args.records // 4
+    )
+    scorecard = validate(config, include_sweeps=not args.fast)
+    print(report_scorecard(scorecard))
+    return 0 if scorecard.all_passed else 1
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for suite_name, suite in (
+        ("SPEC CPU 2017", spec2017_workloads()),
+        ("SPEC CPU 2006", spec2006_workloads()),
+        ("CloudSuite", cloudsuite_workloads()),
+    ):
+        print(f"{suite_name} ({len(suite)}):")
+        for workload in suite:
+            marker = "*" if workload.memory_intensive else " "
+            print(f"  {marker} {workload.name:20s} {workload.description}")
+    print("\n(* = memory intensive, LLC MPKI > 1)")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list paper experiments")
+
+    run_parser = sub.add_parser("run", help="regenerate one table/figure")
+    run_parser.add_argument("id", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--records", type=int, default=20_000)
+
+    bench_parser = sub.add_parser("bench", help="one quick workload run")
+    bench_parser.add_argument("workload")
+    bench_parser.add_argument(
+        "--prefetcher", default="ppf", choices=sorted(PREFETCHER_FACTORIES)
+    )
+    bench_parser.add_argument("--records", type=int, default=20_000)
+
+    sub.add_parser("workloads", help="list modelled workloads")
+
+    validate_parser = sub.add_parser("validate", help="run the reproduction scorecard")
+    validate_parser.add_argument("--records", type=int, default=15_000)
+    validate_parser.add_argument(
+        "--fast", action="store_true", help="structural claims only (no sweeps)"
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "bench": _cmd_bench,
+        "workloads": _cmd_workloads,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

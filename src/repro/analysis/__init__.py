@@ -1,0 +1,59 @@
+"""Analyses from the paper: feature selection (§5.5) and overhead (§5.6)."""
+
+from .correlation import (
+    OutcomeTracker,
+    all_feature_pearsons,
+    feature_pearson,
+    histogram_concentration_near_zero,
+    histogram_saturation,
+    pearson,
+    weight_histogram,
+)
+from .feature_selection import FeatureStudy, RecordedRun, run_feature_study
+from .sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    default_settings,
+    sweep_thresholds,
+)
+from .traffic import TrafficBreakdown, compare_traffic, traffic_breakdown
+from .overhead import (
+    FieldSpec,
+    StructureSpec,
+    adder_tree_depth,
+    overhead_report,
+    perceptron_weight_bits,
+    prefetch_table_entry_fields,
+    storage_inventory,
+    total_storage_bits,
+    total_storage_kilobytes,
+)
+
+__all__ = [
+    "OutcomeTracker",
+    "all_feature_pearsons",
+    "feature_pearson",
+    "histogram_concentration_near_zero",
+    "histogram_saturation",
+    "pearson",
+    "weight_histogram",
+    "FeatureStudy",
+    "RecordedRun",
+    "run_feature_study",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "default_settings",
+    "sweep_thresholds",
+    "TrafficBreakdown",
+    "compare_traffic",
+    "traffic_breakdown",
+    "FieldSpec",
+    "StructureSpec",
+    "adder_tree_depth",
+    "overhead_report",
+    "perceptron_weight_bits",
+    "prefetch_table_entry_fields",
+    "storage_inventory",
+    "total_storage_bits",
+    "total_storage_kilobytes",
+]

@@ -1,0 +1,168 @@
+"""Statistical tools for the §5.5 feature methodology.
+
+The paper interprets trained perceptron weights statistically:
+
+* **weight histograms** (Figure 6) — a feature whose trained weights
+  saturate near ±15 carries a strong signal; one whose weights cluster
+  around zero learned nothing;
+* **Pearson factor per feature** (Figures 7–8) — the linear correlation
+  between a feature's trained weight and the empirical outcome of the
+  prefetches that touched that weight.  High |P| means the feature's
+  weight reliably predicts usefulness.
+
+:class:`OutcomeTracker` plugs into :class:`repro.core.ppf.PPF` as its
+``recorder`` and accumulates, per feature table index, how many resolved
+training events were positive vs negative.  The Pearson factor then
+correlates trained weight values against per-index outcome means,
+weighted by traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.filter import PerceptronFilter
+from ..core.weights import WEIGHT_MAX, WEIGHT_MIN
+
+
+def pearson(x: Sequence[float], y: Sequence[float], weights: Sequence[float] | None = None) -> float:
+    """(Weighted) Pearson correlation coefficient of two samples.
+
+    Returns 0.0 when either sample has zero variance (an uninformative
+    feature correlates with nothing, which is exactly the paper's
+    reading of a near-zero P-value).
+    """
+    n = len(x)
+    if n != len(y):
+        raise ValueError("samples must have equal length")
+    if n == 0:
+        return 0.0
+    if weights is None:
+        weights = [1.0] * n
+    elif len(weights) != n:
+        raise ValueError("need one weight per sample")
+    total = float(sum(weights))
+    if total <= 0:
+        return 0.0
+    mean_x = sum(w * a for w, a in zip(weights, x)) / total
+    mean_y = sum(w * b for w, b in zip(weights, y)) / total
+    cov = var_x = var_y = 0.0
+    for w, a, b in zip(weights, x, y):
+        dx = a - mean_x
+        dy = b - mean_y
+        cov += w * dx * dy
+        var_x += w * dx * dx
+        var_y += w * dy * dy
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator <= 0.0:
+        return 0.0
+    return cov / denominator
+
+
+class OutcomeTracker:
+    """Per-feature, per-index outcome counts of resolved training events.
+
+    Use as ``PPF(recorder=tracker)``: every positive/negative training
+    event increments the touched index of every feature table.
+    """
+
+    def __init__(self, n_features: int) -> None:
+        if n_features < 1:
+            raise ValueError("need at least one feature")
+        self.n_features = n_features
+        self.positive: List[Counter] = [Counter() for _ in range(n_features)]
+        self.negative: List[Counter] = [Counter() for _ in range(n_features)]
+        self.events = 0
+
+    def __call__(self, indices: Tuple[int, ...], positive: bool) -> None:
+        if len(indices) != self.n_features:
+            raise ValueError(
+                f"recorder built for {self.n_features} features, got {len(indices)} indices"
+            )
+        self.events += 1
+        counters = self.positive if positive else self.negative
+        for feature_slot, index in enumerate(indices):
+            counters[feature_slot][index] += 1
+
+    def outcome_samples(self, feature_slot: int) -> Tuple[List[int], List[float], List[float]]:
+        """(indices, mean outcome in [-1, 1], traffic weight) per index."""
+        pos = self.positive[feature_slot]
+        neg = self.negative[feature_slot]
+        indices = sorted(set(pos) | set(neg))
+        outcomes = []
+        traffic = []
+        for index in indices:
+            p, n = pos[index], neg[index]
+            outcomes.append((p - n) / (p + n))
+            traffic.append(float(p + n))
+        return indices, outcomes, traffic
+
+    def merge(self, other: "OutcomeTracker") -> None:
+        """Accumulate another tracker (per-trace → suite aggregation)."""
+        if other.n_features != self.n_features:
+            raise ValueError("trackers cover different feature counts")
+        self.events += other.events
+        for slot in range(self.n_features):
+            self.positive[slot].update(other.positive[slot])
+            self.negative[slot].update(other.negative[slot])
+
+
+def feature_pearson(
+    filter_: PerceptronFilter, tracker: OutcomeTracker, feature_slot: int
+) -> float:
+    """Pearson factor of one feature: trained weight vs outcome mean."""
+    indices, outcomes, traffic = tracker.outcome_samples(feature_slot)
+    if not indices:
+        return 0.0
+    table = filter_.tables[feature_slot]
+    weights = [table.read(index) for index in indices]
+    return pearson(weights, outcomes, traffic)
+
+
+def all_feature_pearsons(
+    filter_: PerceptronFilter, tracker: OutcomeTracker
+) -> Dict[str, float]:
+    """Figure 7: Pearson factor for every feature in the filter."""
+    return {
+        feature.name: feature_pearson(filter_, tracker, slot)
+        for slot, feature in enumerate(filter_.features)
+    }
+
+
+def weight_histogram(values: Sequence[int]) -> Dict[int, int]:
+    """Figure 6: how many weights hold each value in [-16, +15].
+
+    Untouched (zero) weights are included — the paper's "bulk of trained
+    weights settling to near zero values" reading depends on them.
+    """
+    histogram = {value: 0 for value in range(WEIGHT_MIN, WEIGHT_MAX + 1)}
+    for value in values:
+        if not WEIGHT_MIN <= value <= WEIGHT_MAX:
+            raise ValueError(f"weight {value} outside 5-bit range")
+        histogram[value] += 1
+    return histogram
+
+
+def histogram_concentration_near_zero(histogram: Dict[int, int], radius: int = 2) -> float:
+    """Fraction of weights within ``radius`` of zero (rejection signal)."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 1.0
+    near = sum(count for value, count in histogram.items() if abs(value) <= radius)
+    return near / total
+
+
+def histogram_saturation(histogram: Dict[int, int], margin: int = 2) -> float:
+    """Fraction of *touched* weights saturated near ±max (strong signal)."""
+    touched = sum(count for value, count in histogram.items() if value != 0)
+    if touched == 0:
+        return 0.0
+    saturated = sum(
+        count
+        for value, count in histogram.items()
+        if value <= WEIGHT_MIN + margin or value >= WEIGHT_MAX - margin
+    )
+    return saturated / touched

@@ -1,0 +1,176 @@
+"""The §5.5 feature-development methodology, end to end.
+
+The paper started from 23 candidate features, then:
+
+1. computed each feature's **global Pearson factor** over the trained
+   weights of all SPEC CPU 2017 traces (Figure 7) and dropped features
+   with no correlation (Figure 6's "Last Signature" example);
+2. checked **per-trace** correlation so a feature that is globally weak
+   but strong on some traces (PC⊕Delta) survives (Figure 8);
+3. computed the 23×23 **cross-correlation matrix** of the features and,
+   for every pair correlated above 0.9, dropped the member with the
+   weaker global factor — leaving 9 features with non-redundant signal.
+
+This module re-runs that study on the reproduction's workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.features import Feature, exploration_features
+from ..core.filter import FilterConfig, PerceptronFilter
+from ..core.ppf import PPF
+from ..prefetchers.spp import SPP, SPPConfig
+from ..sim.config import SimConfig
+from ..sim.single_core import run_single_core
+from ..workloads.spec2017 import WorkloadSpec
+from .correlation import OutcomeTracker, all_feature_pearsons, feature_pearson, pearson
+
+
+@dataclass
+class RecordedRun:
+    """One trace's trained filter plus its outcome statistics."""
+
+    workload: str
+    filter: PerceptronFilter
+    tracker: OutcomeTracker
+
+
+@dataclass
+class FeatureStudy:
+    """Aggregated evidence about one feature catalog over many traces."""
+
+    features: List[Feature]
+    runs: List[RecordedRun] = field(default_factory=list)
+
+    def global_pearson(self) -> Dict[str, float]:
+        """Figure 7: traffic-weighted Pearson over all traces combined.
+
+        The paper concatenates the weights of all trace runs; merging
+        the per-index samples of every run is the same computation.
+        """
+        out: Dict[str, float] = {}
+        for slot, feature in enumerate(self.features):
+            xs: List[float] = []
+            ys: List[float] = []
+            ws: List[float] = []
+            for run in self.runs:
+                indices, outcomes, traffic = run.tracker.outcome_samples(slot)
+                table = run.filter.tables[slot]
+                xs.extend(table.read(i) for i in indices)
+                ys.extend(outcomes)
+                ws.extend(traffic)
+            out[feature.name] = pearson(xs, ys, ws)
+        return out
+
+    def per_trace_pearson(self) -> Dict[str, Dict[str, float]]:
+        """Figure 8: feature name -> workload -> Pearson factor."""
+        out: Dict[str, Dict[str, float]] = {f.name: {} for f in self.features}
+        for run in self.runs:
+            for slot, feature in enumerate(self.features):
+                out[feature.name][run.workload] = feature_pearson(
+                    run.filter, run.tracker, slot
+                )
+        return out
+
+    def cross_correlation(self) -> List[List[float]]:
+        """The NxN feature cross-correlation matrix.
+
+        Two features are redundant when, across weight-table indices that
+        saw traffic, they assign correlated outcome evidence.  We
+        correlate the per-feature *outcome profiles* of training events:
+        for each run and each feature, the sequence of per-index outcome
+        means sampled by shared traffic.  Concretely we correlate the
+        trained-weight value each feature would contribute to the same
+        stream of events.
+        """
+        n = len(self.features)
+        profiles: List[List[float]] = [[] for _ in range(n)]
+        for run in self.runs:
+            # Reconstruct each feature's contribution profile over a
+            # common event stream: weight each index by its traffic.
+            per_slot = []
+            for slot in range(n):
+                indices, outcomes, traffic = run.tracker.outcome_samples(slot)
+                table = run.filter.tables[slot]
+                expanded: List[float] = []
+                for index, weight_count in zip(indices, traffic):
+                    # One sample per ~8 events keeps the profile bounded.
+                    repeats = max(1, int(weight_count) // 8)
+                    expanded.extend([float(table.read(index))] * repeats)
+                per_slot.append(expanded)
+            common = min((len(p) for p in per_slot), default=0)
+            if common == 0:
+                continue
+            for slot in range(n):
+                profiles[slot].extend(per_slot[slot][:common])
+        matrix = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = 1.0
+            for j in range(i + 1, n):
+                r = pearson(profiles[i], profiles[j])
+                matrix[i][j] = r
+                matrix[j][i] = r
+        return matrix
+
+    def trim(
+        self, redundancy_threshold: float = 0.9, keep: Optional[int] = None
+    ) -> List[Feature]:
+        """Apply the paper's trimming rule to this study's evidence.
+
+        For every feature pair with |cross-correlation| above the
+        threshold, drop the member with the smaller |global Pearson|.
+        Optionally keep only the ``keep`` strongest survivors.
+        """
+        global_p = self.global_pearson()
+        matrix = self.cross_correlation()
+        alive = list(range(len(self.features)))
+        dropped = set()
+        order = sorted(
+            alive, key=lambda i: abs(global_p[self.features[i].name]), reverse=True
+        )
+        for rank, i in enumerate(order):
+            if i in dropped:
+                continue
+            for j in order[rank + 1 :]:
+                if j in dropped:
+                    continue
+                if abs(matrix[i][j]) > redundancy_threshold:
+                    dropped.add(j)
+        survivors = [
+            self.features[i] for i in range(len(self.features)) if i not in dropped
+        ]
+        if keep is not None:
+            survivors.sort(
+                key=lambda f: abs(global_p[f.name]), reverse=True
+            )
+            survivors = survivors[:keep]
+        return survivors
+
+
+def run_feature_study(
+    workloads: Sequence[WorkloadSpec],
+    features: Optional[Sequence[Feature]] = None,
+    config: Optional[SimConfig] = None,
+    filter_config: Optional[FilterConfig] = None,
+    seed: int = 1,
+) -> FeatureStudy:
+    """Run PPF with outcome recording over each workload (§5.5 setup)."""
+    feature_list = list(features) if features is not None else exploration_features()
+    study = FeatureStudy(features=feature_list)
+    config = config or SimConfig.quick()
+    for workload in workloads:
+        tracker = OutcomeTracker(len(feature_list))
+        ppf = PPF(
+            underlying=SPP(SPPConfig.aggressive()),
+            features=feature_list,
+            filter_config=filter_config,
+            recorder=tracker,
+        )
+        run_single_core(workload, ppf, config, seed=seed)
+        study.runs.append(
+            RecordedRun(workload=workload.name, filter=ppf.filter, tracker=tracker)
+        )
+    return study

@@ -1,0 +1,155 @@
+"""Hardware storage accounting — reproduces Tables 2 and 3 (§5.6).
+
+Every structure of the SPP+PPF design is accounted at bit granularity.
+The paper's totals are matched exactly:
+
+* Prefetch Table entry: **85 bits** (Table 2),
+* whole design: **322,240 bits = 39.34 KB** (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named bit-field of a table entry."""
+
+    name: str
+    bits: int
+    comment: str = ""
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """One hardware structure: entries × per-entry fields."""
+
+    name: str
+    entries: int
+    fields: Tuple[FieldSpec, ...]
+
+    @property
+    def bits_per_entry(self) -> int:
+        return sum(field.bits for field in self.fields)
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+
+def prefetch_table_entry_fields() -> List[FieldSpec]:
+    """Table 2: metadata stored in each Prefetch Table entry (85 bits)."""
+    return [
+        FieldSpec("Valid", 1, "Indicates a valid entry in the table"),
+        FieldSpec("Tag", 6, "Identifier for the entry in the table"),
+        FieldSpec("Useful", 1, "Entry led to a useful demand fetch"),
+        FieldSpec("Perc Decision", 1, "Prefetched vs not-prefetched"),
+        FieldSpec("PC", 12, "Triggering PC (hashed)"),
+        FieldSpec("Address", 24, "Prefetch block address bits"),
+        FieldSpec("Curr Signature", 10, "SPP signature at prediction"),
+        FieldSpec("PCi Hash", 12, "PC1^PC2>>1^PC3>>2 path hash"),
+        FieldSpec("Delta", 7, "Predicted delta (sign+magnitude)"),
+        FieldSpec("Confidence", 7, "SPP path confidence 0-100"),
+        FieldSpec("Depth", 4, "Lookahead depth"),
+    ]
+
+
+def _perceptron_weight_structures() -> List[StructureSpec]:
+    """Table 3's weight banks: 4×4096, 2×2048, 2×1024, 1×128 entries."""
+    weight = (FieldSpec("Weight", 5, "5-bit saturating counter"),)
+    return [
+        StructureSpec("Perceptron Weights (4096x4)", 4096 * 4, weight),
+        StructureSpec("Perceptron Weights (2048x2)", 2048 * 2, weight),
+        StructureSpec("Perceptron Weights (1024x2)", 1024 * 2, weight),
+        StructureSpec("Perceptron Weights (128x1)", 128 * 1, weight),
+    ]
+
+
+def storage_inventory() -> List[StructureSpec]:
+    """Table 3: every structure in the SPP+PPF design."""
+    pt_fields = tuple(prefetch_table_entry_fields())
+    rt_fields = tuple(
+        field for field in pt_fields if field.name != "Useful"
+    )  # the Reject Table needs no useful bit (Table 3, footnote 2)
+    return [
+        StructureSpec(
+            "Signature Table",
+            256,
+            (
+                FieldSpec("Valid", 1),
+                FieldSpec("Tag", 16),
+                FieldSpec("Last Offset", 6),
+                FieldSpec("Signature", 12),
+                FieldSpec("LRU", 8),
+            ),
+        ),
+        StructureSpec(
+            "Pattern Table",
+            512,
+            (
+                FieldSpec("C_sig", 4),
+                FieldSpec("C_delta x4", 4 * 4),
+                FieldSpec("Delta x4", 4 * 7),
+            ),
+        ),
+        *_perceptron_weight_structures(),
+        StructureSpec("Prefetch Table", 1024, pt_fields),
+        StructureSpec("Reject Table", 1024, rt_fields),
+        StructureSpec(
+            "Global History Register",
+            8,
+            (
+                FieldSpec("Signature", 12),
+                FieldSpec("Confidence", 8),
+                FieldSpec("Last Offset", 6),
+                FieldSpec("Delta", 7),
+            ),
+        ),
+        StructureSpec("Accuracy Counter C_total", 1, (FieldSpec("C_total", 10),)),
+        StructureSpec("Accuracy Counter C_useful", 1, (FieldSpec("C_useful", 10),)),
+        StructureSpec(
+            "Global PC Trackers",
+            3,
+            (FieldSpec("PC", 12),),
+        ),
+    ]
+
+
+def total_storage_bits() -> int:
+    """The paper's bottom line: 322,240 bits."""
+    return sum(structure.total_bits for structure in storage_inventory())
+
+
+def total_storage_kilobytes() -> float:
+    """The paper's bottom line: 39.34 KB."""
+    return total_storage_bits() / 8 / 1024
+
+
+def perceptron_weight_bits() -> int:
+    """Weight-bank subtotal the paper reports as 113,280 bits."""
+    return sum(structure.total_bits for structure in _perceptron_weight_structures())
+
+
+def adder_tree_depth(feature_count: int = 9) -> int:
+    """§5.6: ceil(log2 N) adder stages to sum N weights (4 for N=9)."""
+    if feature_count < 1:
+        raise ValueError("need at least one feature")
+    depth = 0
+    remaining = feature_count
+    while remaining > 1:
+        remaining = (remaining + 1) // 2
+        depth += 1
+    return depth
+
+
+def overhead_report() -> Dict[str, float]:
+    """Summary numbers for EXPERIMENTS.md and the bench harness."""
+    return {
+        "prefetch_table_entry_bits": sum(f.bits for f in prefetch_table_entry_fields()),
+        "perceptron_weight_bits": perceptron_weight_bits(),
+        "total_bits": total_storage_bits(),
+        "total_kilobytes": round(total_storage_kilobytes(), 2),
+        "adder_tree_depth": adder_tree_depth(9),
+    }

@@ -1,0 +1,129 @@
+"""Threshold-sensitivity analysis for PPF's tunables.
+
+The paper fixes τ_hi/τ_lo (inference) and θ_p/θ_n (training saturation)
+empirically.  This module sweeps them so a user porting PPF to a new
+machine or prefetcher can re-tune with evidence — the same spirit as
+§3.2's "Optimizing PPF for a Given Prefetcher".
+
+Each sweep runs PPF over a workload slice with one knob varied and
+reports geomean speedup, accuracy and accept-rate per setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.filter import FilterConfig
+from ..core.ppf import PPF
+from ..sim.config import SimConfig
+from ..sim.metrics import geometric_mean
+from ..sim.single_core import run_single_core
+from ..workloads.spec2017 import WorkloadSpec, memory_intensive_subset
+
+
+@dataclass
+class SensitivityPoint:
+    """One knob setting and its measured aggregates."""
+
+    setting: Tuple[int, ...]
+    geomean_speedup: float
+    mean_accuracy: float
+    mean_accept_rate: float
+
+
+@dataclass
+class SensitivityResult:
+    knob: str
+    points: List[SensitivityPoint]
+
+    def best(self) -> SensitivityPoint:
+        return max(self.points, key=lambda p: p.geomean_speedup)
+
+    def spread_percent(self) -> float:
+        """How much the knob matters: best vs worst geomean, in percent."""
+        speedups = [p.geomean_speedup for p in self.points]
+        return 100.0 * (max(speedups) / min(speedups) - 1.0)
+
+
+def _filter_config_for(knob: str, setting: Tuple[int, ...]) -> FilterConfig:
+    base = FilterConfig.default()
+    if knob == "tau":
+        tau_hi, tau_lo = setting
+        return FilterConfig(
+            tau_hi=tau_hi, tau_lo=tau_lo, theta_p=base.theta_p, theta_n=base.theta_n
+        )
+    if knob == "theta":
+        theta_p, theta_n = setting
+        return FilterConfig(
+            tau_hi=base.tau_hi, tau_lo=base.tau_lo, theta_p=theta_p, theta_n=theta_n
+        )
+    raise ValueError(f"unknown knob {knob!r}")
+
+
+def default_settings(knob: str) -> List[Tuple[int, ...]]:
+    """Sweep grids centred on the paper-style defaults."""
+    if knob == "tau":
+        return [(10, 0), (0, -10), (-5, -15), (-10, -25), (-20, -40)]
+    if knob == "theta":
+        return [(30, -30), (60, -60), (90, -90), (150, -150), (1000, -1000)]
+    raise ValueError(f"unknown knob {knob!r}")
+
+
+def sweep_thresholds(
+    knob: str,
+    settings: Optional[Sequence[Tuple[int, ...]]] = None,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> SensitivityResult:
+    """Sweep one knob ('tau' or 'theta') over a workload slice."""
+    settings = list(settings) if settings is not None else default_settings(knob)
+    workload_list = (
+        list(workloads) if workloads is not None else memory_intensive_subset()[:3]
+    )
+    config = config or SimConfig.quick()
+    baselines = {
+        w.name: run_single_core(w, "none", config, seed=seed).ipc for w in workload_list
+    }
+    points: List[SensitivityPoint] = []
+    for setting in settings:
+        filter_config = _filter_config_for(knob, setting)
+        speedups = []
+        accuracies = []
+        accept_rates = []
+        for workload in workload_list:
+            ppf = PPF(filter_config=filter_config)
+            result = run_single_core(workload, ppf, config, seed=seed)
+            speedups.append(result.ipc / baselines[workload.name])
+            accuracies.append(result.accuracy)
+            accept_rates.append(ppf.filter.stats.accept_rate)
+        points.append(
+            SensitivityPoint(
+                setting=tuple(setting),
+                geomean_speedup=geometric_mean(speedups),
+                mean_accuracy=sum(accuracies) / len(accuracies),
+                mean_accept_rate=sum(accept_rates) / len(accept_rates),
+            )
+        )
+    return SensitivityResult(knob=knob, points=points)
+
+
+def report(result: SensitivityResult) -> str:
+    from ..harness.report import render_table
+
+    rows = [
+        (
+            str(point.setting),
+            point.geomean_speedup,
+            point.mean_accuracy,
+            point.mean_accept_rate,
+        )
+        for point in result.points
+    ]
+    return render_table(
+        [f"{result.knob} setting", "geomean speedup", "accuracy", "accept rate"],
+        rows,
+        title=f"Sensitivity — {result.knob} thresholds "
+        f"(spread {result.spread_percent():.1f}%)",
+    )

@@ -1,0 +1,138 @@
+"""Memory-traffic accounting: where the bandwidth goes, per scheme.
+
+Figure 1's argument is about *waste*: inaccurate prefetches consume DRAM
+slots and cache capacity that demands needed.  This module breaks one
+workload's traffic down per scheme — demand vs prefetch DRAM accesses,
+queueing delay, useless-prefetch evictions — so the waste the paper
+plots as IPC loss can be inspected directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..cpu.o3core import O3Core
+from ..memory.hierarchy import MemoryHierarchy
+from ..sim.config import SimConfig
+from ..sim.single_core import make_prefetcher
+from ..workloads.spec2017 import WorkloadSpec
+
+
+@dataclass
+class TrafficBreakdown:
+    """One scheme's traffic picture on one workload."""
+
+    scheme: str
+    ipc: float
+    demand_dram: int
+    prefetch_dram: int
+    mean_queue_delay: float
+    useless_evictions: int
+    useful_prefetches: int
+    prefetches_dropped: int
+
+    @property
+    def total_dram(self) -> int:
+        return self.demand_dram + self.prefetch_dram
+
+    @property
+    def prefetch_share(self) -> float:
+        """Fraction of DRAM traffic that is prefetch-generated."""
+        if self.total_dram == 0:
+            return 0.0
+        return self.prefetch_dram / self.total_dram
+
+    @property
+    def waste_rate(self) -> float:
+        """Useless evictions per prefetch DRAM access."""
+        if self.prefetch_dram == 0:
+            return 0.0
+        return self.useless_evictions / self.prefetch_dram
+
+
+def traffic_breakdown(
+    workload: WorkloadSpec,
+    scheme: str,
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> TrafficBreakdown:
+    """Simulate one (workload, scheme) pair and account its traffic."""
+    import itertools
+
+    config = config or SimConfig.quick()
+    prefetcher = make_prefetcher(scheme)
+    hierarchy = MemoryHierarchy(
+        num_cores=1,
+        config=config.hierarchy,
+        dram_config=config.dram,
+        prefetchers=[prefetcher],
+    )
+    core = O3Core(0, hierarchy, config.core)
+    trace = workload.trace(config.warmup_records + config.measure_records, seed=seed)
+    for rec in itertools.islice(trace, config.warmup_records):
+        core.step(rec)
+    hierarchy.reset_stats()
+    hierarchy.prefetches_dropped[0] = 0
+    core.begin_measurement()
+    for rec in trace:
+        core.step(rec)
+    core.drain()
+    result = core.result()
+    dram = hierarchy.dram.stats
+    l2 = hierarchy.l2[0].stats
+    return TrafficBreakdown(
+        scheme=scheme,
+        ipc=result.instructions / max(1, result.cycles),
+        demand_dram=dram.demand_accesses,
+        prefetch_dram=dram.prefetch_accesses,
+        mean_queue_delay=dram.mean_queue_delay,
+        useless_evictions=l2.useless_prefetch_evictions,
+        useful_prefetches=prefetcher.stats.useful,
+        prefetches_dropped=hierarchy.prefetches_dropped[0],
+    )
+
+
+def compare_traffic(
+    workload: WorkloadSpec,
+    schemes: Sequence[str] = ("none", "spp", "ppf"),
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> List[TrafficBreakdown]:
+    """Traffic breakdowns for several schemes on one workload."""
+    return [traffic_breakdown(workload, scheme, config, seed) for scheme in schemes]
+
+
+def report(breakdowns: Sequence[TrafficBreakdown], workload_name: str = "") -> str:
+    from ..harness.report import render_table
+
+    rows = [
+        (
+            b.scheme,
+            b.ipc,
+            b.demand_dram,
+            b.prefetch_dram,
+            f"{100 * b.prefetch_share:.0f}%",
+            b.mean_queue_delay,
+            b.useless_evictions,
+            b.prefetches_dropped,
+        )
+        for b in breakdowns
+    ]
+    title = "Memory-traffic breakdown"
+    if workload_name:
+        title += f" — {workload_name}"
+    return render_table(
+        [
+            "scheme",
+            "IPC",
+            "demand DRAM",
+            "prefetch DRAM",
+            "pf share",
+            "queue delay",
+            "useless evictions",
+            "dropped",
+        ],
+        rows,
+        title=title,
+    )

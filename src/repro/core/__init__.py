@@ -1,0 +1,61 @@
+"""PPF core: the paper's contribution (hashed-perceptron prefetch filter)."""
+
+from .features import (
+    Feature,
+    FeatureContext,
+    exploration_features,
+    feature_by_name,
+    feature_names,
+    production_features,
+    scaled_production_features,
+)
+from .filter import Decision, FilterConfig, FilterStats, PerceptronFilter
+from .ppf import PPF, make_ppf_spp
+from .tables import (
+    INDEX_BITS,
+    TABLE_ENTRIES,
+    TAG_BITS,
+    DecisionTable,
+    PrefetchTable,
+    RejectTable,
+    TableEntry,
+    split_address,
+)
+from .weights import (
+    WEIGHT_BITS,
+    WEIGHT_MAX,
+    WEIGHT_MIN,
+    SaturatingCounter,
+    WeightTable,
+    clamp_weight,
+)
+
+__all__ = [
+    "Feature",
+    "FeatureContext",
+    "exploration_features",
+    "feature_by_name",
+    "feature_names",
+    "production_features",
+    "scaled_production_features",
+    "Decision",
+    "FilterConfig",
+    "FilterStats",
+    "PerceptronFilter",
+    "PPF",
+    "make_ppf_spp",
+    "INDEX_BITS",
+    "TABLE_ENTRIES",
+    "TAG_BITS",
+    "DecisionTable",
+    "PrefetchTable",
+    "RejectTable",
+    "TableEntry",
+    "split_address",
+    "WEIGHT_BITS",
+    "WEIGHT_MAX",
+    "WEIGHT_MIN",
+    "SaturatingCounter",
+    "WeightTable",
+    "clamp_weight",
+]

@@ -1,0 +1,189 @@
+"""The perceptron filter: hashed-perceptron inference and training (§3.1).
+
+Inference sums one 5-bit weight per feature table and thresholds the sum
+twice:
+
+* ``sum >= tau_hi``            → prefetch into the **L2** (high confidence)
+* ``tau_lo <= sum < tau_hi``   → prefetch into the **LLC** (moderate)
+* ``sum < tau_lo``             → **reject** the candidate
+
+Training follows the perceptron learning rule with saturation guards:
+on a positive outcome weights are incremented only while the re-computed
+sum is below ``theta_p``; on a negative outcome they are decremented
+only while the sum is above ``theta_n``.  The guards prevent
+over-training so the filter re-adapts quickly when program behaviour
+shifts (§3.1, "Training").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from .features import Feature, FeatureContext, production_features
+from .weights import WeightTable
+
+
+class Decision(Enum):
+    """Where an accepted candidate fills, or that it was rejected."""
+
+    PREFETCH_L2 = "l2"
+    PREFETCH_LLC = "llc"
+    REJECT = "reject"
+
+    @property
+    def accepted(self) -> bool:
+        return self is not Decision.REJECT
+
+
+@dataclass
+class FilterConfig:
+    """Inference and training thresholds.
+
+    Defaults follow the reference PPF implementation: the inference
+    thresholds sit slightly below zero so an untrained filter lets
+    prefetches through (SPP only suggests candidates it has *some*
+    confidence in), and the training thresholds stop weight movement
+    once the sum is decisively correct.
+    """
+
+    tau_hi: int = -5
+    tau_lo: int = -15
+    theta_p: int = 90
+    theta_n: int = -90
+
+    def __post_init__(self) -> None:
+        if self.tau_lo > self.tau_hi:
+            raise ValueError("tau_lo must not exceed tau_hi")
+        if self.theta_n > self.theta_p:
+            raise ValueError("theta_n must not exceed theta_p")
+
+    @classmethod
+    def default(cls) -> "FilterConfig":
+        return cls()
+
+    @classmethod
+    def single_level(cls) -> "FilterConfig":
+        """Ablation: collapse the two fill thresholds into one."""
+        return cls(tau_hi=-15, tau_lo=-15)
+
+
+@dataclass
+class FilterStats:
+    inferences: int = 0
+    accepted_l2: int = 0
+    accepted_llc: int = 0
+    rejected: int = 0
+    positive_updates: int = 0
+    negative_updates: int = 0
+    suppressed_updates: int = 0  # skipped by the theta saturation guards
+
+    @property
+    def accept_rate(self) -> float:
+        if self.inferences == 0:
+            return 0.0
+        return (self.accepted_l2 + self.accepted_llc) / self.inferences
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class PerceptronFilter:
+    """Hashed-perceptron usefulness predictor over a feature set."""
+
+    def __init__(
+        self,
+        features: Optional[Sequence[Feature]] = None,
+        config: Optional[FilterConfig] = None,
+    ) -> None:
+        self.features: List[Feature] = (
+            list(features) if features is not None else production_features()
+        )
+        if not self.features:
+            raise ValueError("perceptron filter needs at least one feature")
+        self.config = config or FilterConfig.default()
+        self.tables: List[WeightTable] = [
+            WeightTable(feature.table_entries) for feature in self.features
+        ]
+        self.stats = FilterStats()
+
+    # -- inference ---------------------------------------------------------------
+
+    def feature_indices(self, ctx: FeatureContext) -> Tuple[int, ...]:
+        """Compute each feature's table index for one candidate."""
+        return tuple(feature.index(ctx) for feature in self.features)
+
+    def weight_sum(self, indices: Sequence[int]) -> int:
+        """The perceptron sum for previously computed indices."""
+        return sum(table.read(index) for table, index in zip(self.tables, indices))
+
+    def infer(self, ctx: FeatureContext) -> Tuple[Decision, int, Tuple[int, ...]]:
+        """Decide one candidate; returns (decision, sum, indices)."""
+        indices = self.feature_indices(ctx)
+        total = self.weight_sum(indices)
+        cfg = self.config
+        self.stats.inferences += 1
+        if total >= cfg.tau_hi:
+            self.stats.accepted_l2 += 1
+            return Decision.PREFETCH_L2, total, indices
+        if total >= cfg.tau_lo:
+            self.stats.accepted_llc += 1
+            return Decision.PREFETCH_LLC, total, indices
+        self.stats.rejected += 1
+        return Decision.REJECT, total, indices
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, indices: Sequence[int], positive: bool) -> bool:
+        """Apply one perceptron update; returns False when suppressed.
+
+        The saturation guards re-read the *current* sum (the weights may
+        have moved since inference), matching §3.1: "If the sum falls
+        below a specific threshold, training occurs".
+        """
+        total = self.weight_sum(indices)
+        cfg = self.config
+        if positive and total >= cfg.theta_p:
+            self.stats.suppressed_updates += 1
+            return False
+        if not positive and total <= cfg.theta_n:
+            self.stats.suppressed_updates += 1
+            return False
+        for table, index in zip(self.tables, indices):
+            table.bump(index, positive)
+        if positive:
+            self.stats.positive_updates += 1
+        else:
+            self.stats.negative_updates += 1
+        return True
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def max_sum(self) -> int:
+        """Largest sum the current feature count can produce."""
+        from .weights import WEIGHT_MAX
+
+        return WEIGHT_MAX * len(self.features)
+
+    @property
+    def min_sum(self) -> int:
+        from .weights import WEIGHT_MIN
+
+        return WEIGHT_MIN * len(self.features)
+
+    def table_for(self, feature_name: str) -> WeightTable:
+        for feature, table in zip(self.features, self.tables):
+            if feature.name == feature_name:
+                return table
+        raise KeyError(f"no feature named {feature_name!r}")
+
+    def total_weight_bits(self) -> int:
+        return sum(table.storage_bits for table in self.tables)
+
+    def reset(self) -> None:
+        for table in self.tables:
+            table.reset()
+        self.stats.reset()

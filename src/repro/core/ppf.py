@@ -1,0 +1,188 @@
+"""PPF: the perceptron prefetch filter wrapped around a prefetcher (§3, §4).
+
+:class:`PPF` is itself a :class:`~repro.prefetchers.base.Prefetcher`, so
+the hierarchy drives it exactly like any other prefetcher.  Internally
+it owns an *aggressively tuned* underlying prefetcher (SPP by default,
+with its internal thresholds discarded per §4.1) and filters the
+candidate stream through the hashed perceptron:
+
+1. **Inferencing** — every candidate's features index the weight tables;
+   the sum decides L2 fill / LLC fill / reject.
+2. **Recording** — accepted candidates go to the Prefetch Table,
+   rejected ones to the Reject Table, each with the feature indices
+   needed to find the same weights again.
+3. **Feedback & retrieval** — every L2 demand access and eviction is
+   looked up in both tables.
+4. **Training** — demand hit on a recorded prefetch → positive update;
+   eviction of a never-used prefetch → negative update; demand access to
+   a *rejected* block → positive update (false-negative recovery via the
+   Reject Table).
+
+An optional ``recorder`` receives every resolved training event, which
+is how the §5.5 feature-correlation study observes outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..prefetchers.base import PrefetchCandidate, Prefetcher
+from ..prefetchers.spp import SPP, SPPConfig
+from .features import Feature, FeatureContext
+from .filter import Decision, FilterConfig, PerceptronFilter
+from .tables import PrefetchTable, RejectTable
+
+#: Receives (feature_indices, positive_outcome) for each resolved event.
+TrainingRecorder = Callable[[Tuple[int, ...], bool], None]
+
+
+class PPF(Prefetcher):
+    """Perceptron-based Prefetch Filter over an underlying prefetcher."""
+
+    name = "ppf"
+
+    def __init__(
+        self,
+        underlying: Optional[Prefetcher] = None,
+        features: Optional[Sequence[Feature]] = None,
+        filter_config: Optional[FilterConfig] = None,
+        use_reject_table: bool = True,
+        train_on_displacement: bool = True,
+        recorder: Optional[TrainingRecorder] = None,
+    ) -> None:
+        super().__init__()
+        self.underlying = underlying if underlying is not None else SPP(SPPConfig.aggressive())
+        self.filter = PerceptronFilter(features, filter_config)
+        self.prefetch_table = PrefetchTable()
+        self.reject_table = RejectTable()
+        self.use_reject_table = use_reject_table
+        #: When a still-unresolved Prefetch Table entry is displaced, treat
+        #: it as a useless prefetch and train negatively.  At this
+        #: reproduction's trace scale the L2-lifetime ≫ table-lifetime, so
+        #: waiting for the eviction (as the paper describes) would starve
+        #: the filter of negative feedback; the displaced metadata is the
+        #: same information one table-lifetime earlier (see DESIGN.md).
+        self.train_on_displacement = train_on_displacement
+        self.recorder = recorder
+        self._pcs: Tuple[int, int, int] = (0, 0, 0)
+
+    # -- main hook ---------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        # Step 3/4 first: consume feedback for this address before the
+        # demand access triggers the next set of prefetches (§3.1).
+        self._train_on_demand(addr)
+        self._pcs = (pc, self._pcs[0], self._pcs[1])
+
+        candidates = self.underlying.train(addr, pc, cache_hit, cycle)
+        if candidates:
+            self.underlying.note_candidates(len(candidates))
+        accepted: List[PrefetchCandidate] = []
+        last_signature = getattr(self.underlying, "last_signature", 0)
+        for candidate in candidates:
+            meta = candidate.meta
+            ctx = FeatureContext(
+                candidate_addr=candidate.addr,
+                trigger_addr=addr,
+                pc=meta.get("pc", pc),
+                pcs=self._pcs,
+                delta=meta.get("delta", 0),
+                depth=meta.get("depth", 1),
+                signature=meta.get("signature", 0),
+                last_signature=last_signature,
+                confidence=meta.get("confidence", 0),
+            )
+            decision, total, indices = self.filter.infer(ctx)
+            if decision.accepted:
+                displaced = self.prefetch_table.insert(candidate.addr, indices, True, total)
+                if (
+                    self.train_on_displacement
+                    and displaced is not None
+                    and not displaced.useful
+                ):
+                    self._apply_training(displaced.feature_indices, positive=False)
+                accepted.append(
+                    PrefetchCandidate(
+                        addr=candidate.addr,
+                        fill_l2=decision is Decision.PREFETCH_L2,
+                        meta=meta,
+                    )
+                )
+            elif self.use_reject_table:
+                self.reject_table.insert(candidate.addr, indices, False, total)
+        return accepted
+
+    # -- feedback ----------------------------------------------------------------
+
+    def _train_on_demand(self, addr: int) -> None:
+        entry = self.prefetch_table.lookup(addr)
+        if entry is not None:
+            # The filter let this prefetch through and it was demanded:
+            # correct positive — reinforce.
+            entry.useful = True
+            self._apply_training(entry.feature_indices, positive=True)
+            self.prefetch_table.invalidate(addr)
+        if self.use_reject_table:
+            rejected = self.reject_table.lookup(addr)
+            if rejected is not None:
+                # False negative: the filter rejected a prefetch that the
+                # program went on to demand.
+                self._apply_training(rejected.feature_indices, positive=True)
+                self.reject_table.invalidate(addr)
+
+    def on_eviction(self, addr: int, was_prefetch: bool, was_used: bool) -> None:
+        super().on_eviction(addr, was_prefetch, was_used)
+        self.underlying.on_eviction(addr, was_prefetch, was_used)
+        if was_prefetch and not was_used:
+            entry = self.prefetch_table.lookup(addr)
+            if entry is not None and not entry.useful:
+                # The filter accepted a prefetch that died unused:
+                # misprediction — push the weights down.
+                self._apply_training(entry.feature_indices, positive=False)
+                self.prefetch_table.invalidate(addr)
+
+    def _apply_training(self, indices: Tuple[int, ...], positive: bool) -> None:
+        self.filter.train(indices, positive)
+        if self.recorder is not None:
+            self.recorder(indices, positive)
+
+    # -- forwarding so the underlying prefetcher's state (SPP's alpha) stays live --
+
+    def on_prefetch_issued(self, candidate: PrefetchCandidate) -> None:
+        super().on_prefetch_issued(candidate)
+        self.underlying.on_prefetch_issued(candidate)
+
+    def on_useful_prefetch(self, addr: int) -> None:
+        super().on_useful_prefetch(addr)
+        self.underlying.on_useful_prefetch(addr)
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def average_lookahead_depth(self) -> float:
+        """Average speculation depth of the underlying prefetcher."""
+        return getattr(self.underlying, "average_lookahead_depth", 0.0)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.underlying.reset_stats()
+        self.filter.stats.reset()
+        self.prefetch_table.reset_counters()
+        self.reject_table.reset_counters()
+
+
+def make_ppf_spp(
+    spp_config: Optional[SPPConfig] = None,
+    features: Optional[Sequence[Feature]] = None,
+    filter_config: Optional[FilterConfig] = None,
+    use_reject_table: bool = True,
+) -> PPF:
+    """The paper's case-study configuration: PPF over aggressive SPP."""
+    return PPF(
+        underlying=SPP(spp_config or SPPConfig.aggressive()),
+        features=features,
+        filter_config=filter_config,
+        use_reject_table=use_reject_table,
+    )

@@ -1,0 +1,143 @@
+"""PPF's Prefetch Table and Reject Table (§3.1, Tables 2–3).
+
+Both are 1,024-entry direct-mapped structures indexed by ten bits of the
+prefetch block address with a six-bit tag.  The Prefetch Table records
+candidates the perceptron *accepted* (so that later demand hits train
+positively and unused evictions train negatively); the Reject Table
+records candidates it *rejected* (so that a later demand access to a
+rejected block — a false negative — can train positively).  Each entry
+keeps the feature indices needed to re-address the weight tables at
+training time, which is the "metadata required for perceptron training"
+of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+INDEX_BITS = 10
+TAG_BITS = 6
+TABLE_ENTRIES = 1 << INDEX_BITS
+
+
+@dataclass
+class TableEntry:
+    """One recorded prefetch decision."""
+
+    __slots__ = ("valid", "tag", "useful", "perc_decision", "feature_indices", "perc_sum")
+
+    valid: bool
+    tag: int
+    useful: bool
+    perc_decision: bool
+    feature_indices: Tuple[int, ...]
+    perc_sum: int
+
+
+def split_address(addr: int) -> Tuple[int, int]:
+    """Map a byte address to (table index, tag) at block granularity."""
+    block = addr >> 6
+    index = block & (TABLE_ENTRIES - 1)
+    tag = (block >> INDEX_BITS) & ((1 << TAG_BITS) - 1)
+    return index, tag
+
+
+class DecisionTable:
+    """Direct-mapped decision-history table (base for both tables)."""
+
+    def __init__(self, entries: int = TABLE_ENTRIES) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"table entries must be a power of two, got {entries}")
+        self.entries = entries
+        self._index_mask = entries - 1
+        self._slots: List[Optional[TableEntry]] = [None] * entries
+        self.inserts = 0
+        self.hits = 0
+        self.conflicts = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        block = addr >> 6
+        index = block & self._index_mask
+        tag = (block >> INDEX_BITS) & ((1 << TAG_BITS) - 1)
+        return index, tag
+
+    def insert(
+        self,
+        addr: int,
+        feature_indices: Tuple[int, ...],
+        perc_decision: bool,
+        perc_sum: int,
+    ) -> Optional[TableEntry]:
+        """Record a decision; returns any valid entry this displaces.
+
+        The displaced entry never received feedback — the caller may
+        treat an accepted-but-never-demanded displacement as a useless
+        prefetch (see :class:`repro.core.ppf.PPF`).  Re-recording the
+        same block (same index *and* tag — e.g. the lookahead suggesting
+        a block it already suggested) is a refresh, not a displacement,
+        and returns ``None``.
+        """
+        index, tag = self._locate(addr)
+        displaced = self._slots[index]
+        if displaced is not None and displaced.valid:
+            if displaced.tag == tag:
+                displaced = None  # same block: refresh in place
+            else:
+                self.conflicts += 1
+        else:
+            displaced = None
+        self._slots[index] = TableEntry(
+            valid=True,
+            tag=tag,
+            useful=False,
+            perc_decision=perc_decision,
+            feature_indices=feature_indices,
+            perc_sum=perc_sum,
+        )
+        self.inserts += 1
+        return displaced
+
+    def lookup(self, addr: int) -> Optional[TableEntry]:
+        """Return the valid, tag-matching entry for ``addr`` (or None)."""
+        index, tag = self._locate(addr)
+        entry = self._slots[index]
+        if entry is not None and entry.valid and entry.tag == tag:
+            self.hits += 1
+            return entry
+        return None
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the entry for ``addr`` after its feedback is consumed."""
+        index, tag = self._locate(addr)
+        entry = self._slots[index]
+        if entry is not None and entry.valid and entry.tag == tag:
+            entry.valid = False
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        return sum(1 for entry in self._slots if entry is not None and entry.valid)
+
+    def reset(self) -> None:
+        self._slots = [None] * self.entries
+        self.reset_counters()
+
+    def reset_counters(self) -> None:
+        """Zero the event counters while keeping the recorded entries."""
+        self.inserts = 0
+        self.hits = 0
+        self.conflicts = 0
+
+
+class PrefetchTable(DecisionTable):
+    """Accepted prefetches awaiting ground truth (demand hit or evict)."""
+
+
+class RejectTable(DecisionTable):
+    """Rejected candidates; a later demand access means a false negative.
+
+    The Reject Table omits the "useful" bit (Table 3, footnote 2) — an
+    entry here was never prefetched, so the only feedback it can receive
+    is a demand access proving the rejection wrong.
+    """

@@ -1,0 +1,100 @@
+"""Saturating weights and per-feature weight tables for the perceptron.
+
+Each PPF weight is a 5-bit saturating counter in [-16, +15] (§3.1: "we
+found that having 5-bit weights provides a good trade-off between
+accuracy and area").  A :class:`WeightTable` is one feature's bank of
+weights; the hashed-perceptron sum reads one weight per table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+WEIGHT_BITS = 5
+WEIGHT_MIN = -(1 << (WEIGHT_BITS - 1))  # -16
+WEIGHT_MAX = (1 << (WEIGHT_BITS - 1)) - 1  # +15
+
+
+def clamp_weight(value: int) -> int:
+    """Saturate ``value`` into the 5-bit weight range."""
+    if value < WEIGHT_MIN:
+        return WEIGHT_MIN
+    if value > WEIGHT_MAX:
+        return WEIGHT_MAX
+    return value
+
+
+@dataclass
+class SaturatingCounter:
+    """A standalone saturating counter (used by tests and diagnostics)."""
+
+    value: int = 0
+    minimum: int = WEIGHT_MIN
+    maximum: int = WEIGHT_MAX
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise ValueError("counter minimum exceeds maximum")
+        self.value = max(self.minimum, min(self.maximum, self.value))
+
+    def increment(self) -> int:
+        if self.value < self.maximum:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        if self.value > self.minimum:
+            self.value -= 1
+        return self.value
+
+
+class WeightTable:
+    """One feature's bank of 5-bit saturating weights.
+
+    ``entries`` must be a power of two so feature hashes can be masked
+    rather than reduced modulo (matching the hardware indexing).
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"weight table entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.mask = entries - 1
+        self._weights: List[int] = [0] * entries
+
+    def index_of(self, hashed: int) -> int:
+        """Reduce a feature hash to a table index."""
+        return hashed & self.mask
+
+    def read(self, index: int) -> int:
+        return self._weights[index]
+
+    def bump(self, index: int, positive: bool) -> int:
+        """Apply one perceptron update step (+1 or -1, saturating)."""
+        value = self._weights[index]
+        value = value + 1 if positive else value - 1
+        value = clamp_weight(value)
+        self._weights[index] = value
+        return value
+
+    def weights(self) -> List[int]:
+        """A copy of all weights (for the analysis module)."""
+        return list(self._weights)
+
+    def nonzero_count(self) -> int:
+        return sum(1 for w in self._weights if w != 0)
+
+    def reset(self) -> None:
+        self._weights = [0] * self.entries
+
+    def load(self, values: Iterable[int]) -> None:
+        """Overwrite the table (tests / analysis replay); values clamped."""
+        values = [clamp_weight(v) for v in values]
+        if len(values) != self.entries:
+            raise ValueError(f"expected {self.entries} weights, got {len(values)}")
+        self._weights = values
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entries * WEIGHT_BITS

@@ -1,0 +1,35 @@
+"""Trace format and the out-of-order core timing model."""
+
+from .branch import (
+    BranchPredictorConfig,
+    BranchPredictorStats,
+    HashedPerceptronBranchPredictor,
+)
+from .o3core import CoreConfig, CoreResult, O3Core
+from .trace import (
+    TraceRecord,
+    TraceStats,
+    footprint_by_page,
+    read_trace,
+    trace_from_string,
+    trace_stats,
+    trace_to_string,
+    write_trace,
+)
+
+__all__ = [
+    "BranchPredictorConfig",
+    "BranchPredictorStats",
+    "HashedPerceptronBranchPredictor",
+    "CoreConfig",
+    "CoreResult",
+    "O3Core",
+    "TraceRecord",
+    "TraceStats",
+    "footprint_by_page",
+    "read_trace",
+    "trace_from_string",
+    "trace_stats",
+    "trace_to_string",
+    "write_trace",
+]

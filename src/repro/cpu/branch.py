@@ -1,0 +1,133 @@
+"""Hashed-perceptron branch predictor (§2.3 lineage, Table 1 fidelity).
+
+PPF's prediction machinery descends from perceptron branch prediction
+(Jiménez & Lin, HPCA 2001) in its "hashed perceptron" organization
+(Tarjan & Skadron, TACO 2005), and the paper's simulated cores use a
+perceptron branch predictor (Table 1).  This module implements that
+predictor over the same :class:`~repro.core.weights.WeightTable`
+machinery PPF uses — one table per feature, sum, threshold, train on
+mispredict or weak sum — demonstrating that the mechanism PPF applies
+to prefetch filtering is literally the branch-prediction mechanism
+pointed at a different question.
+
+Features: the branch PC, and geometrically-growing global-history
+segments folded and XORed with the PC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.weights import WeightTable
+
+
+@dataclass
+class BranchPredictorConfig:
+    table_entries: int = 1024
+    history_bits: int = 64
+    #: (start, length) global-history segments, geometric lengths.
+    segments: Tuple[Tuple[int, int], ...] = (
+        (0, 4),
+        (0, 8),
+        (0, 16),
+        (0, 32),
+        (16, 16),
+        (32, 32),
+    )
+    #: Training threshold: train while |sum| <= theta or on mispredict.
+    theta: int = 40
+
+    @classmethod
+    def default(cls) -> "BranchPredictorConfig":
+        return cls()
+
+
+@dataclass
+class BranchPredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+    updates: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+def _fold(value: int, bits: int, width: int = 12) -> int:
+    """Fold ``bits`` low bits of ``value`` into ``width`` bits by XOR."""
+    value &= (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & ((1 << width) - 1)
+        value >>= width
+    return folded
+
+
+class HashedPerceptronBranchPredictor:
+    """Global-history hashed-perceptron predictor."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        self.config = config or BranchPredictorConfig.default()
+        # One table for the PC feature + one per history segment.
+        self.tables: List[WeightTable] = [
+            WeightTable(self.config.table_entries)
+            for _ in range(1 + len(self.config.segments))
+        ]
+        self.stats = BranchPredictorStats()
+        self._history = 0  # bit i = outcome of the i-th most recent branch
+
+    # -- features ---------------------------------------------------------------
+
+    def _indices(self, pc: int) -> Tuple[int, ...]:
+        mask = self.config.table_entries - 1
+        indices = [(pc >> 2) & mask]
+        for start, length in self.config.segments:
+            segment = (self._history >> start)
+            indices.append((_fold(segment, length) ^ (pc >> 2)) & mask)
+        return tuple(indices)
+
+    # -- prediction / update -------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken (True) or not taken (False)."""
+        indices = self._indices(pc)
+        total = sum(table.read(index) for table, index in zip(self.tables, indices))
+        self.stats.predictions += 1
+        return total >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Observe the outcome; train per the perceptron rule (§2.3).
+
+        Weights move only when the prediction was wrong or the sum's
+        magnitude failed to exceed theta — the same guard PPF reuses as
+        θ_p/θ_n.
+        """
+        indices = self._indices(pc)
+        total = sum(table.read(index) for table, index in zip(self.tables, indices))
+        predicted = total >= 0
+        if predicted != taken:
+            self.stats.mispredictions += 1
+        if predicted != taken or abs(total) <= self.config.theta:
+            self.stats.updates += 1
+            for table, index in zip(self.tables, indices):
+                table.bump(index, positive=taken)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            (1 << self.config.history_bits) - 1
+        )
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Convenience driver: returns whether the prediction was right."""
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction == taken
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(table.storage_bits for table in self.tables)

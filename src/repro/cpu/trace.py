@@ -1,0 +1,120 @@
+"""Trace format for the trace-driven simulator.
+
+A trace is a sequence of :class:`TraceRecord` items, each describing one
+memory load: the PC of the load instruction, the byte address it reads,
+and the number of non-memory instructions retired since the previous
+load (``bubble``).  This is the information ChampSim traces carry that
+PPF and the cache hierarchy actually consume; everything else (register
+dataflow, branches) is abstracted into the core timing model.
+
+Traces can be streamed from generators, materialized into lists, or
+round-tripped through a compact text format for the examples.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, TextIO
+
+from ..memory.address import page_number
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory load plus the instruction bubble preceding it."""
+
+    __slots__ = ("pc", "addr", "bubble")
+
+    pc: int
+    addr: int
+    bubble: int
+
+    def __post_init__(self) -> None:
+        if self.pc < 0 or self.addr < 0 or self.bubble < 0:
+            raise ValueError("trace record fields must be non-negative")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this record retires: the load plus its bubble."""
+        return self.bubble + 1
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of one trace (used to pick mem-intensive sets)."""
+
+    records: int
+    instructions: int
+    unique_blocks: int
+    unique_pages: int
+
+    @property
+    def loads_per_kilo_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.records / self.instructions
+
+
+def trace_stats(trace: Iterable[TraceRecord]) -> TraceStats:
+    """Single-pass summary of a trace."""
+    records = 0
+    instructions = 0
+    blocks = set()
+    pages = set()
+    for rec in trace:
+        records += 1
+        instructions += rec.instructions
+        blocks.add(rec.addr >> 6)
+        pages.add(page_number(rec.addr))
+    return TraceStats(
+        records=records,
+        instructions=instructions,
+        unique_blocks=len(blocks),
+        unique_pages=len(pages),
+    )
+
+
+def write_trace(trace: Iterable[TraceRecord], stream: TextIO) -> int:
+    """Serialize a trace as one ``pc addr bubble`` hex/dec line per record.
+
+    Returns the number of records written.
+    """
+    count = 0
+    for rec in trace:
+        stream.write(f"{rec.pc:x} {rec.addr:x} {rec.bubble}\n")
+        count += 1
+    return count
+
+
+def read_trace(stream: TextIO) -> Iterator[TraceRecord]:
+    """Parse the text format written by :func:`write_trace`."""
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"line {line_number}: expected 'pc addr bubble', got {line!r}")
+        pc, addr, bubble = int(parts[0], 16), int(parts[1], 16), int(parts[2])
+        yield TraceRecord(pc=pc, addr=addr, bubble=bubble)
+
+
+def trace_to_string(trace: Iterable[TraceRecord]) -> str:
+    """Serialize a trace to a string (convenience for examples/tests)."""
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_string(text: str) -> List[TraceRecord]:
+    """Parse a trace from a string (convenience for examples/tests)."""
+    return list(read_trace(io.StringIO(text)))
+
+
+def footprint_by_page(trace: Iterable[TraceRecord]) -> Dict[int, int]:
+    """Map page number -> number of distinct blocks touched in that page."""
+    pages: Dict[int, set] = {}
+    for rec in trace:
+        pages.setdefault(page_number(rec.addr), set()).add(rec.addr >> 6)
+    return {page: len(blocks) for page, blocks in pages.items()}

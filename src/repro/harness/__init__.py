@@ -1,0 +1,52 @@
+"""Experiment harness: one runnable experiment per paper table/figure."""
+
+from .ablations import AblationResult, ablation_variants, run_ablations
+from .constraints import ConstraintResult, run_constraints
+from .experiments import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+from .figure01 import Figure1Result, run_figure1
+from .figure09 import Figure9Result, run_figure9
+from .figure10 import Figure10Result, run_figure10
+from .figure13 import Figure13Result, run_figure13
+from .figures02_05 import ArchitectureCheck, run_architecture_checks
+from .figures06_08 import FeatureEvidence, run_feature_evidence
+from .figures11_12 import MulticoreResult, run_figure11, run_figure12
+from .report import render_histogram, render_table
+from .validate import Claim, Scorecard, report_scorecard, validate
+from .tables import table1_report, table2_report, table3_report, tables_summary
+
+__all__ = [
+    "AblationResult",
+    "ablation_variants",
+    "run_ablations",
+    "ConstraintResult",
+    "run_constraints",
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "run_experiment",
+    "Figure1Result",
+    "run_figure1",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Result",
+    "run_figure10",
+    "Figure13Result",
+    "run_figure13",
+    "ArchitectureCheck",
+    "run_architecture_checks",
+    "FeatureEvidence",
+    "run_feature_evidence",
+    "MulticoreResult",
+    "run_figure11",
+    "run_figure12",
+    "Claim",
+    "Scorecard",
+    "report_scorecard",
+    "validate",
+    "render_histogram",
+    "render_table",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "tables_summary",
+]

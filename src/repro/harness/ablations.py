@@ -1,0 +1,117 @@
+"""Ablation studies of PPF's design choices (DESIGN.md list).
+
+Each ablation removes or weakens one mechanism and re-measures the
+geomean speedup on a slice of the memory-intensive subset:
+
+* ``no-reject-table``   — drop false-negative recovery (§3.1 Recording)
+* ``single-level``      — collapse the two fill thresholds into one
+* ``address-only``      — only the three address features
+* ``all-features``      — the untrimmed 23-feature catalog
+* ``stock-spp-under``   — PPF over *unmodified* SPP (no §4.1 re-tuning)
+* ``no-displacement``   — wait for L2 evictions only (no displacement
+  training; see DESIGN.md substitutions)
+* ``no-theta``          — disable the over-training guards θ_p/θ_n
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.features import (
+    exploration_features,
+    production_features,
+    scaled_production_features,
+)
+from ..core.filter import FilterConfig
+from ..core.ppf import PPF
+from ..prefetchers.base import Prefetcher
+from ..prefetchers.spp import SPP, SPPConfig
+from ..sim.config import SimConfig
+from ..sim.metrics import geometric_mean
+from ..sim.single_core import run_single_core
+from ..workloads.spec2017 import WorkloadSpec, memory_intensive_subset
+from .report import render_table
+
+VariantFactory = Callable[[], Prefetcher]
+
+
+def _address_only_features():
+    keep = {"phys_address", "cache_line", "page_address"}
+    return [f for f in production_features() if f.name in keep]
+
+
+def ablation_variants() -> Dict[str, VariantFactory]:
+    """Named PPF variants, plus the full design and the SPP reference."""
+    return {
+        "spp": lambda: SPP(SPPConfig.default()),
+        "ppf-full": lambda: PPF(),
+        "no-reject-table": lambda: PPF(use_reject_table=False),
+        "single-level": lambda: PPF(filter_config=FilterConfig.single_level()),
+        "address-only": lambda: PPF(features=_address_only_features()),
+        "all-features": lambda: PPF(features=exploration_features()),
+        "stock-spp-under": lambda: PPF(underlying=SPP(SPPConfig.default())),
+        "no-displacement": lambda: PPF(train_on_displacement=False),
+        "no-theta": lambda: PPF(
+            filter_config=FilterConfig(theta_p=10_000, theta_n=-10_000)
+        ),
+        # §5.6: weight tables scaled to half / double hardware budget.
+        "half-budget": lambda: PPF(features=scaled_production_features(0.5)),
+        "double-budget": lambda: PPF(features=scaled_production_features(2.0)),
+    }
+
+
+@dataclass
+class AblationResult:
+    variants: List[str]
+    geomeans: Dict[str, float]
+    per_workload: Dict[str, Dict[str, float]]  # variant -> workload -> speedup
+
+    def delta_vs_full_percent(self, variant: str) -> float:
+        return 100.0 * (self.geomeans[variant] / self.geomeans["ppf-full"] - 1.0)
+
+
+def run_ablations(
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    config: Optional[SimConfig] = None,
+    variants: Optional[Sequence[str]] = None,
+    seed: int = 1,
+) -> AblationResult:
+    workload_list = (
+        list(workloads) if workloads is not None else memory_intensive_subset()[:4]
+    )
+    config = config or SimConfig.quick()
+    factories = ablation_variants()
+    chosen = list(variants) if variants is not None else list(factories)
+    baseline: Dict[str, float] = {}
+    for workload in workload_list:
+        baseline[workload.name] = run_single_core(workload, "none", config, seed=seed).ipc
+    per_workload: Dict[str, Dict[str, float]] = {}
+    geomeans: Dict[str, float] = {}
+    for variant in chosen:
+        factory = factories[variant]
+        speedups = {}
+        for workload in workload_list:
+            result = run_single_core(workload, factory(), config, seed=seed)
+            speedups[workload.name] = result.ipc / baseline[workload.name]
+        per_workload[variant] = speedups
+        geomeans[variant] = geometric_mean(speedups.values())
+    return AblationResult(
+        variants=chosen, geomeans=geomeans, per_workload=per_workload
+    )
+
+
+def report(result: AblationResult) -> str:
+    rows = []
+    for variant in result.variants:
+        delta = (
+            result.delta_vs_full_percent(variant)
+            if "ppf-full" in result.geomeans
+            else 0.0
+        )
+        rows.append((variant, result.geomeans[variant], f"{delta:+.2f}%"))
+    return render_table(
+        ["variant", "geomean speedup", "vs ppf-full"],
+        rows,
+        title="Ablations — PPF design choices",
+    )

@@ -1,0 +1,75 @@
+"""§6.3: additional memory constraints (small LLC, low DRAM bandwidth).
+
+Two DPC-2 constraint configurations stress the single-core system:
+
+* **small LLC** — 512 KB instead of 2 MB: prefetch pollution costs more
+  capacity, so an accurate filter should shine ("PPF provides a greater
+  improvement under small LLC condition");
+* **low bandwidth** — 3.2 GB/s instead of 12.8: every useless prefetch
+  steals scarce bus slots ("PPF ... matches the best prefetcher, BOP,
+  under low DRAM bandwidth conditions").
+
+Run on the memory-intensive subset, reporting geomean speedups per
+scheme under each constraint next to the unconstrained default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.runner import ExperimentRunner
+from ..workloads.spec2017 import WorkloadSpec, memory_intensive_subset
+from .figure09 import SCHEMES
+from .report import render_table
+
+
+@dataclass
+class ConstraintResult:
+    schemes: List[str]
+    geomeans: Dict[str, Dict[str, float]]  # constraint -> scheme -> geomean
+
+    def geomean(self, constraint: str, scheme: str) -> float:
+        return self.geomeans[constraint][scheme]
+
+
+def _constraint_configs(base: SimConfig) -> Dict[str, SimConfig]:
+    small = SimConfig.small_llc()
+    low = SimConfig.low_bandwidth()
+    for cfg in (small, low):
+        cfg.warmup_records = base.warmup_records
+        cfg.measure_records = base.measure_records
+    return {"default": base, "small-llc": small, "low-bandwidth": low}
+
+
+def run_constraints(
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    config: Optional[SimConfig] = None,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 1,
+) -> ConstraintResult:
+    workload_list = (
+        list(workloads) if workloads is not None else memory_intensive_subset()
+    )
+    base = config or SimConfig.quick()
+    runner = ExperimentRunner(base, seed=seed)
+    geomeans: Dict[str, Dict[str, float]] = {}
+    for constraint, cfg in _constraint_configs(base).items():
+        suite = runner.sweep(workload_list, list(schemes), cfg)
+        geomeans[constraint] = {
+            scheme: suite.geomean_speedup(scheme) for scheme in schemes
+        }
+    return ConstraintResult(schemes=list(schemes), geomeans=geomeans)
+
+
+def report(result: ConstraintResult) -> str:
+    rows = []
+    for constraint, per_scheme in result.geomeans.items():
+        rows.append([constraint] + [per_scheme[s] for s in result.schemes])
+    return render_table(
+        ["constraint", *result.schemes],
+        rows,
+        title="Section 6.3 — geomean speedup under memory constraints "
+        "(memory-intensive subset)",
+    )

@@ -1,0 +1,111 @@
+"""Experiment registry: every paper table/figure, runnable by id.
+
+``run_experiment("fig9")`` runs the experiment at a test-friendly scale
+and returns its rendered report.  The benchmark suite and the
+``examples/reproduce_paper.py`` script both drive this registry, so
+there is exactly one definition of each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim.config import SimConfig
+from . import ablations, constraints, figure01, figure09, figure10, figure13
+from . import figures02_05, figures06_08, figures11_12, tables
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: id, paper anchor, and a runner."""
+
+    id: str
+    paper_anchor: str
+    description: str
+    run: Callable[[Optional[SimConfig]], str]
+
+
+def _fig1(config: Optional[SimConfig]) -> str:
+    return figure01.report(figure01.run_figure1(config=config))
+
+
+def _tab1(config: Optional[SimConfig]) -> str:
+    return tables.table1_report(config)
+
+
+def _fig2_5(config: Optional[SimConfig]) -> str:
+    return figures02_05.report(figures02_05.run_architecture_checks())
+
+
+def _fig6_8(config: Optional[SimConfig]) -> str:
+    evidence = figures06_08.run_feature_evidence(config=config)
+    return "\n\n".join(
+        (
+            figures06_08.figure6_report(evidence),
+            figures06_08.figure7_report(evidence),
+            figures06_08.figure8_report(evidence),
+        )
+    )
+
+
+def _tab2_3(config: Optional[SimConfig]) -> str:
+    return tables.table2_report() + "\n\n" + tables.table3_report()
+
+
+def _fig9_10(config: Optional[SimConfig]) -> str:
+    fig9 = figure09.run_figure9(config=config)
+    fig10 = figure10.run_figure10(suite=fig9.suite)
+    return figure09.report(fig9) + "\n\n" + figure10.report(fig10)
+
+
+def _fig11(config: Optional[SimConfig]) -> str:
+    return figures11_12.report(figures11_12.run_figure11(config=config))
+
+
+def _fig12(config: Optional[SimConfig]) -> str:
+    return figures11_12.report(figures11_12.run_figure12(config=config))
+
+
+def _sec63(config: Optional[SimConfig]) -> str:
+    return constraints.report(constraints.run_constraints(config=config))
+
+
+def _fig13(config: Optional[SimConfig]) -> str:
+    return figure13.report(figure13.run_figure13(config=config, spec2006_subset=8))
+
+
+def _ablations(config: Optional[SimConfig]) -> str:
+    return ablations.report(ablations.run_ablations(config=config))
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in (
+        Experiment("fig1", "Figure 1", "aggressiveness hurts without a filter", _fig1),
+        Experiment("tab1", "Table 1", "simulation parameters", _tab1),
+        Experiment("fig2-5", "Figures 2-5", "architecture conformance", _fig2_5),
+        Experiment("fig6-8", "Figures 6-8", "feature-selection evidence", _fig6_8),
+        Experiment("tab2-3", "Tables 2-3", "storage overhead accounting", _tab2_3),
+        Experiment("fig9-10", "Figures 9-10", "single-core speedup and coverage", _fig9_10),
+        Experiment("fig11", "Figure 11", "4-core weighted speedup", _fig11),
+        Experiment("fig12", "Figure 12", "8-core weighted speedup", _fig12),
+        Experiment("sec6.3", "Section 6.3", "memory-constraint studies", _sec63),
+        Experiment("fig13", "Figure 13", "cross-validation on unseen workloads", _fig13),
+        Experiment("ablations", "DESIGN.md", "PPF design-choice ablations", _ablations),
+    )
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, config: Optional[SimConfig] = None) -> str:
+    """Run one experiment by id; returns its rendered report."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return experiment.run(config)

@@ -1,0 +1,87 @@
+"""Export experiment data for external plotting (CSV / JSON).
+
+The harness renders text tables; downstream users who want the paper's
+actual bar charts need the raw series.  ``export_figure9`` and friends
+serialize each experiment's data in a plot-ready layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+from .figure01 import Figure1Result
+from .figure09 import Figure9Result
+from .figure10 import Figure10Result
+from .figures11_12 import MulticoreResult
+
+
+def figure1_rows(result: Figure1Result) -> List[Dict[str, float]]:
+    """Normalized depth series, one dict per depth."""
+    return result.normalized()
+
+
+def figure9_rows(result: Figure9Result) -> List[Dict[str, object]]:
+    """One dict per workload: name + speedup per scheme."""
+    rows = []
+    per_scheme = {scheme: result.suite.speedups(scheme) for scheme in result.schemes}
+    for workload in result.workloads:
+        row: Dict[str, object] = {"workload": workload.name}
+        for scheme in result.schemes:
+            row[scheme] = per_scheme[scheme][workload.name]
+        rows.append(row)
+    return rows
+
+
+def figure10_rows(result: Figure10Result) -> List[Dict[str, object]]:
+    return [
+        {
+            "scheme": scheme,
+            "l2_coverage": result.coverage(scheme, "l2"),
+            "llc_coverage": result.coverage(scheme, "llc"),
+        }
+        for scheme in result.schemes
+    ]
+
+
+def multicore_rows(result: MulticoreResult) -> List[Dict[str, object]]:
+    """Sorted per-mix series, one dict per rank (the paper's x-axis)."""
+    series = {scheme: result.sorted_series(scheme) for scheme in result.schemes}
+    rows = []
+    for rank in range(len(result.mixes)):
+        row: Dict[str, object] = {"rank": rank}
+        for scheme in result.schemes:
+            row[scheme] = series[scheme][rank]
+        rows.append(row)
+    return rows
+
+
+def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialize row dicts to CSV (stable column order from first row)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialize row dicts to pretty JSON."""
+    return json.dumps(list(rows), indent=2, sort_keys=False)
+
+
+def write_rows(rows: Sequence[Dict[str, object]], path: str) -> None:
+    """Write rows to ``path``; format chosen by extension (.csv/.json)."""
+    if path.endswith(".csv"):
+        payload = to_csv(rows)
+    elif path.endswith(".json"):
+        payload = to_json(rows)
+    else:
+        raise ValueError(f"unsupported export extension: {path!r}")
+    with open(path, "w") as stream:
+        stream.write(payload)

@@ -1,0 +1,92 @@
+"""Figure 1: the cost of naive aggressiveness (§1).
+
+SPP's throttling threshold is re-tuned so its lookahead runs to a fixed
+depth from 7 to 15 on the 603.bwaves_s model.  The paper's observation:
+total prefetches (TOTAL_PF) grow *faster* with depth than useful
+prefetches (GOOD_PF), wasting bandwidth and cache capacity until IPC
+falls — motivating a filter rather than a deeper prefetcher.
+
+All three series are normalized to the depth-7 run, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..prefetchers.spp import SPP, SPPConfig
+from ..sim.config import SimConfig
+from ..sim.single_core import RunResult, run_single_core
+from ..workloads.spec2017 import workload_by_name
+from .report import render_table
+
+
+@dataclass
+class Figure1Result:
+    """Per-depth absolute and normalized series."""
+
+    depths: List[int]
+    ipc: Dict[int, float]
+    total_pf: Dict[int, int]
+    good_pf: Dict[int, int]
+
+    def normalized(self) -> List[Dict[str, float]]:
+        """Rows of depth / IPC / TOTAL_PF / GOOD_PF, depth-7-normalized."""
+        base = self.depths[0]
+        rows = []
+        for depth in self.depths:
+            rows.append(
+                {
+                    "depth": depth,
+                    "ipc": self.ipc[depth] / self.ipc[base],
+                    "total_pf": self.total_pf[depth] / max(1, self.total_pf[base]),
+                    "good_pf": self.good_pf[depth] / max(1, self.good_pf[base]),
+                }
+            )
+        return rows
+
+    @property
+    def overprefetch_grows_faster(self) -> bool:
+        """The headline claim: TOTAL_PF outgrows GOOD_PF at max depth."""
+        rows = self.normalized()
+        return rows[-1]["total_pf"] > rows[-1]["good_pf"]
+
+    @property
+    def ipc_degrades(self) -> bool:
+        """Aggressiveness eventually costs IPC vs the shallow tuning."""
+        rows = self.normalized()
+        return rows[-1]["ipc"] < max(row["ipc"] for row in rows)
+
+
+def run_figure1(
+    depths: Sequence[int] = (7, 9, 11, 13, 15),
+    workload_name: str = "603.bwaves_s",
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> Figure1Result:
+    """Sweep SPP's fixed lookahead depth on the bwaves model."""
+    config = config or SimConfig.quick()
+    workload = workload_by_name(workload_name)
+    depths = list(depths)
+    ipc: Dict[int, float] = {}
+    total_pf: Dict[int, int] = {}
+    good_pf: Dict[int, int] = {}
+    for depth in depths:
+        spp = SPP(SPPConfig.fixed_depth(depth))
+        result: RunResult = run_single_core(workload, spp, config, seed=seed)
+        ipc[depth] = result.ipc
+        total_pf[depth] = result.prefetches_issued
+        good_pf[depth] = result.prefetches_useful
+    return Figure1Result(depths=depths, ipc=ipc, total_pf=total_pf, good_pf=good_pf)
+
+
+def report(result: Figure1Result) -> str:
+    rows = [
+        (row["depth"], row["ipc"], row["total_pf"], row["good_pf"])
+        for row in result.normalized()
+    ]
+    return render_table(
+        ["lookahead depth", "IPC (norm)", "TOTAL_PF (norm)", "GOOD_PF (norm)"],
+        rows,
+        title="Figure 1 — aggressive SPP on 603.bwaves_s (normalized to depth 7)",
+    )

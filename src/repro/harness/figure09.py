@@ -1,0 +1,101 @@
+"""Figure 9: single-core speedup per SPEC CPU 2017 application (§6.1).
+
+For each application and each scheme (BOP, DA-AMPM, SPP, PPF), IPC
+speedup normalized to no prefetching, followed by the geometric mean
+over the memory-intensive subset and the full suite — the same rows
+the paper's bar chart shows.
+
+Shape targets (DESIGN.md): PPF geomean highest; PPF matches or beats
+SPP on (nearly) every application; BOP wins only 607.cactuBSSN_s; PPF's
+average lookahead depth exceeds stock SPP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.runner import ExperimentRunner, SuiteResult
+from ..workloads.spec2017 import (
+    WorkloadSpec,
+    memory_intensive_subset,
+    spec2017_workloads,
+)
+from .report import render_table
+
+SCHEMES = ("bop", "da-ampm", "spp", "ppf")
+
+
+@dataclass
+class Figure9Result:
+    suite: SuiteResult
+    workloads: List[WorkloadSpec]
+    schemes: List[str]
+
+    def speedup_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for workload in self.workloads:
+            row: List[object] = [workload.name]
+            for scheme in self.schemes:
+                row.append(self.suite.speedups(scheme)[workload.name])
+            rows.append(row)
+        return rows
+
+    def geomean(self, scheme: str, memory_intensive_only: bool = False) -> float:
+        names = None
+        if memory_intensive_only:
+            names = [w.name for w in self.workloads if w.memory_intensive]
+        return self.suite.geomean_speedup(scheme, names)
+
+    def ppf_over_spp_percent(self, memory_intensive_only: bool = True) -> float:
+        """The paper's headline: PPF's gain over SPP (3.78% single-core)."""
+        ppf = self.geomean("ppf", memory_intensive_only)
+        spp = self.geomean("spp", memory_intensive_only)
+        return 100.0 * (ppf / spp - 1.0)
+
+    def average_depths(self) -> Dict[str, float]:
+        """Mean SPP lookahead depth under stock SPP vs under PPF (§6.1)."""
+        out = {}
+        for scheme in ("spp", "ppf"):
+            depths = [
+                self.suite.run_for(w.name, scheme).average_lookahead_depth
+                for w in self.workloads
+            ]
+            depths = [d for d in depths if d > 0]
+            out[scheme] = sum(depths) / len(depths) if depths else 0.0
+        return out
+
+
+def run_figure9(
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    config: Optional[SimConfig] = None,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 1,
+) -> Figure9Result:
+    workload_list = list(workloads) if workloads is not None else spec2017_workloads()
+    runner = ExperimentRunner(config or SimConfig.quick(), seed=seed)
+    suite = runner.sweep(workload_list, list(schemes))
+    return Figure9Result(suite=suite, workloads=workload_list, schemes=list(schemes))
+
+
+def report(result: Figure9Result) -> str:
+    rows = result.speedup_rows()
+    rows.append(
+        ["geomean (mem-intensive)"]
+        + [result.geomean(s, memory_intensive_only=True) for s in result.schemes]
+    )
+    rows.append(["geomean (full suite)"] + [result.geomean(s) for s in result.schemes])
+    table = render_table(
+        ["application", *result.schemes],
+        rows,
+        title="Figure 9 — single-core IPC speedup over no prefetching",
+    )
+    depths = result.average_depths()
+    footer = (
+        f"\nPPF over SPP (mem-intensive geomean): "
+        f"{result.ppf_over_spp_percent():+.2f}%"
+        f"\navg lookahead depth: SPP {depths.get('spp', 0):.2f} -> "
+        f"PPF {depths.get('ppf', 0):.2f}"
+    )
+    return table + footer

@@ -1,0 +1,98 @@
+"""Figure 13: cross-validation on unseen workloads (§6.4).
+
+PPF's defaults were developed on SPEC CPU 2017; this experiment runs the
+unchanged configuration on the CloudSuite models (Figure 13a) and the
+SPEC CPU 2006 models (Figure 13b).
+
+Shape targets: on CloudSuite everything is prefetch-agnostic (small
+gains), with PPF still ahead of SPP; on SPEC CPU 2006 PPF leads SPP on
+both the memory-intensive subset and the full suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.runner import ExperimentRunner, SuiteResult
+from ..workloads.cloudsuite import cloudsuite_workloads
+from ..workloads.spec2006 import spec2006_workloads
+from ..workloads.spec2017 import WorkloadSpec
+from .figure09 import SCHEMES
+from .report import render_table
+
+
+@dataclass
+class Figure13Result:
+    cloudsuite: SuiteResult
+    spec2006: SuiteResult
+    cloudsuite_workloads: List[WorkloadSpec]
+    spec2006_workloads: List[WorkloadSpec]
+    schemes: List[str]
+
+    def cloudsuite_geomean(self, scheme: str) -> float:
+        return self.cloudsuite.geomean_speedup(scheme)
+
+    def spec2006_geomean(self, scheme: str, memory_intensive_only: bool = False) -> float:
+        names = None
+        if memory_intensive_only:
+            names = [w.name for w in self.spec2006_workloads if w.memory_intensive]
+        return self.spec2006.geomean_speedup(scheme, names)
+
+
+def run_figure13(
+    config: Optional[SimConfig] = None,
+    schemes: Sequence[str] = SCHEMES,
+    spec2006_subset: Optional[int] = None,
+    seed: int = 1,
+) -> Figure13Result:
+    """Run both validation suites.
+
+    ``spec2006_subset`` limits how many SPEC 2006 models run (handy for
+    tests; memory-intensive models are kept first so the subset geomean
+    stays meaningful).
+    """
+    config = config or SimConfig.quick()
+    runner = ExperimentRunner(config, seed=seed)
+    cloud = cloudsuite_workloads()
+    spec06 = spec2006_workloads()
+    if spec2006_subset is not None:
+        intensive = [w for w in spec06 if w.memory_intensive]
+        light = [w for w in spec06 if not w.memory_intensive]
+        spec06 = (intensive + light)[:spec2006_subset]
+    return Figure13Result(
+        cloudsuite=runner.sweep(cloud, list(schemes)),
+        spec2006=runner.sweep(spec06, list(schemes)),
+        cloudsuite_workloads=cloud,
+        spec2006_workloads=spec06,
+        schemes=list(schemes),
+    )
+
+
+def report(result: Figure13Result) -> str:
+    rows_a = [
+        (w.name, *(result.cloudsuite.speedups(s)[w.name] for s in result.schemes))
+        for w in result.cloudsuite_workloads
+    ]
+    rows_a.append(
+        ("geomean", *(result.cloudsuite_geomean(s) for s in result.schemes))
+    )
+    table_a = render_table(
+        ["CloudSuite app", *result.schemes],
+        rows_a,
+        title="Figure 13a — CloudSuite IPC speedup (unseen workloads)",
+    )
+    rows_b = [
+        (
+            "geomean (mem-intensive)",
+            *(result.spec2006_geomean(s, True) for s in result.schemes),
+        ),
+        ("geomean (full suite)", *(result.spec2006_geomean(s) for s in result.schemes)),
+    ]
+    table_b = render_table(
+        ["SPEC CPU 2006", *result.schemes],
+        rows_b,
+        title="Figure 13b — SPEC CPU 2006 IPC speedup (unseen workloads)",
+    )
+    return table_a + "\n\n" + table_b

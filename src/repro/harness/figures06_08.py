@@ -1,0 +1,121 @@
+"""Figures 6–8: the feature-selection evidence (§5.5).
+
+* **Figure 6** — trained-weight histograms for the best feature
+  (Page ⊕ Confidence, weights pushed out toward saturation) and a
+  rejected one (Last Signature, weights stuck near zero).
+* **Figure 7** — global Pearson factor of the nine production features,
+  in increasing order.
+* **Figure 8** — per-trace Pearson variation for three globally-weak
+  features (PC⊕Delta, Signature⊕Delta, PC⊕Depth), showing they still
+  correlate strongly on *some* traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.correlation import (
+    histogram_concentration_near_zero,
+    histogram_saturation,
+    weight_histogram,
+)
+from ..analysis.feature_selection import FeatureStudy, run_feature_study
+from ..core.features import Feature, exploration_features, feature_by_name
+from ..sim.config import SimConfig
+from ..workloads.spec2017 import WorkloadSpec, memory_intensive_subset
+from .report import render_histogram, render_table
+
+#: Figure 6 contrasts the strongest kept feature with a rejected one.
+FIGURE6_FEATURES = ("page_xor_confidence", "last_signature")
+#: Figure 8 examines the globally-weak-but-locally-useful features.
+FIGURE8_FEATURES = ("pc_xor_delta", "signature_xor_delta", "pc_xor_depth")
+
+
+@dataclass
+class FeatureEvidence:
+    """Everything Figures 6–8 need, from one recorded study."""
+
+    study: FeatureStudy
+    global_pearson: Dict[str, float]
+    per_trace: Dict[str, Dict[str, float]]
+    histograms: Dict[str, Dict[int, int]]
+
+
+def run_feature_evidence(
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    features: Optional[Sequence[Feature]] = None,
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> FeatureEvidence:
+    """Run the recorded study and aggregate the three figures' data."""
+    if workloads is None:
+        workloads = memory_intensive_subset()[:6]
+    if features is None:
+        features = exploration_features()
+    study = run_feature_study(workloads, features, config, seed=seed)
+    histograms: Dict[str, Dict[int, int]] = {}
+    for name in FIGURE6_FEATURES:
+        slot = next(i for i, f in enumerate(study.features) if f.name == name)
+        values: List[int] = []
+        for run in study.runs:
+            values.extend(run.filter.tables[slot].weights())
+        histograms[name] = weight_histogram(values)
+    return FeatureEvidence(
+        study=study,
+        global_pearson=study.global_pearson(),
+        per_trace=study.per_trace_pearson(),
+        histograms=histograms,
+    )
+
+
+def figure6_report(evidence: FeatureEvidence) -> str:
+    """Weight distributions: kept feature saturates, rejected hugs zero."""
+    parts = []
+    for name in FIGURE6_FEATURES:
+        histogram = evidence.histograms[name]
+        near_zero = histogram_concentration_near_zero(histogram)
+        saturation = histogram_saturation(histogram)
+        parts.append(
+            render_histogram(
+                histogram,
+                title=(
+                    f"Figure 6 — trained weights of {name} "
+                    f"(near-zero {near_zero:.2f}, saturated {saturation:.2f})"
+                ),
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def figure7_report(evidence: FeatureEvidence, production_only: bool = True) -> str:
+    """Global Pearson factors, increasing order, as in Figure 7."""
+    names = (
+        [f.name for f in evidence.study.features[:9]]
+        if production_only
+        else [f.name for f in evidence.study.features]
+    )
+    rows = sorted(
+        ((name, evidence.global_pearson[name]) for name in names),
+        key=lambda pair: abs(pair[1]),
+    )
+    return render_table(
+        ["feature", "global Pearson factor"],
+        rows,
+        title="Figure 7 — features by global correlation",
+    )
+
+
+def figure8_report(evidence: FeatureEvidence) -> str:
+    """Per-trace Pearson variation of the three weak features."""
+    workload_names = [run.workload for run in evidence.study.runs]
+    rows = []
+    for workload in workload_names:
+        rows.append(
+            (workload, *(evidence.per_trace[f][workload] for f in FIGURE8_FEATURES))
+        )
+    return render_table(
+        ["trace", *FIGURE8_FEATURES],
+        rows,
+        title="Figure 8 — per-trace P-value variation",
+    )

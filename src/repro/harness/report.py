@@ -1,0 +1,62 @@
+"""Plain-text report rendering for the experiment harness.
+
+Every experiment returns structured data plus a rendered table that
+matches the rows/series of the corresponding paper figure, so running a
+bench prints something directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Uniform cell formatting: floats get fixed precision."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    histogram: dict, title: Optional[str] = None, width: int = 40
+) -> str:
+    """ASCII bar chart of a value->count histogram (Figure 6 style)."""
+    peak = max(histogram.values(), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for value in sorted(histogram):
+        count = histogram[value]
+        bar = "#" * (0 if peak == 0 else round(width * count / peak))
+        lines.append(f"{value:>4d} | {bar} {count}")
+    return "\n".join(lines)

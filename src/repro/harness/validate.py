@@ -1,0 +1,149 @@
+"""Reproduction scorecard: run every shape claim programmatically.
+
+``validate()`` executes the checkable claims from DESIGN.md's "shape
+targets" at a configurable scale and returns a structured scorecard —
+the machine-readable counterpart of EXPERIMENTS.md.  The CLI exposes it
+as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.overhead import overhead_report
+from ..sim.config import SimConfig
+from .figure01 import run_figure1
+from .figure09 import run_figure9
+from .figure10 import run_figure10
+from .figures02_05 import run_architecture_checks
+from .report import render_table
+
+
+@dataclass
+class Claim:
+    """One verified paper claim."""
+
+    id: str
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class Scorecard:
+    claims: List[Claim] = field(default_factory=list)
+
+    def add(self, claim_id: str, description: str, passed: bool, detail: str = "") -> None:
+        self.claims.append(Claim(claim_id, description, passed, detail))
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for claim in self.claims if claim.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def failures(self) -> List[Claim]:
+        return [claim for claim in self.claims if not claim.passed]
+
+
+def validate(
+    config: Optional[SimConfig] = None,
+    include_sweeps: bool = True,
+) -> Scorecard:
+    """Run the shape claims; sweeps can be skipped for a fast check."""
+    config = config or SimConfig.quick()
+    scorecard = Scorecard()
+
+    # -- structural claims (cheap, always run) -------------------------------
+    report = overhead_report()
+    scorecard.add(
+        "tab2", "Prefetch Table entry is 85 bits",
+        report["prefetch_table_entry_bits"] == 85,
+        f"{report['prefetch_table_entry_bits']} bits",
+    )
+    scorecard.add(
+        "tab3", "total storage 322,240 bits = 39.34 KB",
+        report["total_bits"] == 322_240 and report["total_kilobytes"] == 39.34,
+        f"{report['total_bits']} bits / {report['total_kilobytes']} KB",
+    )
+    checks = run_architecture_checks()
+    scorecard.add(
+        "fig2-5", "architecture matches the paper's diagrams",
+        all(c.ok for c in checks),
+        f"{sum(c.ok for c in checks)}/{len(checks)} checks",
+    )
+
+    if not include_sweeps:
+        return scorecard
+
+    # -- Figure 1 -------------------------------------------------------------
+    fig1 = run_figure1(config=config)
+    scorecard.add(
+        "fig1-waste", "TOTAL_PF outgrows GOOD_PF with depth",
+        fig1.overprefetch_grows_faster,
+        f"total x{fig1.normalized()[-1]['total_pf']:.3f} vs good x{fig1.normalized()[-1]['good_pf']:.3f}",
+    )
+    scorecard.add(
+        "fig1-ipc", "IPC degrades past the aggressiveness knee",
+        fig1.ipc_degrades,
+    )
+
+    # -- Figures 9-10 ------------------------------------------------------------
+    fig9 = run_figure9(config=config)
+    geomeans = {s: fig9.geomean(s, memory_intensive_only=True) for s in fig9.schemes}
+    scorecard.add(
+        "fig9-geomean", "PPF has the best memory-intensive geomean",
+        geomeans["ppf"] == max(geomeans.values()),
+        " ".join(f"{k}={v:.3f}" for k, v in geomeans.items()),
+    )
+    ppf = fig9.suite.speedups("ppf")
+    spp = fig9.suite.speedups("spp")
+    bop = fig9.suite.speedups("bop")
+    losses = [w for w in ppf if ppf[w] < spp[w] * 0.98]
+    scorecard.add(
+        "fig9-wins", "PPF matches/beats SPP on nearly every app (<=2 losses)",
+        len(losses) <= 2,
+        f"losses: {losses or 'none'}",
+    )
+    scorecard.add(
+        "fig9-cactu", "BOP wins 607.cactuBSSN_s",
+        bop["607.cactuBSSN_s"] > max(ppf["607.cactuBSSN_s"], spp["607.cactuBSSN_s"]),
+        f"bop={bop['607.cactuBSSN_s']:.3f} ppf={ppf['607.cactuBSSN_s']:.3f}",
+    )
+    depths = fig9.average_depths()
+    scorecard.add(
+        "fig9-depth", "PPF speculates deeper than stock SPP",
+        depths["ppf"] > depths["spp"],
+        f"spp={depths['spp']:.2f} ppf={depths['ppf']:.2f}",
+    )
+    fig10 = run_figure10(suite=fig9.suite)
+    scorecard.add(
+        "fig10", "PPF coverage beats SPP and DA-AMPM at both levels",
+        all(
+            fig10.coverage("ppf", level) > fig10.coverage(other, level)
+            for level in ("l2", "llc")
+            for other in ("spp", "da-ampm")
+        ),
+        f"l2: ppf={fig10.coverage('ppf', 'l2'):.3f} spp={fig10.coverage('spp', 'l2'):.3f}",
+    )
+    return scorecard
+
+
+def report_scorecard(scorecard: Scorecard) -> str:
+    rows = [
+        (claim.id, claim.description, claim.passed, claim.detail)
+        for claim in scorecard.claims
+    ]
+    table = render_table(
+        ["claim", "description", "ok", "detail"],
+        rows,
+        title="Reproduction scorecard",
+    )
+    return table + f"\n{scorecard.passed}/{scorecard.total} claims hold"

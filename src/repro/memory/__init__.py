@@ -1,0 +1,54 @@
+"""Memory substrate: caches, DRAM, and the three-level hierarchy."""
+
+from .address import (
+    BLOCK_BITS,
+    BLOCK_SIZE,
+    BLOCKS_PER_PAGE,
+    PAGE_BITS,
+    PAGE_SIZE,
+    block_address,
+    block_in_page,
+    block_number,
+    decode_delta,
+    encode_delta,
+    page_address,
+    page_number,
+    page_offset_block,
+    same_page,
+)
+from .cache import Cache, CacheLine, CacheStats, EvictedLine
+from .dram import DRAM, DRAMConfig, DRAMStats
+from .hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
+from .replacement import FIFOPolicy, LRUPolicy, RandomPolicy, ReplacementPolicy, make_policy
+
+__all__ = [
+    "BLOCK_BITS",
+    "BLOCK_SIZE",
+    "BLOCKS_PER_PAGE",
+    "PAGE_BITS",
+    "PAGE_SIZE",
+    "block_address",
+    "block_in_page",
+    "block_number",
+    "decode_delta",
+    "encode_delta",
+    "page_address",
+    "page_number",
+    "page_offset_block",
+    "same_page",
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "EvictedLine",
+    "DRAM",
+    "DRAMConfig",
+    "DRAMStats",
+    "AccessResult",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

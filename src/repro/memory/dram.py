@@ -1,0 +1,130 @@
+"""DRAM timing model: per-channel bandwidth caps and a row-buffer.
+
+The paper's single-core configuration is one DDR channel at 12.8 GB/s;
+the DPC-2 "low bandwidth" constraint study drops that to 3.2 GB/s.  At a
+4 GHz core clock a 64-byte transfer occupies the data bus for
+
+    64 B / 12.8 GB/s = 5 ns = 20 core cycles     (default)
+    64 B /  3.2 GB/s = 20 ns = 80 core cycles    (low bandwidth)
+
+The model is deliberately simple but captures the two effects PPF's
+evaluation depends on:
+
+* **bandwidth contention** — each access occupies its channel for
+  ``cycles_per_transfer`` cycles, so useless prefetches delay demands;
+* **row-buffer locality** — hits to the open row are served faster,
+  which is what DA-AMPM exploits by batching same-row prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+ROW_BITS = 13  # 8 KB DRAM rows
+
+
+@dataclass
+class DRAMConfig:
+    """Timing parameters, all in core cycles (4 GHz core assumed)."""
+
+    channels: int = 1
+    cycles_per_transfer: int = 20  # 12.8 GB/s at 4 GHz, 64 B blocks
+    row_hit_latency: int = 110
+    row_miss_latency: int = 170
+
+    @classmethod
+    def default(cls) -> "DRAMConfig":
+        """Paper's single-core configuration (12.8 GB/s)."""
+        return cls()
+
+    @classmethod
+    def low_bandwidth(cls) -> "DRAMConfig":
+        """DPC-2 low-bandwidth constraint: 3.2 GB/s."""
+        return cls(cycles_per_transfer=80)
+
+    @classmethod
+    def multicore(cls, cores: int) -> "DRAMConfig":
+        """Shared-memory configuration: one channel per two cores."""
+        return cls(channels=max(1, cores // 2))
+
+
+@dataclass
+class DRAMStats:
+    accesses: int = 0
+    demand_accesses: int = 0
+    prefetch_accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_queue_delay: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.total_queue_delay / self.accesses
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class DRAM:
+    """Multi-channel DRAM with open-row policy and a bus occupancy cap."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self.stats = DRAMStats()
+        self._next_free: List[int] = [0] * self.config.channels
+        self._open_row: List[int] = [-1] * self.config.channels
+
+    def channel_of(self, addr: int) -> int:
+        """Interleave channels at block granularity."""
+        return (addr >> 6) % self.config.channels
+
+    def row_of(self, addr: int) -> int:
+        return addr >> ROW_BITS
+
+    def access(self, addr: int, cycle: int, *, is_prefetch: bool = False) -> int:
+        """Issue one 64-byte access; returns the cycle its data is ready.
+
+        The channel is occupied for ``cycles_per_transfer`` after the
+        access starts, which is how prefetch traffic steals bandwidth
+        from later demand requests.
+        """
+        cfg = self.config
+        channel = self.channel_of(addr)
+        start = max(cycle, self._next_free[channel])
+        queue_delay = start - cycle
+
+        row = self.row_of(addr)
+        if self._open_row[channel] == row:
+            latency = cfg.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = cfg.row_miss_latency
+            self.stats.row_misses += 1
+            self._open_row[channel] = row
+
+        self._next_free[channel] = start + cfg.cycles_per_transfer
+
+        self.stats.accesses += 1
+        if is_prefetch:
+            self.stats.prefetch_accesses += 1
+        else:
+            self.stats.demand_accesses += 1
+        self.stats.total_queue_delay += queue_delay
+        return start + latency
+
+    def next_free_cycle(self, addr: int) -> int:
+        """When the channel serving ``addr`` frees up (for tests)."""
+        return self._next_free[self.channel_of(addr)]
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,224 @@
+"""Three-level cache hierarchy with prefetch-at-L2, as in the paper.
+
+Per core: an L1D and a private L2 with one prefetcher instance.  Shared
+across cores: the LLC and the DRAM model.  Prefetching is triggered only
+on L2 demand accesses (paper §5.1); candidates fill either the L2 or the
+LLC depending on the prefetcher's confidence decision.
+
+Timing is latency-additive down the hierarchy, with two second-order
+effects modelled because the paper's results depend on them:
+
+* prefetch traffic occupies DRAM bandwidth (see :mod:`repro.memory.dram`),
+  so inaccurate prefetching slows demand misses down;
+* a prefetched line filled "in flight" stores its data-arrival cycle, and
+  a demand access that arrives earlier pays the residual latency (late
+  prefetches give partial benefit, as in ChampSim).
+
+Writebacks are not modelled: the trace format carries loads (the PPF
+mechanism trains only on the L2 demand-access/evict stream, which this
+captures fully).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..prefetchers.base import NullPrefetcher, PrefetchCandidate, Prefetcher
+from .cache import Cache, EvictedLine
+from .dram import DRAM, DRAMConfig
+
+
+@dataclass
+class HierarchyConfig:
+    """Cache geometry and latencies (core cycles), Table 1 defaults."""
+
+    l1_size: int = 48 * 1024
+    l1_assoc: int = 12
+    l1_latency: int = 4
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 10
+    llc_size_per_core: int = 2 * 1024 * 1024
+    llc_assoc: int = 16
+    llc_latency: int = 38
+    max_prefetches_per_trigger: int = 32
+    #: In-flight prefetches a core may have outstanding (the prefetch
+    #: insertion queue of Figure 4); candidates beyond it are dropped.
+    prefetch_queue_size: int = 64
+
+    @classmethod
+    def default(cls) -> "HierarchyConfig":
+        return cls()
+
+    @classmethod
+    def small_llc(cls) -> "HierarchyConfig":
+        """DPC-2 small-LLC constraint: 512 KB last-level cache."""
+        return cls(llc_size_per_core=512 * 1024)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access, for the core timing model."""
+
+    __slots__ = ("ready_cycle", "level")
+
+    ready_cycle: int
+    level: str  # "l1", "l2", "llc" or "dram"
+
+
+class MemoryHierarchy:
+    """L1D/L2 per core, shared LLC and DRAM, prefetch hooks at L2."""
+
+    def __init__(
+        self,
+        num_cores: int = 1,
+        config: Optional[HierarchyConfig] = None,
+        dram_config: Optional[DRAMConfig] = None,
+        prefetchers: Optional[Sequence[Prefetcher]] = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self.config = config or HierarchyConfig.default()
+        cfg = self.config
+        self.l1: List[Cache] = [
+            Cache(f"L1D{i}", cfg.l1_size, cfg.l1_assoc, cfg.l1_latency)
+            for i in range(num_cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(f"L2C{i}", cfg.l2_size, cfg.l2_assoc, cfg.l2_latency)
+            for i in range(num_cores)
+        ]
+        self.llc = Cache(
+            "LLC", cfg.llc_size_per_core * num_cores, cfg.llc_assoc, cfg.llc_latency
+        )
+        if dram_config is None:
+            dram_config = (
+                DRAMConfig.default() if num_cores == 1 else DRAMConfig.multicore(num_cores)
+            )
+        self.dram = DRAM(dram_config)
+        if prefetchers is None:
+            prefetchers = [NullPrefetcher() for _ in range(num_cores)]
+        if len(prefetchers) != num_cores:
+            raise ValueError("one prefetcher per core required")
+        self.prefetchers: List[Prefetcher] = list(prefetchers)
+        # Per-core prefetch insertion queue: completion cycles of
+        # in-flight prefetches.  When full, further candidates drop.
+        self._inflight_prefetches: List[List[int]] = [[] for _ in range(num_cores)]
+        self.prefetches_dropped: List[int] = [0] * num_cores
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(self, core: int, pc: int, addr: int, cycle: int) -> AccessResult:
+        """Serve one demand load for ``core``; returns data-ready cycle."""
+        l1 = self.l1[core]
+        line = l1.lookup(addr)
+        if line is not None:
+            return AccessResult(cycle + l1.latency, "l1")
+        return self._l2_demand(core, pc, addr, cycle + l1.latency)
+
+    def _l2_demand(self, core: int, pc: int, addr: int, cycle: int) -> AccessResult:
+        l2 = self.l2[core]
+        prefetcher = self.prefetchers[core]
+        line = l2.lookup(addr)
+        hit = line is not None
+        if hit and line.fill_cycle > cycle:
+            # Late prefetch: data still in flight, pay the residual.
+            ready = line.fill_cycle + l2.latency
+        elif hit:
+            ready = cycle + l2.latency
+        else:
+            ready = 0  # filled in below
+        if hit and line.is_prefetch:
+            line.is_prefetch = False  # count each prefetch useful once
+            prefetcher.on_useful_prefetch(addr)
+
+        if not hit:
+            result = self._llc_demand(core, addr, cycle + l2.latency)
+            ready = result.ready_cycle
+            level = result.level
+            self._fill_l2(core, addr, is_prefetch=False, data_cycle=ready)
+        else:
+            level = "l2"
+
+        # Prefetcher observes every L2 demand access, then candidates issue.
+        candidates = prefetcher.train(addr, pc, hit, cycle)
+        if candidates:
+            prefetcher.note_candidates(len(candidates))
+            for candidate in candidates[: self.config.max_prefetches_per_trigger]:
+                self._issue_prefetch(core, candidate, cycle)
+        self.l1[core].fill(addr, is_prefetch=False, cycle=ready)
+        return AccessResult(ready, level)
+
+    def _llc_demand(self, core: int, addr: int, cycle: int) -> AccessResult:
+        llc = self.llc
+        line = llc.lookup(addr)
+        if line is not None:
+            if line.is_prefetch:
+                line.is_prefetch = False
+                self.prefetchers[core].on_useful_prefetch(addr)
+            if line.fill_cycle > cycle:
+                return AccessResult(line.fill_cycle + llc.latency, "llc")
+            return AccessResult(cycle + llc.latency, "llc")
+        ready = self.dram.access(addr, cycle + llc.latency, is_prefetch=False)
+        self._fill_llc(addr, is_prefetch=False, data_cycle=ready)
+        return AccessResult(ready, "dram")
+
+    # -- prefetch path ---------------------------------------------------------
+
+    def _issue_prefetch(self, core: int, candidate: PrefetchCandidate, cycle: int) -> None:
+        addr = candidate.addr
+        l2 = self.l2[core]
+        if l2.contains(addr):
+            return  # redundant with L2 residency
+        if not candidate.fill_l2 and self.llc.contains(addr):
+            return  # redundant with LLC residency
+        inflight = self._inflight_prefetches[core]
+        if inflight:
+            self._inflight_prefetches[core] = inflight = [
+                done for done in inflight if done > cycle
+            ]
+        if len(inflight) >= self.config.prefetch_queue_size:
+            self.prefetches_dropped[core] += 1
+            return  # prefetch queue full: drop, as ChampSim's PQ does
+        prefetcher = self.prefetchers[core]
+        prefetcher.on_prefetch_issued(candidate)
+        if self.llc.contains(addr):
+            data_cycle = cycle + self.llc.latency
+            fills_llc_as_prefetch = False
+        else:
+            data_cycle = self.dram.access(addr, cycle, is_prefetch=True)
+            fills_llc_as_prefetch = True
+        inflight.append(data_cycle)
+        if candidate.fill_l2:
+            if fills_llc_as_prefetch:
+                self._fill_llc(addr, is_prefetch=True, data_cycle=data_cycle)
+            self._fill_l2(core, addr, is_prefetch=True, data_cycle=data_cycle)
+        else:
+            if fills_llc_as_prefetch:
+                self._fill_llc(addr, is_prefetch=True, data_cycle=data_cycle)
+
+    # -- fills ------------------------------------------------------------------
+
+    def _fill_l2(self, core: int, addr: int, *, is_prefetch: bool, data_cycle: int) -> None:
+        evicted = self.l2[core].fill(addr, is_prefetch=is_prefetch, cycle=data_cycle)
+        if evicted is not None:
+            self._notify_l2_eviction(core, evicted)
+
+    def _fill_llc(self, addr: int, *, is_prefetch: bool, data_cycle: int) -> None:
+        self.llc.fill(addr, is_prefetch=is_prefetch, cycle=data_cycle)
+
+    def _notify_l2_eviction(self, core: int, evicted: EvictedLine) -> None:
+        self.prefetchers[core].on_eviction(
+            evicted.block << 6, evicted.is_prefetch, evicted.used
+        )
+
+    # -- stats -----------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        for cache in (*self.l1, *self.l2, self.llc):
+            cache.reset_stats()
+        self.dram.reset_stats()
+        for prefetcher in self.prefetchers:
+            prefetcher.reset_stats()

@@ -1,0 +1,153 @@
+"""Pluggable replacement policies for the set-associative cache.
+
+The paper evaluates every cache level with LRU, which is the default.
+FIFO and random policies are provided for tests and ablations.  A policy
+sees only per-set events (insert / touch / evict) and chooses a victim
+among the tags currently resident in the set, so the cache model stays
+independent of the policy implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Hashable, List
+
+
+class ReplacementPolicy(ABC):
+    """Per-cache replacement state machine.
+
+    One instance serves every set of one cache; implementations key their
+    internal state by ``set_index``.
+    """
+
+    @abstractmethod
+    def on_insert(self, set_index: int, tag: Hashable) -> None:
+        """Record that ``tag`` was filled into ``set_index``."""
+
+    @abstractmethod
+    def on_touch(self, set_index: int, tag: Hashable) -> None:
+        """Record a hit on ``tag`` in ``set_index``."""
+
+    @abstractmethod
+    def on_evict(self, set_index: int, tag: Hashable) -> None:
+        """Record that ``tag`` left ``set_index``."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> Hashable:
+        """Choose the tag to evict from a full set."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, the paper's policy at every cache level."""
+
+    def __init__(self) -> None:
+        self._order: Dict[int, "OrderedDict[Hashable, None]"] = {}
+
+    def _set(self, set_index: int) -> "OrderedDict[Hashable, None]":
+        order = self._order.get(set_index)
+        if order is None:
+            order = OrderedDict()
+            self._order[set_index] = order
+        return order
+
+    def on_insert(self, set_index: int, tag: Hashable) -> None:
+        self._set(set_index)[tag] = None
+
+    def on_touch(self, set_index: int, tag: Hashable) -> None:
+        order = self._set(set_index)
+        if tag in order:
+            order.move_to_end(tag)
+        else:  # touch before insert — treat as insert
+            order[tag] = None
+
+    def on_evict(self, set_index: int, tag: Hashable) -> None:
+        self._set(set_index).pop(tag, None)
+
+    def victim(self, set_index: int) -> Hashable:
+        order = self._set(set_index)
+        if not order:
+            raise LookupError(f"victim() on empty set {set_index}")
+        return next(iter(order))
+
+    def recency_order(self, set_index: int) -> List[Hashable]:
+        """Tags ordered LRU-first (exposed for tests)."""
+        return list(self._set(set_index))
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: hits do not refresh a line's position."""
+
+    def __init__(self) -> None:
+        self._order: Dict[int, "OrderedDict[Hashable, None]"] = {}
+
+    def _set(self, set_index: int) -> "OrderedDict[Hashable, None]":
+        order = self._order.get(set_index)
+        if order is None:
+            order = OrderedDict()
+            self._order[set_index] = order
+        return order
+
+    def on_insert(self, set_index: int, tag: Hashable) -> None:
+        self._set(set_index)[tag] = None
+
+    def on_touch(self, set_index: int, tag: Hashable) -> None:
+        order = self._set(set_index)
+        if tag not in order:
+            order[tag] = None
+
+    def on_evict(self, set_index: int, tag: Hashable) -> None:
+        self._set(set_index).pop(tag, None)
+
+    def victim(self, set_index: int) -> Hashable:
+        order = self._set(set_index)
+        if not order:
+            raise LookupError(f"victim() on empty set {set_index}")
+        return next(iter(order))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection with a seeded generator."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._tags: Dict[int, List[Hashable]] = {}
+
+    def _set(self, set_index: int) -> List[Hashable]:
+        tags = self._tags.get(set_index)
+        if tags is None:
+            tags = []
+            self._tags[set_index] = tags
+        return tags
+
+    def on_insert(self, set_index: int, tag: Hashable) -> None:
+        tags = self._set(set_index)
+        if tag not in tags:
+            tags.append(tag)
+
+    def on_touch(self, set_index: int, tag: Hashable) -> None:
+        self.on_insert(set_index, tag)
+
+    def on_evict(self, set_index: int, tag: Hashable) -> None:
+        tags = self._set(set_index)
+        if tag in tags:
+            tags.remove(tag)
+
+    def victim(self, set_index: int) -> Hashable:
+        tags = self._set(set_index)
+        if not tags:
+            raise LookupError(f"victim() on empty set {set_index}")
+        return self._rng.choice(tags)
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name (``lru``, ``fifo`` or ``random``)."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    raise ValueError(f"unknown replacement policy: {name!r}")

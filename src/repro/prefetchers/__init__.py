@@ -1,0 +1,34 @@
+"""Hardware prefetchers: SPP (the paper's substrate), BOP, AMPM/DA-AMPM
+and simple baselines.  The PPF filter wrapper lives in :mod:`repro.core`.
+"""
+
+from .ampm import AMPM, AMPMConfig, DAAMPM, DAAMPMConfig
+from .base import NullPrefetcher, PrefetchCandidate, Prefetcher, PrefetcherStats
+from .bop import BOP, BOPConfig, default_offset_list
+from .next_line import NextLine, NextLineConfig
+from .spp import SPP, SPPConfig, update_signature
+from .stride import StrideConfig, StridePrefetcher
+from .vldp import VLDP, VLDPConfig
+
+__all__ = [
+    "AMPM",
+    "AMPMConfig",
+    "DAAMPM",
+    "DAAMPMConfig",
+    "NullPrefetcher",
+    "PrefetchCandidate",
+    "Prefetcher",
+    "PrefetcherStats",
+    "BOP",
+    "BOPConfig",
+    "default_offset_list",
+    "NextLine",
+    "NextLineConfig",
+    "SPP",
+    "SPPConfig",
+    "update_signature",
+    "StrideConfig",
+    "StridePrefetcher",
+    "VLDP",
+    "VLDPConfig",
+]

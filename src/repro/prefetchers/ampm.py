@@ -1,0 +1,146 @@
+"""Access Map Pattern Matching (AMPM) and its DRAM-aware variant.
+
+AMPM (Ishii et al., ICS 2009) keeps a bitmap ("access map") of the
+blocks touched in each hot memory zone.  On every access to block ``X``
+it scans fixed strides ``k``: when ``X - k`` and ``X - 2k`` were both
+accessed, the stride is considered established and ``X + k`` is
+prefetched (symmetrically for negative strides).
+
+DA-AMPM (Ishii et al., ICS 2012) is the paper's comparison variant: it
+*delays* some prefetches so that requests to the same DRAM row issue
+back-to-back, converting row misses into row hits.  Here that is
+modelled with a per-row pending buffer: candidates wait until their row
+has gathered ``batch_size`` requests (or ages out), then the whole row
+group is released together — consecutive same-row accesses then hit the
+open row in :class:`repro.memory.dram.DRAM`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.address import BLOCKS_PER_PAGE, block_in_page, page_number, page_offset_block
+from ..memory.dram import ROW_BITS
+from .base import PrefetchCandidate, Prefetcher
+
+
+@dataclass
+class AMPMConfig:
+    zones: int = 64  # tracked pages (access maps)
+    max_stride: int = 16
+    degree: int = 2  # prefetches per matched stride
+
+    @classmethod
+    def default(cls) -> "AMPMConfig":
+        return cls()
+
+
+class AMPM(Prefetcher):
+    """Spatial pattern-matching prefetcher over per-page access maps."""
+
+    name = "ampm"
+
+    def __init__(self, config: Optional[AMPMConfig] = None) -> None:
+        super().__init__()
+        self.config = config or AMPMConfig.default()
+        self._maps: "OrderedDict[int, int]" = OrderedDict()  # page -> bitmap
+
+    def _map_for(self, page: int) -> int:
+        bitmap = self._maps.get(page)
+        if bitmap is None:
+            if len(self._maps) >= self.config.zones:
+                self._maps.popitem(last=False)
+            bitmap = 0
+        else:
+            self._maps.move_to_end(page)
+        return bitmap
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        page = page_number(addr)
+        offset = page_offset_block(addr)
+        bitmap = self._map_for(page)
+        candidates = self._match(page, offset, bitmap, pc)
+        self._maps[page] = bitmap | (1 << offset)
+        return candidates
+
+    def _match(
+        self, page: int, offset: int, bitmap: int, pc: int
+    ) -> List[PrefetchCandidate]:
+        cfg = self.config
+        candidates: List[PrefetchCandidate] = []
+        seen = set()
+        for direction in (1, -1):
+            for stride in range(1, cfg.max_stride + 1):
+                back1 = offset - direction * stride
+                back2 = offset - 2 * direction * stride
+                if not (0 <= back1 < BLOCKS_PER_PAGE and 0 <= back2 < BLOCKS_PER_PAGE):
+                    continue
+                if not (bitmap >> back1) & 1 or not (bitmap >> back2) & 1:
+                    continue
+                for i in range(1, cfg.degree + 1):
+                    target = offset + direction * stride * i
+                    if not 0 <= target < BLOCKS_PER_PAGE:
+                        break
+                    if (bitmap >> target) & 1 or target in seen:
+                        continue
+                    seen.add(target)
+                    candidates.append(
+                        PrefetchCandidate(
+                            addr=block_in_page(page, target),
+                            fill_l2=True,
+                            meta={"pc": pc, "stride": direction * stride, "depth": i},
+                        )
+                    )
+        return candidates
+
+
+@dataclass
+class DAAMPMConfig(AMPMConfig):
+    batch_size: int = 2  # same-row requests needed to release a batch
+    max_age: int = 8  # triggers a candidate may wait before forced release
+
+    @classmethod
+    def default(cls) -> "DAAMPMConfig":
+        return cls()
+
+
+class DAAMPM(AMPM):
+    """DRAM-aware AMPM: batches prefetches by DRAM row before issue."""
+
+    name = "da-ampm"
+
+    def __init__(self, config: Optional[DAAMPMConfig] = None) -> None:
+        super().__init__(config or DAAMPMConfig.default())
+        self._pending: Dict[int, List[Tuple[int, PrefetchCandidate]]] = {}
+        self._trigger_count = 0
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        self._trigger_count += 1
+        fresh = super().train(addr, pc, cache_hit, cycle)
+        for candidate in fresh:
+            row = candidate.addr >> ROW_BITS
+            self._pending.setdefault(row, []).append((self._trigger_count, candidate))
+        return self._release()
+
+    def _release(self) -> List[PrefetchCandidate]:
+        cfg: DAAMPMConfig = self.config  # type: ignore[assignment]
+        released: List[PrefetchCandidate] = []
+        now = self._trigger_count
+        for row in list(self._pending):
+            group = self._pending[row]
+            ready = len(group) >= cfg.batch_size
+            aged = group and now - group[0][0] >= cfg.max_age
+            if ready or aged:
+                released.extend(candidate for _when, candidate in group)
+                del self._pending[row]
+        return released
+
+    def pending_count(self) -> int:
+        """Candidates currently held back (for tests)."""
+        return sum(len(group) for group in self._pending.values())

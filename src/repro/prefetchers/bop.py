@@ -1,0 +1,137 @@
+"""Best-Offset Prefetcher (BOP), Michaud, HPCA 2016.
+
+BOP was the winner of DPC-2 and is one of the paper's three comparison
+points.  It learns a single best prefetch *offset* by scoring candidate
+offsets against a Recent Requests (RR) table:
+
+* the RR table remembers base addresses ``X`` for which the line
+  ``X + D`` was recently filled (``D`` = offset active at the time);
+* during a learning phase, offsets take turns being tested: offset
+  ``d`` scores a point when the current access ``Y`` finds ``Y - d`` in
+  the RR table, i.e. prefetching with offset ``d`` would have been
+  timely;
+* a phase ends when an offset reaches ``score_max`` or after
+  ``round_max`` rounds; the winner becomes the active offset, and if
+  even the winner scored at or below ``bad_score`` prefetching turns
+  off for the next phase.
+
+BOP prefetches ``X + D`` into the L2 on every demand access, which is
+the "aggressive and localized" behaviour the paper credits for its win
+on 607.cactuBSSN_s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .base import PrefetchCandidate, Prefetcher
+
+
+def default_offset_list() -> List[int]:
+    """Michaud's candidate offsets: 1..256 with factors 2, 3 and 5 only."""
+    offsets = []
+    for value in range(1, 257):
+        reduced = value
+        for factor in (2, 3, 5):
+            while reduced % factor == 0:
+                reduced //= factor
+        if reduced == 1:
+            offsets.append(value)
+    return offsets
+
+
+@dataclass
+class BOPConfig:
+    offsets: List[int] = field(default_factory=default_offset_list)
+    score_max: int = 31
+    round_max: int = 100
+    bad_score: int = 1
+    rr_entries: int = 256
+    degree: int = 1
+
+    @classmethod
+    def default(cls) -> "BOPConfig":
+        return cls()
+
+
+class BOP(Prefetcher):
+    """Best-Offset prefetcher with RR-table offset scoring."""
+
+    name = "bop"
+
+    def __init__(self, config: Optional[BOPConfig] = None) -> None:
+        super().__init__()
+        self.config = config or BOPConfig.default()
+        self._rr = [0] * self.config.rr_entries
+        self._scores = [0] * len(self.config.offsets)
+        self._test_index = 0
+        self._round = 0
+        self.best_offset = 1
+        self.prefetch_on = True
+
+    # -- RR table -------------------------------------------------------------
+
+    def _rr_index(self, block: int) -> int:
+        return (block ^ (block >> 8)) % self.config.rr_entries
+
+    def _rr_insert(self, block: int) -> None:
+        self._rr[self._rr_index(block)] = block
+
+    def _rr_hit(self, block: int) -> bool:
+        return self._rr[self._rr_index(block)] == block
+
+    # -- learning ---------------------------------------------------------------
+
+    def _learn(self, block: int) -> None:
+        cfg = self.config
+        offset = cfg.offsets[self._test_index]
+        if self._rr_hit(block - offset):
+            self._scores[self._test_index] += 1
+            if self._scores[self._test_index] >= cfg.score_max:
+                self._end_phase()
+                return
+        self._test_index += 1
+        if self._test_index >= len(cfg.offsets):
+            self._test_index = 0
+            self._round += 1
+            if self._round >= cfg.round_max:
+                self._end_phase()
+
+    def _end_phase(self) -> None:
+        cfg = self.config
+        best_index = max(range(len(cfg.offsets)), key=self._scores.__getitem__)
+        best_score = self._scores[best_index]
+        self.best_offset = cfg.offsets[best_index]
+        self.prefetch_on = best_score > cfg.bad_score
+        self._scores = [0] * len(cfg.offsets)
+        self._test_index = 0
+        self._round = 0
+
+    # -- operation ----------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        block = addr >> 6
+        self._learn(block)
+        # Recent-requests insertion.  Michaud inserts the *base* X when
+        # the fill of a prefetch X+D completes; recording every demand
+        # access works out to the same offset relation (offset d scores
+        # when the current access sits d blocks past a recent one) and
+        # avoids starving the table once prefetching turns the stream's
+        # misses into hits.
+        self._rr_insert(block)
+        if not self.prefetch_on:
+            return []
+        # Unlike page-local prefetchers, BOP offsets routinely cross 4 KB
+        # boundaries (offsets up to 256 blocks): it prefetches in the
+        # physical address space.
+        return [
+            PrefetchCandidate(
+                addr=(block + i * self.best_offset) << 6,
+                fill_l2=True,
+                meta={"pc": pc, "offset": self.best_offset, "depth": i},
+            )
+            for i in range(1, self.config.degree + 1)
+        ]

@@ -1,0 +1,41 @@
+"""Next-N-line prefetcher: the simplest spatial baseline (§7.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory.address import same_page
+from .base import PrefetchCandidate, Prefetcher
+
+
+@dataclass
+class NextLineConfig:
+    degree: int = 1
+
+    @classmethod
+    def default(cls) -> "NextLineConfig":
+        return cls()
+
+
+class NextLine(Prefetcher):
+    """Prefetch the ``degree`` blocks following every demand access."""
+
+    name = "next-line"
+
+    def __init__(self, config: Optional[NextLineConfig] = None) -> None:
+        super().__init__()
+        self.config = config or NextLineConfig.default()
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        block = addr >> 6
+        candidates = []
+        for i in range(1, self.config.degree + 1):
+            target = (block + i) << 6
+            if same_page(addr, target):
+                candidates.append(
+                    PrefetchCandidate(addr=target, fill_l2=True, meta={"pc": pc, "depth": i})
+                )
+        return candidates

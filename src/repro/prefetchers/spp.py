@@ -1,0 +1,326 @@
+"""Signature Path Prefetcher (SPP), Kim et al., MICRO 2016.
+
+SPP is the underlying prefetcher for the paper's PPF case study.  The
+implementation follows §2.1 of the ISCA'19 paper:
+
+* **Signature Table** — 256 entries tracking recently used pages; each
+  holds the last block offset and a 12-bit signature compressing the
+  page's delta history (``sig' = (sig << 3) XOR delta``).
+* **Pattern Table** — 512 entries indexed by signature; each holds up to
+  4 delta predictions with confidence counters ``C_delta`` against a
+  per-signature counter ``C_sig``.
+* **Lookahead** — on each trigger SPP walks its own predictions: the
+  highest-confidence delta extends the speculative signature and the
+  path confidence compounds as ``P_d = alpha * C_d * P_{d-1}`` where
+  ``alpha`` is the measured global prefetch accuracy.
+* **Thresholds** — candidates with ``P_d >= T_f`` (90) fill the L2,
+  candidates with ``P_d >= T_p`` (25) fill the LLC, the rest are
+  dropped.  PPF discards these thresholds and re-tunes SPP aggressively
+  (:meth:`SPPConfig.aggressive`).
+* **Global History Register** — 8 entries used to re-bootstrap patterns
+  that cross a page boundary.
+
+Candidates carry the metadata PPF's features need: the triggering PC,
+the predicted delta, the signature used to index the pattern table, the
+path confidence and the lookahead depth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.address import (
+    BLOCKS_PER_PAGE,
+    block_in_page,
+    encode_delta,
+    page_number,
+    page_offset_block,
+)
+from .base import PrefetchCandidate, Prefetcher
+
+SIGNATURE_MASK = (1 << 12) - 1
+SIGNATURE_SHIFT = 3
+
+
+def update_signature(signature: int, delta: int) -> int:
+    """SPP's signature compression: ``(sig << 3) XOR encode(delta)``."""
+    return ((signature << SIGNATURE_SHIFT) ^ encode_delta(delta)) & SIGNATURE_MASK
+
+
+@dataclass
+class SPPConfig:
+    """Structure sizes and thresholds from the paper (Table 3 / §2.1)."""
+
+    signature_table_entries: int = 256
+    pattern_table_entries: int = 512
+    deltas_per_entry: int = 4
+    counter_max: int = 15  # 4-bit C_sig / C_delta
+    prefetch_threshold: int = 25  # T_p, percent
+    fill_threshold: int = 90  # T_f, percent
+    max_depth: int = 12
+    ghr_entries: int = 8
+    accuracy_counter_max: int = 1023  # 10-bit C_total / C_useful
+    emit_all_candidates: bool = False
+    lookahead_threshold: Optional[int] = None  # defaults to prefetch_threshold
+    #: When False, path confidence does not compound across depths (the
+    #: Figure 1 "fixed lookahead depth" tuning): each level is judged on
+    #: its own C_d and the walk runs to max_depth regardless.
+    compound_confidence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lookahead_threshold is None:
+            self.lookahead_threshold = self.prefetch_threshold
+
+    @classmethod
+    def default(cls) -> "SPPConfig":
+        """Stock SPP, thresholds T_p=25 / T_f=90 (§2.1)."""
+        return cls()
+
+    @classmethod
+    def aggressive(cls) -> "SPPConfig":
+        """SPP re-tuned for PPF (§4.1): internal throttling mostly discarded.
+
+        The confidence gate drops from 25 to 10 and the lookahead walks
+        twice as deep, so far more (and far less certain) candidates
+        reach the perceptron, which now owns the accept/reject and
+        fill-level decisions.
+        """
+        return cls(
+            prefetch_threshold=10,
+            fill_threshold=101,  # never used: PPF decides the fill level
+            max_depth=24,
+            lookahead_threshold=10,
+        )
+
+    @classmethod
+    def fixed_depth(cls, depth: int) -> "SPPConfig":
+        """Figure-1 style tuning: force lookahead to a fixed depth.
+
+        The confidence throttle is disabled so the walk always runs
+        ``depth`` levels deep (when pattern-table state allows).
+        """
+        return cls(
+            prefetch_threshold=1,
+            fill_threshold=90,
+            max_depth=depth,
+            lookahead_threshold=0,
+            compound_confidence=False,
+        )
+
+
+@dataclass
+class _SignatureEntry:
+    __slots__ = ("last_offset", "signature")
+
+    last_offset: int
+    signature: int
+
+
+@dataclass
+class _PatternEntry:
+    c_sig: int = 0
+    deltas: Dict[int, int] = field(default_factory=dict)  # delta -> C_delta
+
+
+@dataclass
+class _GHREntry:
+    __slots__ = ("signature", "confidence", "last_offset", "delta")
+
+    signature: int
+    confidence: int
+    last_offset: int
+    delta: int
+
+
+class SPP(Prefetcher):
+    """Signature Path Prefetcher with confidence-based lookahead."""
+
+    name = "spp"
+
+    def __init__(self, config: Optional[SPPConfig] = None) -> None:
+        super().__init__()
+        self.config = config or SPPConfig.default()
+        self._signature_table: "OrderedDict[int, _SignatureEntry]" = OrderedDict()
+        self._pattern_table: Dict[int, _PatternEntry] = {}
+        self._ghr: List[_GHREntry] = []
+        self._c_total = 0
+        self._c_useful = 0
+        #: signature the trigger page held *before* the latest update —
+        #: exported to PPF for the (rejected) Last-Signature feature.
+        self.last_signature = 0
+        # depth accounting for the paper's "average lookahead depth"
+        self.depth_sum = 0
+        self.depth_count = 0
+
+    # -- accuracy (alpha) -----------------------------------------------------
+
+    @property
+    def alpha_percent(self) -> int:
+        """Global accuracy alpha on a 0-100 scale; optimistic until warm."""
+        if self._c_total < 32:
+            return 100
+        return min(100, (100 * self._c_useful) // self._c_total)
+
+    def on_prefetch_issued(self, candidate: PrefetchCandidate) -> None:
+        super().on_prefetch_issued(candidate)
+        self._c_total += 1
+        if self._c_total >= self.config.accuracy_counter_max:
+            self._c_total //= 2
+            self._c_useful //= 2
+
+    def on_useful_prefetch(self, addr: int) -> None:
+        super().on_useful_prefetch(addr)
+        self._c_useful = min(self._c_useful + 1, self.config.accuracy_counter_max)
+
+    # -- training ---------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        page = page_number(addr)
+        offset = page_offset_block(addr)
+        entry = self._signature_table.get(page)
+        if entry is not None:
+            self._signature_table.move_to_end(page)
+            self.last_signature = entry.signature
+            delta = offset - entry.last_offset
+            if delta == 0:
+                return self._lookahead(page, offset, entry.signature, pc)
+            self._update_pattern(entry.signature, delta)
+            entry.signature = update_signature(entry.signature, delta)
+            entry.last_offset = offset
+            signature = entry.signature
+        else:
+            self.last_signature = 0
+            signature = self._bootstrap_from_ghr(offset)
+            self._insert_signature_entry(page, offset, signature)
+        return self._lookahead(page, offset, signature, pc)
+
+    def _insert_signature_entry(self, page: int, offset: int, signature: int) -> None:
+        table = self._signature_table
+        if len(table) >= self.config.signature_table_entries:
+            table.popitem(last=False)
+        table[page] = _SignatureEntry(last_offset=offset, signature=signature)
+
+    def _bootstrap_from_ghr(self, offset: int) -> int:
+        """First touch of a page: continue a pattern that crossed into it."""
+        for entry in self._ghr:
+            predicted = entry.last_offset + entry.delta
+            if predicted >= BLOCKS_PER_PAGE and predicted - BLOCKS_PER_PAGE == offset:
+                return update_signature(entry.signature, entry.delta)
+            if predicted < 0 and predicted + BLOCKS_PER_PAGE == offset:
+                return update_signature(entry.signature, entry.delta)
+        return 0
+
+    def _record_ghr(self, signature: int, confidence: int, offset: int, delta: int) -> None:
+        entry = _GHREntry(
+            signature=signature, confidence=confidence, last_offset=offset, delta=delta
+        )
+        self._ghr.append(entry)
+        if len(self._ghr) > self.config.ghr_entries:
+            self._ghr.pop(0)
+
+    def _update_pattern(self, signature: int, delta: int) -> None:
+        cfg = self.config
+        index = signature % cfg.pattern_table_entries
+        entry = self._pattern_table.get(index)
+        if entry is None:
+            entry = _PatternEntry()
+            self._pattern_table[index] = entry
+        if entry.c_sig >= cfg.counter_max:
+            entry.c_sig //= 2
+            for known in list(entry.deltas):
+                entry.deltas[known] //= 2
+                if entry.deltas[known] == 0:
+                    del entry.deltas[known]
+        entry.c_sig += 1
+        if delta in entry.deltas:
+            entry.deltas[delta] = min(entry.deltas[delta] + 1, cfg.counter_max)
+        elif len(entry.deltas) < cfg.deltas_per_entry:
+            entry.deltas[delta] = 1
+        else:
+            weakest = min(entry.deltas, key=entry.deltas.get)
+            del entry.deltas[weakest]
+            entry.deltas[delta] = 1
+
+    # -- prediction ---------------------------------------------------------------
+
+    def _lookahead(
+        self, page: int, offset: int, signature: int, pc: int
+    ) -> List[PrefetchCandidate]:
+        cfg = self.config
+        candidates: List[PrefetchCandidate] = []
+        path_confidence = 100
+        current_offset = offset
+        current_signature = signature
+        alpha = self.alpha_percent
+        depth = 1
+        while depth <= cfg.max_depth:
+            entry = self._pattern_table.get(current_signature % cfg.pattern_table_entries)
+            if entry is None or entry.c_sig == 0 or not entry.deltas:
+                break
+            best_delta = None
+            best_confidence = -1
+            for delta, c_delta in entry.deltas.items():
+                conf = (100 * c_delta) // entry.c_sig
+                if cfg.compound_confidence:
+                    if depth > 1:
+                        conf = (conf * alpha) // 100
+                    p_d = (path_confidence * conf) // 100
+                else:
+                    p_d = conf
+                if p_d > best_confidence:
+                    best_confidence = p_d
+                    best_delta = delta
+                emit = cfg.emit_all_candidates or p_d >= cfg.prefetch_threshold
+                if not emit:
+                    continue
+                target = current_offset + delta
+                if 0 <= target < BLOCKS_PER_PAGE:
+                    candidates.append(
+                        PrefetchCandidate(
+                            addr=block_in_page(page, target),
+                            fill_l2=p_d >= cfg.fill_threshold,
+                            meta={
+                                "pc": pc,
+                                "delta": delta,
+                                "signature": current_signature,
+                                "confidence": max(0, min(100, p_d)),
+                                "depth": depth,
+                            },
+                        )
+                    )
+                else:
+                    self._record_ghr(
+                        current_signature, p_d, current_offset, delta
+                    )
+            if best_delta is None or best_confidence < cfg.lookahead_threshold:
+                break
+            next_offset = current_offset + best_delta
+            if not 0 <= next_offset < BLOCKS_PER_PAGE:
+                break
+            current_offset = next_offset
+            current_signature = update_signature(current_signature, best_delta)
+            path_confidence = best_confidence
+            depth += 1
+        if depth > 1:
+            self.depth_sum += depth - 1
+            self.depth_count += 1
+        return candidates
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    @property
+    def average_lookahead_depth(self) -> float:
+        """Mean depth the lookahead walk reached across triggers."""
+        if self.depth_count == 0:
+            return 0.0
+        return self.depth_sum / self.depth_count
+
+    def pattern_entry_count(self) -> int:
+        return len(self._pattern_table)
+
+    def signature_entry_count(self) -> int:
+        return len(self._signature_table)

@@ -1,0 +1,83 @@
+"""PC-indexed stride prefetcher (Baer & Chen style), a classic baseline.
+
+Each load PC gets a table entry tracking its last address and last
+stride; after two consecutive accesses with the same non-zero stride the
+entry is *confirmed* and the prefetcher issues ``degree`` strided blocks
+ahead.  Used in tests and ablations as the historical reference point
+the paper's introduction mentions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory.address import same_page
+from .base import PrefetchCandidate, Prefetcher
+
+
+@dataclass
+class StrideConfig:
+    table_entries: int = 256
+    degree: int = 2
+    confidence_max: int = 3
+    confirm_at: int = 2
+
+    @classmethod
+    def default(cls) -> "StrideConfig":
+        return cls()
+
+
+@dataclass
+class _StrideEntry:
+    __slots__ = ("last_block", "stride", "confidence")
+
+    last_block: int
+    stride: int
+    confidence: int
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-PC stride detection with saturating confirmation."""
+
+    name = "stride"
+
+    def __init__(self, config: Optional[StrideConfig] = None) -> None:
+        super().__init__()
+        self.config = config or StrideConfig.default()
+        self._table: "OrderedDict[int, _StrideEntry]" = OrderedDict()
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        cfg = self.config
+        block = addr >> 6
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= cfg.table_entries:
+                self._table.popitem(last=False)
+            self._table[pc] = _StrideEntry(last_block=block, stride=0, confidence=0)
+            return []
+        self._table.move_to_end(pc)
+        stride = block - entry.last_block
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, cfg.confidence_max)
+        else:
+            entry.stride = stride
+            entry.confidence = 0 if stride == 0 else 1
+        entry.last_block = block
+        if entry.confidence < cfg.confirm_at or entry.stride == 0:
+            return []
+        candidates = []
+        for i in range(1, cfg.degree + 1):
+            target = (block + i * entry.stride) << 6
+            if target >= 0 and same_page(addr, target):
+                candidates.append(
+                    PrefetchCandidate(
+                        addr=target,
+                        fill_l2=True,
+                        meta={"pc": pc, "stride": entry.stride, "depth": i},
+                    )
+                )
+        return candidates

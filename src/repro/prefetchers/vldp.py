@@ -1,0 +1,190 @@
+"""Variable Length Delta Prefetcher (VLDP), Shevgoor et al., MICRO 2015.
+
+A related-work lookahead prefetcher (§7.2) included as an extra
+comparator and as a second substrate for PPF's generality experiments.
+VLDP correlates *histories of deltas* within a page with the next delta:
+
+* a **Delta History Buffer** (DHB) tracks, per recently-touched page,
+  the last block offset and the last few deltas;
+* **Delta Prediction Tables** (DPTs) of increasing order map the last
+  1, 2 or 3 deltas to the most likely next delta, with accuracy
+  counters; the longest-history table that has a confident prediction
+  wins;
+* an **Offset Prediction Table** (OPT) predicts the first delta of a
+  brand-new page from the offset of its first access.
+
+This implementation follows the paper's structure with simplified
+replacement (LRU dictionaries) and per-table saturating accuracy
+counters.  Multi-degree prefetching walks the DPTs in lookahead fashion
+like the original.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.address import BLOCKS_PER_PAGE, block_in_page, page_number, page_offset_block
+from .base import PrefetchCandidate, Prefetcher
+
+
+@dataclass
+class VLDPConfig:
+    dhb_entries: int = 16
+    dpt_entries: int = 64
+    opt_entries: int = 64
+    history_length: int = 3  # deltas kept per page / max DPT order
+    degree: int = 4  # lookahead steps per trigger
+    confidence_threshold: int = 1  # counter value needed to predict
+
+    @classmethod
+    def default(cls) -> "VLDPConfig":
+        return cls()
+
+
+@dataclass
+class _DHBEntry:
+    __slots__ = ("last_offset", "deltas")
+
+    last_offset: int
+    deltas: List[int]
+
+
+@dataclass
+class _DPTEntry:
+    __slots__ = ("delta", "confidence")
+
+    delta: int
+    confidence: int
+
+
+class VLDP(Prefetcher):
+    """Delta-history prefetcher with multi-order prediction tables."""
+
+    name = "vldp"
+
+    def __init__(self, config: Optional[VLDPConfig] = None) -> None:
+        super().__init__()
+        self.config = config or VLDPConfig.default()
+        self._dhb: "OrderedDict[int, _DHBEntry]" = OrderedDict()
+        # One DPT per history order: key = tuple of recent deltas.
+        self._dpts: List[Dict[Tuple[int, ...], _DPTEntry]] = [
+            {} for _ in range(self.config.history_length)
+        ]
+        self._opt: Dict[int, _DPTEntry] = {}
+
+    # -- training ---------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        page = page_number(addr)
+        offset = page_offset_block(addr)
+        entry = self._dhb.get(page)
+        if entry is None:
+            self._insert_dhb(page, offset)
+            return self._predict_new_page(page, offset, pc)
+        self._dhb.move_to_end(page)
+        delta = offset - entry.last_offset
+        if delta == 0:
+            return []
+        self._learn(entry.deltas, delta, first_offset=None)
+        if not entry.deltas:
+            self._learn_opt(entry.last_offset, delta)
+        entry.deltas.append(delta)
+        if len(entry.deltas) > self.config.history_length:
+            entry.deltas.pop(0)
+        entry.last_offset = offset
+        return self._lookahead(page, offset, list(entry.deltas), pc)
+
+    def _insert_dhb(self, page: int, offset: int) -> None:
+        if len(self._dhb) >= self.config.dhb_entries:
+            self._dhb.popitem(last=False)
+        self._dhb[page] = _DHBEntry(last_offset=offset, deltas=[])
+
+    def _learn(self, history: List[int], outcome: int, first_offset) -> None:
+        """Update every DPT order that has enough history."""
+        for order in range(1, min(len(history), self.config.history_length) + 1):
+            key = tuple(history[-order:])
+            table = self._dpts[order - 1]
+            entry = table.get(key)
+            if entry is None:
+                if len(table) >= self.config.dpt_entries:
+                    table.pop(next(iter(table)))
+                table[key] = _DPTEntry(delta=outcome, confidence=1)
+            elif entry.delta == outcome:
+                entry.confidence = min(entry.confidence + 1, 3)
+            else:
+                entry.confidence -= 1
+                if entry.confidence <= 0:
+                    entry.delta = outcome
+                    entry.confidence = 1
+
+    def _learn_opt(self, first_offset: int, delta: int) -> None:
+        entry = self._opt.get(first_offset)
+        if entry is None:
+            if len(self._opt) >= self.config.opt_entries:
+                self._opt.pop(next(iter(self._opt)))
+            self._opt[first_offset] = _DPTEntry(delta=delta, confidence=1)
+        elif entry.delta == delta:
+            entry.confidence = min(entry.confidence + 1, 3)
+        else:
+            entry.confidence -= 1
+            if entry.confidence <= 0:
+                entry.delta = delta
+                entry.confidence = 1
+
+    # -- prediction ---------------------------------------------------------------
+
+    def _best_prediction(self, history: List[int]) -> Optional[int]:
+        """Longest-history DPT with a confident entry wins."""
+        for order in range(min(len(history), self.config.history_length), 0, -1):
+            key = tuple(history[-order:])
+            entry = self._dpts[order - 1].get(key)
+            if entry is not None and entry.confidence >= self.config.confidence_threshold:
+                return entry.delta
+        return None
+
+    def _lookahead(
+        self, page: int, offset: int, history: List[int], pc: int
+    ) -> List[PrefetchCandidate]:
+        candidates: List[PrefetchCandidate] = []
+        current = offset
+        for depth in range(1, self.config.degree + 1):
+            delta = self._best_prediction(history)
+            if delta is None:
+                break
+            target = current + delta
+            if not 0 <= target < BLOCKS_PER_PAGE:
+                break
+            candidates.append(
+                PrefetchCandidate(
+                    addr=block_in_page(page, target),
+                    fill_l2=depth == 1,  # deeper speculation fills the LLC
+                    meta={"pc": pc, "delta": delta, "depth": depth, "confidence": 50},
+                )
+            )
+            history = (history + [delta])[-self.config.history_length :]
+            current = target
+        return candidates
+
+    def _predict_new_page(self, page: int, offset: int, pc: int) -> List[PrefetchCandidate]:
+        entry = self._opt.get(offset)
+        if entry is None or entry.confidence < self.config.confidence_threshold:
+            return []
+        target = offset + entry.delta
+        if not 0 <= target < BLOCKS_PER_PAGE:
+            return []
+        return [
+            PrefetchCandidate(
+                addr=block_in_page(page, target),
+                fill_l2=True,
+                meta={"pc": pc, "delta": entry.delta, "depth": 1, "confidence": 50},
+            )
+        ]
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def dpt_sizes(self) -> List[int]:
+        return [len(table) for table in self._dpts]

@@ -1,0 +1,44 @@
+"""Simulation drivers, configuration and metrics."""
+
+from .config import SimConfig
+from .metrics import (
+    accuracy,
+    coverage,
+    geometric_mean,
+    mpki,
+    percent_gain,
+    speedup,
+    summarize_speedups,
+    weighted_ipc,
+    weighted_speedup,
+)
+from .multi_core import CoreOutcome, MultiCoreResult, run_multi_core
+from .runner import ExperimentRunner, SuiteResult
+from .single_core import (
+    PREFETCHER_FACTORIES,
+    RunResult,
+    make_prefetcher,
+    run_single_core,
+)
+
+__all__ = [
+    "SimConfig",
+    "accuracy",
+    "coverage",
+    "geometric_mean",
+    "mpki",
+    "percent_gain",
+    "speedup",
+    "summarize_speedups",
+    "weighted_ipc",
+    "weighted_speedup",
+    "CoreOutcome",
+    "MultiCoreResult",
+    "run_multi_core",
+    "ExperimentRunner",
+    "SuiteResult",
+    "PREFETCHER_FACTORIES",
+    "RunResult",
+    "make_prefetcher",
+    "run_single_core",
+]

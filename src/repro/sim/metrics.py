@@ -1,0 +1,109 @@
+"""Evaluation metrics: speedups, coverage, accuracy, weighted IPC (§5.3, §6).
+
+The paper reports:
+
+* single-core **IPC speedup** over the no-prefetching baseline, and
+  geometric means over benchmark groups;
+* prefetcher **accuracy** (useful / issued) and **coverage** (fraction
+  of baseline misses removed, per cache level);
+* multi-core **weighted-IPC speedup**: each core's IPC is normalized to
+  the same workload running alone, the per-core ratios are summed, and
+  the sum is normalized to the no-prefetching case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def speedup(ipc: float, baseline_ipc: float) -> float:
+    """IPC ratio vs a baseline run (1.0 = no change)."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return ipc / baseline_ipc
+
+
+def percent_gain(ratio: float) -> float:
+    """Convert a speedup ratio to the paper's percent-improvement form."""
+    return 100.0 * (ratio - 1.0)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (paper's aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def coverage(baseline_misses: int, prefetch_misses: int) -> float:
+    """Fraction of baseline misses removed by prefetching (§6.1).
+
+    Negative coverage means the prefetcher *added* misses (pollution).
+    """
+    if baseline_misses < 0 or prefetch_misses < 0:
+        raise ValueError("miss counts must be non-negative")
+    if baseline_misses == 0:
+        return 0.0
+    return (baseline_misses - prefetch_misses) / baseline_misses
+
+
+def accuracy(useful: int, issued: int) -> float:
+    """Fraction of issued prefetches that were demanded (§1)."""
+    if useful < 0 or issued < 0:
+        raise ValueError("counts must be non-negative")
+    if issued == 0:
+        return 0.0
+    return useful / issued
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per kilo-instruction."""
+    if instructions <= 0:
+        raise ValueError("instruction count must be positive")
+    return 1000.0 * misses / instructions
+
+
+def weighted_ipc(
+    per_core_ipc: Sequence[float], isolated_ipc: Sequence[float]
+) -> float:
+    """Sum of per-core IPC ratios vs isolated execution (§5.3)."""
+    if len(per_core_ipc) != len(isolated_ipc):
+        raise ValueError("need one isolated IPC per core")
+    if not per_core_ipc:
+        raise ValueError("weighted IPC of no cores")
+    total = 0.0
+    for ipc, alone in zip(per_core_ipc, isolated_ipc):
+        if alone <= 0:
+            raise ValueError("isolated IPC must be positive")
+        total += ipc / alone
+    return total
+
+
+def weighted_speedup(
+    per_core_ipc: Sequence[float],
+    isolated_ipc: Sequence[float],
+    baseline_per_core_ipc: Sequence[float],
+    baseline_isolated_ipc: Sequence[float] | None = None,
+) -> float:
+    """Weighted-IPC of a scheme normalized to the no-prefetch case (§5.3)."""
+    if baseline_isolated_ipc is None:
+        baseline_isolated_ipc = isolated_ipc
+    scheme = weighted_ipc(per_core_ipc, isolated_ipc)
+    baseline = weighted_ipc(baseline_per_core_ipc, baseline_isolated_ipc)
+    if baseline <= 0:
+        raise ValueError("baseline weighted IPC must be positive")
+    return scheme / baseline
+
+
+def summarize_speedups(speedups: Mapping[str, float]) -> Dict[str, float]:
+    """Geomean + extremes of a name->speedup mapping (report helper)."""
+    values = list(speedups.values())
+    return {
+        "geomean": geometric_mean(values),
+        "best": max(values),
+        "worst": min(values),
+    }

@@ -1,0 +1,184 @@
+"""Experiment orchestration with result caching.
+
+The figures re-use many runs (every speedup needs the no-prefetch
+baseline; every weighted-IPC needs isolated runs), so the runner caches
+:func:`run_single_core` results by (workload, prefetcher, config
+fingerprint, seed) and exposes the aggregate computations the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..memory.hierarchy import HierarchyConfig
+from ..workloads.mixes import WorkloadMix
+from ..workloads.spec2017 import WorkloadSpec
+from .config import SimConfig
+from .metrics import geometric_mean, weighted_ipc
+from .multi_core import MultiCoreResult, run_multi_core
+from .single_core import RunResult, run_single_core
+
+
+def _config_key(config: SimConfig) -> Tuple:
+    h, d = config.hierarchy, config.dram
+    return (
+        h.l1_size, h.l2_size, h.llc_size_per_core, h.llc_assoc,
+        d.channels, d.cycles_per_transfer,
+        config.warmup_records, config.measure_records,
+        config.core.rob_size, config.core.mlp_limit,
+    )
+
+
+@dataclass
+class SuiteResult:
+    """All (workload × prefetcher) runs of one suite sweep."""
+
+    runs: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
+
+    def run_for(self, workload: str, prefetcher: str) -> RunResult:
+        return self.runs[(workload, prefetcher)]
+
+    def speedups(self, prefetcher: str, baseline: str = "none") -> Dict[str, float]:
+        """Per-workload IPC speedup of ``prefetcher`` over ``baseline``."""
+        out = {}
+        for (workload, name), result in self.runs.items():
+            if name != prefetcher:
+                continue
+            base = self.runs[(workload, baseline)]
+            if base.ipc > 0:
+                out[workload] = result.ipc / base.ipc
+        return out
+
+    def geomean_speedup(
+        self,
+        prefetcher: str,
+        workloads: Optional[Iterable[str]] = None,
+        baseline: str = "none",
+    ) -> float:
+        per_workload = self.speedups(prefetcher, baseline)
+        if workloads is not None:
+            keep = set(workloads)
+            per_workload = {k: v for k, v in per_workload.items() if k in keep}
+        return geometric_mean(per_workload.values())
+
+    def coverage(self, prefetcher: str, level: str = "l2") -> float:
+        """Suite-aggregate miss coverage vs the no-prefetch baseline."""
+        baseline_misses = 0
+        scheme_misses = 0
+        for (workload, name), result in self.runs.items():
+            if name != prefetcher:
+                continue
+            base = self.runs[(workload, "none")]
+            if level == "l2":
+                baseline_misses += base.l2_misses
+                scheme_misses += result.l2_misses
+            elif level == "llc":
+                baseline_misses += base.llc_misses
+                scheme_misses += result.llc_misses
+            else:
+                raise ValueError(f"unknown level {level!r}")
+        if baseline_misses == 0:
+            return 0.0
+        return (baseline_misses - scheme_misses) / baseline_misses
+
+
+class ExperimentRunner:
+    """Caching front end over the single- and multi-core drivers."""
+
+    def __init__(self, config: Optional[SimConfig] = None, seed: int = 1) -> None:
+        self.config = config or SimConfig.default()
+        self.seed = seed
+        self._single_cache: Dict[Tuple, RunResult] = {}
+
+    # -- single core ------------------------------------------------------------
+
+    def single(
+        self,
+        workload: WorkloadSpec,
+        prefetcher: str,
+        config: Optional[SimConfig] = None,
+    ) -> RunResult:
+        config = config or self.config
+        key = (workload.name, prefetcher, _config_key(config), self.seed)
+        cached = self._single_cache.get(key)
+        if cached is None:
+            cached = run_single_core(workload, prefetcher, config, seed=self.seed)
+            self._single_cache[key] = cached
+        return cached
+
+    def sweep(
+        self,
+        workloads: Sequence[WorkloadSpec],
+        prefetchers: Sequence[str],
+        config: Optional[SimConfig] = None,
+        include_baseline: bool = True,
+    ) -> SuiteResult:
+        """Run every workload under every scheme (+ the baseline)."""
+        names = list(prefetchers)
+        if include_baseline and "none" not in names:
+            names = ["none"] + names
+        suite = SuiteResult()
+        for workload in workloads:
+            for prefetcher in names:
+                suite.runs[(workload.name, prefetcher)] = self.single(
+                    workload, prefetcher, config
+                )
+        return suite
+
+    # -- multi core -------------------------------------------------------------
+
+    def _isolated_config(self, mix_config: SimConfig, cores: int) -> SimConfig:
+        """Isolated runs use the *full* shared LLC (§5.3: 1-core 8 MB)."""
+        hierarchy = replace(
+            mix_config.hierarchy,
+            llc_size_per_core=mix_config.hierarchy.llc_size_per_core * cores,
+        )
+        return replace(mix_config, hierarchy=hierarchy)
+
+    def isolated_ipc(
+        self, workload: WorkloadSpec, prefetcher: str, mix_config: SimConfig, cores: int
+    ) -> float:
+        config = self._isolated_config(mix_config, cores)
+        return self.single(workload, prefetcher, config).ipc
+
+    def mix_weighted_speedup(
+        self,
+        mix: WorkloadMix,
+        prefetcher: str,
+        config: Optional[SimConfig] = None,
+        baseline: str = "none",
+    ) -> float:
+        """Weighted-IPC speedup of one mix, normalized to ``baseline``.
+
+        Per-core IPCs are weighted by the *no-prefetching* isolated run
+        of the same workload (1 core, full shared LLC).  A fixed
+        denominator keeps the metric a throughput measure: weighting
+        each scheme by its own isolated IPC would penalize exactly the
+        schemes that prefetch well.
+        """
+        config = config or SimConfig.multicore(mix.cores)
+        scheme = run_multi_core(mix, prefetcher, config, seed=self.seed)
+        base = run_multi_core(mix, baseline, config, seed=self.seed)
+        isolated = [
+            self.isolated_ipc(spec, baseline, config, mix.cores)
+            for spec in mix.workloads
+        ]
+        scheme_w = weighted_ipc(scheme.per_core_ipc, isolated)
+        base_w = weighted_ipc(base.per_core_ipc, isolated)
+        return scheme_w / base_w
+
+    def mix_sweep(
+        self,
+        mixes: Sequence[WorkloadMix],
+        prefetchers: Sequence[str],
+        config: Optional[SimConfig] = None,
+    ) -> Dict[str, List[float]]:
+        """Weighted speedups per scheme across mixes (Figures 11–12)."""
+        out: Dict[str, List[float]] = {}
+        for prefetcher in prefetchers:
+            out[prefetcher] = [
+                self.mix_weighted_speedup(mix, prefetcher, config) for mix in mixes
+            ]
+        return out

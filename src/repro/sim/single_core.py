@@ -1,0 +1,141 @@
+"""Single-core simulation driver (§5.3 single-core methodology).
+
+One run = warmup loads (structures train, stats discarded) followed by
+measured loads.  The result bundles everything the figures need: IPC,
+per-level miss counts, prefetch issue/useful counts and SPP's average
+lookahead depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.ppf import make_ppf_spp
+from ..cpu.o3core import O3Core
+from ..cpu.trace import TraceRecord
+from ..memory.hierarchy import MemoryHierarchy
+from ..prefetchers.ampm import AMPM, DAAMPM
+from ..prefetchers.base import NullPrefetcher, Prefetcher
+from ..prefetchers.bop import BOP
+from ..prefetchers.next_line import NextLine
+from ..prefetchers.spp import SPP, SPPConfig
+from ..prefetchers.stride import StridePrefetcher
+from ..prefetchers.vldp import VLDP
+from ..workloads.spec2017 import WorkloadSpec
+from .config import SimConfig
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+#: The paper's four evaluated schemes plus baselines (§5.4).
+PREFETCHER_FACTORIES: Dict[str, PrefetcherFactory] = {
+    "none": NullPrefetcher,
+    "next-line": NextLine,
+    "stride": StridePrefetcher,
+    "vldp": VLDP,
+    "ampm": AMPM,
+    "da-ampm": DAAMPM,
+    "bop": BOP,
+    "spp": SPP,
+    "ppf": make_ppf_spp,
+}
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a registered prefetcher by name."""
+    try:
+        factory = PREFETCHER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHER_FACTORIES))
+        raise KeyError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return factory()
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one (workload, prefetcher) run."""
+
+    workload: str
+    prefetcher: str
+    instructions: int
+    cycles: int
+    l2_demand_accesses: int
+    l2_misses: int
+    llc_misses: int
+    prefetches_issued: int
+    prefetches_useful: int
+    prefetch_candidates: int
+    dram_accesses: int
+    average_lookahead_depth: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def accuracy(self) -> float:
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued
+
+    @property
+    def l2_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
+
+    @property
+    def llc_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+
+def run_single_core(
+    workload: WorkloadSpec,
+    prefetcher: Prefetcher | str,
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+) -> RunResult:
+    """Simulate one workload on one core with one prefetching scheme."""
+    config = config or SimConfig.default()
+    if isinstance(prefetcher, str):
+        prefetcher = make_prefetcher(prefetcher)
+    hierarchy = MemoryHierarchy(
+        num_cores=1,
+        config=config.hierarchy,
+        dram_config=config.dram,
+        prefetchers=[prefetcher],
+    )
+    core = O3Core(0, hierarchy, config.core)
+    trace = workload.trace(config.warmup_records + config.measure_records, seed=seed)
+
+    for rec in itertools.islice(trace, config.warmup_records):
+        core.step(rec)
+    hierarchy.reset_stats()
+    core.begin_measurement()
+    for rec in trace:
+        core.step(rec)
+    core.drain()
+
+    result = core.result()
+    l2 = hierarchy.l2[0].stats
+    llc = hierarchy.llc.stats
+    return RunResult(
+        workload=workload.name,
+        prefetcher=prefetcher.name,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        l2_demand_accesses=l2.demand_accesses,
+        l2_misses=l2.demand_misses,
+        llc_misses=llc.demand_misses,
+        prefetches_issued=prefetcher.stats.issued,
+        prefetches_useful=prefetcher.stats.useful,
+        prefetch_candidates=prefetcher.stats.candidates,
+        dram_accesses=hierarchy.dram.stats.accesses,
+        average_lookahead_depth=getattr(prefetcher, "average_lookahead_depth", 0.0),
+    )

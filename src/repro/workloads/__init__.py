@@ -1,0 +1,64 @@
+"""Workload models: SPEC CPU 2017/2006- and CloudSuite-like generators."""
+
+from .cloudsuite import cloudsuite_workloads
+from .mixes import WorkloadMix, build_mixes, memory_intensive_mixes, random_mixes
+from .recipes import Recipe, recipe
+from .simpoint import (
+    SimPoint,
+    phase_count,
+    select_simpoints,
+    signature_vectors,
+    weighted_mean,
+    window_records,
+)
+from .spec2006 import spec2006_memory_intensive, spec2006_workloads
+from .spec2017 import (
+    WorkloadSpec,
+    memory_intensive_subset,
+    spec2017_workloads,
+    workload_by_name,
+)
+from .synthetic import (
+    AccessPattern,
+    HotsetPattern,
+    PatternMix,
+    PhaseDeltaPattern,
+    PointerChasePattern,
+    RandomPattern,
+    ScatterGatherPattern,
+    SequentialPattern,
+    StridedPattern,
+    interleave,
+)
+
+__all__ = [
+    "cloudsuite_workloads",
+    "WorkloadMix",
+    "build_mixes",
+    "memory_intensive_mixes",
+    "random_mixes",
+    "Recipe",
+    "recipe",
+    "SimPoint",
+    "phase_count",
+    "select_simpoints",
+    "signature_vectors",
+    "weighted_mean",
+    "window_records",
+    "spec2006_memory_intensive",
+    "spec2006_workloads",
+    "WorkloadSpec",
+    "memory_intensive_subset",
+    "spec2017_workloads",
+    "workload_by_name",
+    "AccessPattern",
+    "HotsetPattern",
+    "PatternMix",
+    "PhaseDeltaPattern",
+    "PointerChasePattern",
+    "RandomPattern",
+    "ScatterGatherPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "interleave",
+]

@@ -1,0 +1,57 @@
+"""CloudSuite-like models for the cross-validation study (§6.4, Fig. 13a).
+
+The paper used the four 4-core CloudSuite applications released for the
+2nd Cache Replacement Championship, each with several distinct phases.
+Scale-out server workloads are "prefetch agnostic": huge instruction
+and data footprints, low spatial locality, heavy pointer traversal —
+so absolute prefetcher gains are small (the paper reports 3.78% for PPF
+vs 3.08% for SPP over no prefetching).  The models below mix large
+irregular footprints with modest streaming so every prefetcher earns a
+little, and each application exposes multiple phases via its recipe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .recipes import recipe
+from .spec2017 import WorkloadSpec
+
+_RECIPES = {
+    "cassandra": recipe(
+        ("chase", {"blocks": 1 << 17, "salt": 21}, 3.0, 8),
+        ("random", {"blocks": 1 << 16}, 2.0, 8),
+        ("stream", {"span": 24, "hop": 256}, 1.0, 8),
+        ("hotset", {"blocks": 8000}, 2.0, 10),
+    ),
+    "classification": recipe(
+        ("random", {"blocks": 1 << 17}, 2.5, 9),
+        ("stream", {"span": 48, "hop": 128}, 1.5, 9),
+        ("hotset", {"blocks": 6000}, 2.0, 11),
+    ),
+    "cloud9": recipe(
+        ("chase", {"blocks": 1 << 16, "salt": 23}, 3.0, 9),
+        ("hotset", {"blocks": 10000, "jump": 60}, 2.5, 10),
+        ("stream", {"span": 16, "hop": 512}, 0.8, 9),
+    ),
+    "nutch": recipe(
+        ("random", {"blocks": 1 << 16}, 2.0, 10),
+        ("chase", {"blocks": 1 << 15, "salt": 27}, 2.0, 10),
+        ("hotset", {"blocks": 12000, "jump": 80}, 2.5, 11),
+        ("strided", {"stride": 2}, 0.7, 10),
+    ),
+}
+
+
+def cloudsuite_workloads() -> List[WorkloadSpec]:
+    """The four CRC-2 CloudSuite application models."""
+    return [
+        WorkloadSpec(
+            name=name,
+            suite="cloudsuite",
+            memory_intensive=True,
+            description="CloudSuite scale-out model (prefetch agnostic)",
+            builder=rcp.build,
+        )
+        for name, rcp in sorted(_RECIPES.items())
+    ]

@@ -1,0 +1,64 @@
+"""Multi-core workload mixes (§5.3).
+
+The paper builds 100 random mixes from the full SPEC CPU 2017 suite and
+another 100 from its memory-intensive subset, for the 4-core and 8-core
+studies.  A mix is just a tuple of workload specs, one per core; the
+builders here sample them deterministically from a seed so every
+experiment (and test) sees the same mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .spec2017 import WorkloadSpec, memory_intensive_subset, spec2017_workloads
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multi-programmed workload: ``cores`` entries, one per core."""
+
+    name: str
+    workloads: Tuple[WorkloadSpec, ...]
+
+    @property
+    def cores(self) -> int:
+        return len(self.workloads)
+
+
+def build_mixes(
+    catalog: Sequence[WorkloadSpec],
+    cores: int,
+    count: int,
+    seed: int = 42,
+    prefix: str = "mix",
+) -> List[WorkloadMix]:
+    """Sample ``count`` mixes of ``cores`` workloads each (with replacement).
+
+    Sampling with replacement matches the paper's methodology — a mix may
+    run the same benchmark on several cores.
+    """
+    if cores < 1:
+        raise ValueError("mixes need at least one core")
+    if not catalog:
+        raise ValueError("cannot build mixes from an empty catalog")
+    rng = random.Random(seed)
+    mixes = []
+    for index in range(count):
+        picks = tuple(rng.choice(list(catalog)) for _ in range(cores))
+        mixes.append(WorkloadMix(name=f"{prefix}-{index:03d}", workloads=picks))
+    return mixes
+
+
+def memory_intensive_mixes(cores: int, count: int, seed: int = 42) -> List[WorkloadMix]:
+    """Mixes drawn from the memory-intensive SPEC CPU 2017 subset."""
+    return build_mixes(
+        memory_intensive_subset(), cores, count, seed=seed, prefix=f"mem{cores}c"
+    )
+
+
+def random_mixes(cores: int, count: int, seed: int = 43) -> List[WorkloadMix]:
+    """Mixes drawn uniformly from the full SPEC CPU 2017 suite."""
+    return build_mixes(spec2017_workloads(), cores, count, seed=seed, prefix=f"rnd{cores}c")

@@ -1,0 +1,109 @@
+"""SPEC CPU 2006-like models for the cross-validation study (§6.4, Fig. 13b).
+
+The paper developed PPF's defaults on SPEC CPU 2017 and then validated,
+unchanged, on all 29 SPEC CPU 2006 applications (16 of them memory
+intensive).  These recipes are deliberately *parameterized differently*
+from the 2017 models — different strides, working sets, phase schedules
+and intensities — so running them genuinely tests generalization rather
+than replaying the tuning set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .recipes import Recipe, recipe
+from .spec2017 import WorkloadSpec
+
+_P = [[1, 2], [3, 1, 1], [2, 4], [1, 1, 1, 5]]
+
+_RECIPES = {
+    # memory-intensive (16)
+    "410.bwaves": (True, recipe(("stream", {"span": 384}, 3.0, 3),
+                                ("stream", {"stride": 2, "span": 192}, 2.0, 3),
+                                ("hotset", {"blocks": 768}, 1.0, 5))),
+    "429.mcf": (True, recipe(("chase", {"blocks": 1 << 17, "salt": 3}, 4.0, 3),
+                             ("chase", {"blocks": 1 << 13, "salt": 5}, 2.0, 4),
+                             ("hotset", {"blocks": 512}, 1.0, 5))),
+    "433.milc": (True, recipe(("strided", {"stride": 4}, 2.5, 4),
+                              ("phase", {"phases": [[4], [2], [4, 4, 6]], "length": 600}, 1.5, 4),
+                              ("stream", {"span": 128}, 1.5, 4),
+                              ("hotset", {"blocks": 1024}, 1.5, 6))),
+    "434.zeusmp": (True, recipe(("strided", {"stride": 2}, 2.0, 5),
+                                ("stream", {"span": 96}, 2.0, 5),
+                                ("hotset", {"blocks": 1024}, 1.0, 7))),
+    "435.gromacs": (True, recipe(("strided", {"stride": 3}, 2.0, 6),
+                                 ("hotset", {"blocks": 3000}, 2.0, 8))),
+    "436.cactusADM": (True, recipe(("scatter", {"offset": 5, "touches": 2}, 4.0, 4),
+                                   ("hotset", {"blocks": 768}, 1.0, 6))),
+    "437.leslie3d": (True, recipe(("stream", {"span": 256}, 2.5, 4),
+                                  ("phase", {"phases": [[1], [2]], "length": 900}, 1.5, 4),
+                                  ("strided", {"stride": 2}, 1.5, 4),
+                                  ("hotset", {"blocks": 1024}, 1.5, 6))),
+    "450.soplex": (True, recipe(("chase", {"blocks": 1 << 15, "salt": 9}, 2.5, 4),
+                                ("stream", {"span": 48}, 1.5, 4),
+                                ("hotset", {"blocks": 2048}, 1.0, 6))),
+    "459.GemsFDTD": (True, recipe(("stream", {"span": 512}, 2.5, 4),
+                                  ("phase", {"phases": [[2, 2, 2, 2, 2, 2, 2, 5, 2, 2, 2, 2, 2, 2, 2, 3]], "length": 9000}, 1.5, 4),
+                                  ("strided", {"stride": 3}, 1.5, 4),
+                                  ("hotset", {"blocks": 1024}, 1.5, 6))),
+    "462.libquantum": (True, recipe(("stream", {"span": 1024}, 4.0, 6),
+                                    ("hotset", {"blocks": 512}, 1.5, 7))),
+    "470.lbm": (True, recipe(("strided", {"stride": 2}, 3.0, 4),
+                             ("stream", {"span": 160}, 2.0, 4))),
+    "471.omnetpp": (True, recipe(("chase", {"blocks": 1 << 14, "salt": 2}, 3.0, 5),
+                                 ("hotset", {"blocks": 3000}, 2.0, 6))),
+    "473.astar": (True, recipe(("chase", {"blocks": 1 << 14, "salt": 4}, 2.0, 5),
+                               ("phase", {"phases": _P, "length": 224}, 1.5, 5),
+                               ("hotset", {"blocks": 1024}, 1.0, 6))),
+    "481.wrf": (True, recipe(("strided", {"stride": 4}, 2.0, 5),
+                             ("stream", {"span": 80}, 2.0, 5),
+                             ("hotset", {"blocks": 1500}, 1.0, 7))),
+    "482.sphinx3": (True, recipe(("stream", {"span": 64}, 2.5, 5),
+                                 ("random", {"blocks": 1 << 15}, 1.5, 5),
+                                 ("hotset", {"blocks": 2048}, 1.0, 6))),
+    "483.xalancbmk": (True, recipe(("phase", {"phases": _P, "length": 176}, 4.0, 4),
+                                   ("hotset", {"blocks": 1500}, 1.0, 6))),
+    # compute-bound (13)
+    "400.perlbench": (False, recipe(("hotset", {"blocks": 2500, "jump": 350}, 4.0, 22),
+                                    ("stream", {"span": 8, "hop": 64}, 1.0, 22))),
+    "401.bzip2": (False, recipe(("hotset", {"blocks": 6000, "jump": 120}, 4.0, 12),
+                                ("stream", {"span": 16, "hop": 64}, 1.0, 12))),
+    "403.gcc": (False, recipe(("hotset", {"blocks": 7000, "jump": 100}, 4.0, 14),
+                              ("random", {"blocks": 1 << 13}, 1.0, 14))),
+    "416.gamess": (False, recipe(("hotset", {"blocks": 2000, "jump": 800}, 5.0, 30))),
+    "444.namd": (False, recipe(("hotset", {"blocks": 4000, "jump": 400}, 4.0, 24),
+                               ("strided", {"stride": 2}, 0.5, 24))),
+    "445.gobmk": (False, recipe(("hotset", {"blocks": 3500, "jump": 500}, 5.0, 26))),
+    "447.dealII": (False, recipe(("hotset", {"blocks": 5000, "jump": 200}, 4.0, 18),
+                                 ("stream", {"span": 12, "hop": 32}, 1.0, 18))),
+    "453.povray": (False, recipe(("hotset", {"blocks": 2500, "jump": 900}, 5.0, 32))),
+    "454.calculix": (False, recipe(("hotset", {"blocks": 4500, "jump": 300}, 4.0, 20),
+                                   ("strided", {"stride": 3}, 0.8, 20))),
+    "456.hmmer": (False, recipe(("hotset", {"blocks": 3000, "jump": 700}, 5.0, 24))),
+    "458.sjeng": (False, recipe(("hotset", {"blocks": 3500, "jump": 600}, 5.0, 28))),
+    "464.h264ref": (False, recipe(("hotset", {"blocks": 7000, "jump": 180}, 4.0, 14),
+                                  ("stream", {"span": 10, "hop": 48}, 1.0, 14))),
+    "465.tonto": (False, recipe(("hotset", {"blocks": 3000, "jump": 650}, 5.0, 26))),
+}
+
+
+def spec2006_workloads() -> List[WorkloadSpec]:
+    """All 29 SPEC CPU 2006 models (16 memory intensive, §5.3)."""
+    specs = []
+    for name, (intensive, rcp) in sorted(_RECIPES.items()):
+        specs.append(
+            WorkloadSpec(
+                name=name,
+                suite="spec2006",
+                memory_intensive=intensive,
+                description=f"SPEC CPU 2006 model ({'memory-intensive' if intensive else 'compute-bound'})",
+                builder=rcp.build,
+            )
+        )
+    return specs
+
+
+def spec2006_memory_intensive() -> List[WorkloadSpec]:
+    """The 16 memory-intensive SPEC CPU 2006 models."""
+    return [spec for spec in spec2006_workloads() if spec.memory_intensive]

@@ -1,0 +1,298 @@
+"""Composable synthetic access-pattern primitives.
+
+The paper evaluates on SimPoint traces of SPEC CPU 2017/2006 and
+CloudSuite.  Those traces are proprietary, so (per the substitution rule
+in DESIGN.md) each benchmark is modelled by a *pattern program*: a
+weighted interleaving of primitive access patterns whose structure
+reproduces the property that matters to a prefetcher — delta
+regularity, page residency, pointer-chasing irregularity, phase
+changes, working-set size and memory intensity.
+
+Primitives produce block-aligned byte addresses; :func:`interleave`
+weaves them into a :class:`~repro.cpu.trace.TraceRecord` stream with
+per-pattern PCs and a configurable instruction bubble (memory
+intensity).  All randomness flows from one seeded generator, so traces
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..cpu.trace import TraceRecord
+from ..memory.address import BLOCK_BITS, BLOCKS_PER_PAGE, PAGE_BITS
+
+_PC_BASE = 0x400000
+_PC_STRIDE = 0x40
+
+
+class AccessPattern(ABC):
+    """A stateful stream of block-aligned addresses."""
+
+    @abstractmethod
+    def next_address(self, rng: random.Random) -> int:
+        """Produce the next byte address of this pattern."""
+
+
+class SequentialPattern(AccessPattern):
+    """Unit (or small-stride) streaming through consecutive pages.
+
+    The classic prefetch-friendly pattern: long runs of constant block
+    deltas (bwaves/fotonik3d-like).  After ``span_pages`` pages the
+    stream jumps to a fresh region, so coverage requires the prefetcher
+    to re-learn page starts (what SPP's GHR bootstraps).
+    """
+
+    def __init__(
+        self,
+        start_page: int,
+        stride_blocks: int = 1,
+        span_pages: int = 64,
+        region_hop: int = 1024,
+    ) -> None:
+        if stride_blocks == 0:
+            raise ValueError("stride must be non-zero")
+        self.stride = stride_blocks
+        self.span_pages = span_pages
+        self.region_hop = region_hop
+        self._base_page = start_page
+        self._block = start_page * BLOCKS_PER_PAGE if stride_blocks > 0 else (
+            (start_page + span_pages) * BLOCKS_PER_PAGE - 1
+        )
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = self._block << BLOCK_BITS
+        self._block += self.stride
+        span_blocks = self.span_pages * BLOCKS_PER_PAGE
+        start_block = self._base_page * BLOCKS_PER_PAGE
+        if not start_block <= self._block < start_block + span_blocks:
+            self._base_page += self.region_hop
+            self._block = self._base_page * BLOCKS_PER_PAGE
+            if self.stride < 0:
+                self._block += span_blocks - 1
+        return addr
+
+
+class StridedPattern(AccessPattern):
+    """Fixed stride within a page, then the next page: stencil-like."""
+
+    def __init__(self, start_page: int, stride_blocks: int, page_hop: int = 1) -> None:
+        if stride_blocks <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = stride_blocks
+        self.page_hop = page_hop
+        self._page = start_page
+        self._offset = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = (self._page << PAGE_BITS) | (self._offset << BLOCK_BITS)
+        self._offset += self.stride
+        if self._offset >= BLOCKS_PER_PAGE:
+            self._offset %= self.stride  # keep phase alignment across pages
+            self._page += self.page_hop
+        return addr
+
+
+class PointerChasePattern(AccessPattern):
+    """A random permutation cycle over a working set (mcf-like).
+
+    Each block "points to" the next; the walk order is random but fixed,
+    so caches see reuse at working-set distance while delta-based
+    prefetchers see noise.
+    """
+
+    def __init__(self, start_page: int, working_set_blocks: int, seed: int) -> None:
+        if working_set_blocks < 2:
+            raise ValueError("working set must hold at least two blocks")
+        rng = random.Random(seed)
+        base = start_page * BLOCKS_PER_PAGE
+        blocks = list(range(base, base + working_set_blocks))
+        rng.shuffle(blocks)
+        self._ring = blocks
+        self._position = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = self._ring[self._position] << BLOCK_BITS
+        self._position = (self._position + 1) % len(self._ring)
+        return addr
+
+
+class PhaseDeltaPattern(AccessPattern):
+    """In-page delta pattern that *changes* every ``phase_length`` accesses.
+
+    Models 623.xalancbmk_s: each phase walks pages with a different
+    repeating delta sequence.  SPP's compounding confidence collapses at
+    phase changes and throttles early; a filter that judges candidates
+    individually can keep prefetching deeper (§6.1).
+    """
+
+    def __init__(
+        self,
+        start_page: int,
+        delta_phases: Sequence[Sequence[int]],
+        phase_length: int = 256,
+    ) -> None:
+        if not delta_phases or any(not phase for phase in delta_phases):
+            raise ValueError("need at least one non-empty delta phase")
+        self.delta_phases = [list(phase) for phase in delta_phases]
+        self.phase_length = phase_length
+        self._page = start_page
+        self._offset = 0
+        self._count = 0
+        self._phase = 0
+        self._step = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = (self._page << PAGE_BITS) | (self._offset << BLOCK_BITS)
+        deltas = self.delta_phases[self._phase]
+        delta = deltas[self._step % len(deltas)]
+        self._step += 1
+        self._offset += delta
+        if not 0 <= self._offset < BLOCKS_PER_PAGE:
+            self._page += 1
+            self._offset %= BLOCKS_PER_PAGE
+        self._count += 1
+        if self._count >= self.phase_length:
+            self._count = 0
+            self._step = 0
+            self._phase = (self._phase + 1) % len(self.delta_phases)
+        return addr
+
+
+class HotsetPattern(AccessPattern):
+    """Skewed reuse over a small set of blocks: cache-resident traffic.
+
+    Models the compute-bound SPEC applications (leela, exchange2 …)
+    whose LLC MPKI is below 1 — most accesses hit, so prefetching earns
+    nothing but can still pollute.
+    """
+
+    def __init__(self, start_page: int, hot_blocks: int, jump_every: int = 0) -> None:
+        if hot_blocks < 1:
+            raise ValueError("need at least one hot block")
+        self._base = start_page * BLOCKS_PER_PAGE
+        self.hot_blocks = hot_blocks
+        self.jump_every = jump_every
+        self._count = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        self._count += 1
+        if self.jump_every and self._count % self.jump_every == 0:
+            # occasional compulsory miss outside the hot set
+            block = self._base + self.hot_blocks + rng.randrange(1 << 16)
+        else:
+            # triangular skew: low indices are hotter
+            block = self._base + min(rng.randrange(self.hot_blocks), rng.randrange(self.hot_blocks))
+        return block << BLOCK_BITS
+
+
+class ScatterGatherPattern(AccessPattern):
+    """Short, constant-offset visits scattered across many pages.
+
+    Models 607.cactuBSSN_s: a high-dimensional stencil touches each page
+    only a couple of times before moving on, so SPP's per-page
+    signatures never gain confidence — while a *global* best-offset
+    relation holds between successive misses, which is exactly what BOP
+    exploits (§6.1).
+    """
+
+    def __init__(
+        self,
+        start_page: int,
+        offset_blocks: int = 3,
+        touches_per_page: int = 2,
+        page_span: int = 512,
+    ) -> None:
+        self.offset = offset_blocks
+        self.touches = touches_per_page
+        self.page_span = page_span
+        self._start_page = start_page
+        self._page_index = 0
+        self._touch = 0
+        self._lap = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        page = self._start_page + self._lap * self.page_span + self._page_index
+        offset = (self._touch * self.offset) % BLOCKS_PER_PAGE
+        addr = (page << PAGE_BITS) | (offset << BLOCK_BITS)
+        self._touch += 1
+        if self._touch >= self.touches:
+            self._touch = 0
+            self._page_index += 1
+            if self._page_index >= self.page_span:
+                self._page_index = 0
+                self._lap += 1
+        return addr
+
+
+class RandomPattern(AccessPattern):
+    """Uniform random blocks over a large footprint: prefetch-hostile."""
+
+    def __init__(self, start_page: int, footprint_blocks: int) -> None:
+        if footprint_blocks < 1:
+            raise ValueError("footprint must be positive")
+        self._base = start_page * BLOCKS_PER_PAGE
+        self.footprint = footprint_blocks
+
+    def next_address(self, rng: random.Random) -> int:
+        return (self._base + rng.randrange(self.footprint)) << BLOCK_BITS
+
+
+@dataclass
+class PatternMix:
+    """One pattern plus its interleave weight, bubble and PC pool."""
+
+    pattern: AccessPattern
+    weight: float = 1.0
+    bubble_mean: int = 4
+    pc_pool: int = 4
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("pattern weight must be positive")
+        if self.bubble_mean < 0:
+            raise ValueError("bubble mean must be non-negative")
+        if self.pc_pool < 1:
+            raise ValueError("need at least one PC per pattern")
+
+
+def interleave(
+    mixes: Sequence[PatternMix],
+    n_records: int,
+    seed: int = 1,
+) -> Iterator[TraceRecord]:
+    """Weave patterns into one trace, weighted-randomly, deterministically.
+
+    Each pattern gets a disjoint pool of PCs that cycle per access
+    (modelling the handful of load instructions in a loop body), and a
+    geometric bubble around its ``bubble_mean``.
+    """
+    if not mixes:
+        raise ValueError("need at least one pattern")
+    if n_records < 0:
+        raise ValueError("record count must be non-negative")
+    rng = random.Random(seed)
+    weights = [mix.weight for mix in mixes]
+    pc_bases = [_PC_BASE + 0x10000 * i for i in range(len(mixes))]
+    pc_counters = [0] * len(mixes)
+    choices = list(range(len(mixes)))
+    for _ in range(n_records):
+        which = rng.choices(choices, weights=weights)[0]
+        mix = mixes[which]
+        addr = mix.pattern.next_address(rng)
+        pc_index = pc_counters[which] % mix.pc_pool
+        pc_counters[which] += 1
+        pc = pc_bases[which] + pc_index * _PC_STRIDE
+        bubble = _geometric_bubble(rng, mix.bubble_mean)
+        yield TraceRecord(pc=pc, addr=addr, bubble=bubble)
+
+
+def _geometric_bubble(rng: random.Random, mean: int) -> int:
+    """A small-variance integer bubble with the requested mean."""
+    if mean == 0:
+        return 0
+    # Average of the uniform [0, 2*mean] is `mean`; cheap and bounded.
+    return rng.randrange(2 * mean + 1)

@@ -1,0 +1,116 @@
+"""Tests for repro.memory.address."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import (
+    BLOCK_SIZE,
+    BLOCKS_PER_PAGE,
+    MAX_DELTA_MAGNITUDE,
+    PAGE_SIZE,
+    block_address,
+    block_in_page,
+    block_number,
+    decode_delta,
+    encode_delta,
+    page_address,
+    page_number,
+    page_offset_block,
+    same_page,
+)
+
+
+class TestConstants:
+    def test_block_size_is_64_bytes(self):
+        assert BLOCK_SIZE == 64
+
+    def test_page_size_is_4kb(self):
+        assert PAGE_SIZE == 4096
+
+    def test_blocks_per_page(self):
+        assert BLOCKS_PER_PAGE == 64
+
+
+class TestDecomposition:
+    def test_block_number(self):
+        assert block_number(0) == 0
+        assert block_number(63) == 0
+        assert block_number(64) == 1
+        assert block_number(0x1234) == 0x48
+
+    def test_block_address_aligns_down(self):
+        assert block_address(0x1234) == 0x1200
+        assert block_address(64) == 64
+        assert block_address(65) == 64
+
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+
+    def test_page_address_aligns_down(self):
+        assert page_address(0x1FFF) == 0x1000
+
+    def test_page_offset_block_range(self):
+        assert page_offset_block(0) == 0
+        assert page_offset_block(4095) == 63
+        assert page_offset_block(4096) == 0
+
+    def test_same_page(self):
+        assert same_page(0, 4095)
+        assert not same_page(4095, 4096)
+
+    def test_block_in_page_composes(self):
+        addr = block_in_page(5, 10)
+        assert page_number(addr) == 5
+        assert page_offset_block(addr) == 10
+
+    def test_block_in_page_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_in_page(1, 64)
+        with pytest.raises(ValueError):
+            block_in_page(1, -1)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_block_address_is_idempotent(self, addr):
+        assert block_address(block_address(addr)) == block_address(addr)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_decomposition_recomposes(self, addr):
+        page = page_number(addr)
+        offset = page_offset_block(addr)
+        assert block_in_page(page, offset) == block_address(addr)
+
+
+class TestDeltaEncoding:
+    def test_zero(self):
+        assert encode_delta(0) == 0
+        assert decode_delta(0) == 0
+
+    def test_positive(self):
+        assert encode_delta(5) == 5
+        assert decode_delta(5) == 5
+
+    def test_negative_sets_sign_bit(self):
+        assert encode_delta(-5) == (1 << 6) | 5
+        assert decode_delta((1 << 6) | 5) == -5
+
+    def test_magnitude_saturates(self):
+        assert encode_delta(1000) == MAX_DELTA_MAGNITUDE
+        assert encode_delta(-1000) == (1 << 6) | MAX_DELTA_MAGNITUDE
+
+    def test_encoded_fits_seven_bits(self):
+        for delta in range(-100, 101):
+            assert 0 <= encode_delta(delta) < (1 << 7)
+
+    @given(st.integers(min_value=-MAX_DELTA_MAGNITUDE, max_value=MAX_DELTA_MAGNITUDE))
+    def test_roundtrip_within_magnitude(self, delta):
+        assert decode_delta(encode_delta(delta)) == delta
+
+    @given(st.integers(min_value=-63, max_value=63), st.integers(min_value=-63, max_value=63))
+    def test_distinct_deltas_distinct_encodings(self, a, b):
+        if a != b and not (a == 0 and b == 0):
+            # sign+magnitude has a single zero; -0 cannot be expressed
+            if abs(a) != abs(b) or (a >= 0) == (b >= 0):
+                assert (encode_delta(a) == encode_delta(b)) == (a == b)

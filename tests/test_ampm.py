@@ -1,0 +1,97 @@
+"""Tests for repro.prefetchers.ampm (AMPM and DA-AMPM)."""
+
+import pytest
+
+from repro.memory.dram import ROW_BITS
+from repro.prefetchers.ampm import AMPM, AMPMConfig, DAAMPM, DAAMPMConfig
+
+
+def feed_offsets(pf, page, offsets, pc=0x400):
+    out = []
+    for i, offset in enumerate(offsets):
+        out.extend(pf.train((page << 12) | (offset << 6), pc, False, i))
+    return out
+
+
+class TestAMPM:
+    def test_no_prefetch_without_pattern(self):
+        ampm = AMPM()
+        assert feed_offsets(ampm, 1, [0]) == []
+        assert feed_offsets(ampm, 1, [7]) == []
+
+    def test_detects_unit_stride_after_two_confirmations(self):
+        ampm = AMPM()
+        candidates = feed_offsets(ampm, 1, [0, 1, 2])
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert 3 in targets
+
+    def test_detects_larger_stride(self):
+        ampm = AMPM()
+        candidates = feed_offsets(ampm, 1, [0, 4, 8])
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert 12 in targets
+
+    def test_detects_negative_stride(self):
+        ampm = AMPM()
+        candidates = feed_offsets(ampm, 1, [20, 16, 12])
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert 8 in targets
+
+    def test_degree_limits_lookahead(self):
+        ampm = AMPM(AMPMConfig(degree=1))
+        candidates = feed_offsets(ampm, 1, [0, 1, 2])
+        assert len(candidates) == 1
+
+    def test_does_not_prefetch_already_accessed(self):
+        ampm = AMPM()
+        candidates = feed_offsets(ampm, 1, [0, 1, 2, 1, 2])
+        targets = [(c.addr >> 6) & 63 for c in candidates]
+        assert len(targets) == len(set(targets)) or all(t > 2 for t in targets)
+
+    def test_zone_capacity_lru(self):
+        ampm = AMPM(AMPMConfig(zones=2))
+        feed_offsets(ampm, 1, [0, 1])
+        feed_offsets(ampm, 2, [0, 1])
+        feed_offsets(ampm, 3, [0, 1])  # evicts page 1's map
+        assert len(ampm._maps) <= 2
+        assert 1 not in ampm._maps
+
+    def test_candidates_stay_in_page(self):
+        ampm = AMPM(AMPMConfig(degree=8))
+        candidates = feed_offsets(ampm, 1, [50, 55, 60])
+        for cand in candidates:
+            assert cand.addr >> 12 == 1
+
+
+class TestDAAMPM:
+    def test_batches_by_row_until_batch_size(self):
+        da = DAAMPM(DAAMPMConfig(batch_size=4, max_age=100))
+        released = feed_offsets(da, 1, [0, 1, 2])
+        # One candidate pending (same row), not yet released.
+        assert da.pending_count() + len(released) >= 1
+
+    def test_aging_forces_release(self):
+        da = DAAMPM(DAAMPMConfig(batch_size=100, max_age=2))
+        feed_offsets(da, 1, [0, 1, 2])
+        # Trigger more accesses so pending candidates age out.
+        released = feed_offsets(da, 1, [3, 4, 5])
+        assert released
+
+    def test_release_clears_pending(self):
+        da = DAAMPM(DAAMPMConfig(batch_size=1, max_age=100))
+        released = feed_offsets(da, 1, [0, 1, 2])
+        assert released
+        assert da.pending_count() == 0
+
+    def test_released_batch_shares_row(self):
+        da = DAAMPM(DAAMPMConfig(batch_size=2, max_age=1000))
+        released = feed_offsets(da, 1, [0, 1, 2, 3, 4])
+        rows = {c.addr >> ROW_BITS for c in released}
+        # Everything in page 1 shares one 8 KB row.
+        assert len(rows) <= 1 or released == []
+
+    def test_inherits_ampm_matching(self):
+        da = DAAMPM(DAAMPMConfig(batch_size=1))
+        candidates = feed_offsets(da, 1, [0, 2, 4])
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert 6 in targets

@@ -1,0 +1,121 @@
+"""Tests for repro.prefetchers.bop (Best-Offset Prefetcher)."""
+
+import pytest
+
+from repro.prefetchers.bop import BOP, BOPConfig, default_offset_list
+
+
+def feed_stride(bop, stride_blocks, count, start_block=1 << 14, hit=False):
+    """Feed a constant-stride miss stream; return the candidates."""
+    out = []
+    for i in range(count):
+        addr = (start_block + i * stride_blocks) << 6
+        out.extend(bop.train(addr, 0x400, hit, i * 10))
+    return out
+
+
+class TestOffsetList:
+    def test_contains_known_michaud_offsets(self):
+        offsets = default_offset_list()
+        for value in (1, 2, 3, 4, 5, 8, 96, 192, 256):
+            assert value in offsets
+
+    def test_excludes_offsets_with_large_prime_factors(self):
+        offsets = default_offset_list()
+        for value in (7, 11, 13, 14, 97, 254):
+            assert value not in offsets
+
+    def test_count_is_52(self):
+        # Michaud's HPCA'16 list has 52 offsets in [1, 256].
+        assert len(default_offset_list()) == 52
+
+
+class TestLearning:
+    def test_learns_unit_stride(self):
+        bop = BOP(BOPConfig(round_max=20))
+        feed_stride(bop, 1, 600)
+        assert bop.best_offset == 1 or bop.best_offset == 2
+        assert bop.prefetch_on
+
+    def test_learns_large_offset(self):
+        bop = BOP(BOPConfig(round_max=20))
+        feed_stride(bop, 96, 2000)
+        assert bop.best_offset % 96 == 0
+        assert bop.prefetch_on
+
+    def test_turns_off_on_random_traffic(self):
+        import random
+
+        rng = random.Random(9)
+        bop = BOP(BOPConfig(round_max=4))
+        for i in range(2000):
+            bop.train(rng.randrange(1 << 30) << 6, 0x400, False, i)
+        assert not bop.prefetch_on
+
+    def test_phase_end_resets_scores(self):
+        bop = BOP(BOPConfig(round_max=2))
+        feed_stride(bop, 1, 300)
+        assert all(score <= bop.config.score_max for score in bop._scores)
+
+    def test_score_max_ends_phase_early(self):
+        bop = BOP(BOPConfig(score_max=2, round_max=100))
+        feed_stride(bop, 1, 400)
+        # With a tiny score_max the phase flips quickly and the winning
+        # score (2) clears bad_score (1), keeping prefetching on.
+        assert bop.prefetch_on
+
+
+class TestPrefetching:
+    def test_prefetches_best_offset_ahead(self):
+        bop = BOP(BOPConfig(round_max=10))
+        feed_stride(bop, 1, 400)
+        block = 1 << 20
+        candidates = bop.train(block << 6, 0x400, False, 0)
+        assert candidates
+        assert candidates[0].addr == (block + bop.best_offset) << 6
+
+    def test_prefetch_crosses_page_boundaries(self):
+        bop = BOP(BOPConfig(round_max=10))
+        feed_stride(bop, 96, 2000)
+        block = (1 << 20) + 32
+        candidates = bop.train(block << 6, 0x400, False, 0)
+        assert candidates
+        assert candidates[0].addr >> 12 != (block << 6) >> 12
+
+    def test_degree_controls_candidate_count(self):
+        bop = BOP(BOPConfig(round_max=10, degree=3))
+        feed_stride(bop, 1, 400)
+        candidates = bop.train((1 << 20) << 6, 0x400, False, 0)
+        assert len(candidates) == 3
+
+    def test_off_means_no_candidates(self):
+        bop = BOP()
+        bop.prefetch_on = False
+        assert bop.train(0x1000, 0x400, False, 0) == []
+
+    def test_candidates_fill_l2(self):
+        bop = BOP(BOPConfig(round_max=10))
+        feed_stride(bop, 1, 400)
+        candidates = bop.train((1 << 20) << 6, 0x400, False, 0)
+        assert all(c.fill_l2 for c in candidates)
+
+    def test_hits_also_learn(self):
+        """L2 hits participate in offset scoring (operate on access)."""
+        bop = BOP(BOPConfig(round_max=5))
+        feed_stride(bop, 1, 500, hit=True)
+        assert bop.prefetch_on
+
+
+class TestRRTable:
+    def test_rr_insert_and_hit(self):
+        bop = BOP()
+        bop._rr_insert(12345)
+        assert bop._rr_hit(12345)
+        assert not bop._rr_hit(54321)
+
+    def test_rr_collision_overwrites(self):
+        bop = BOP(BOPConfig(rr_entries=1))
+        bop._rr_insert(1)
+        bop._rr_insert(2)
+        assert not bop._rr_hit(1)
+        assert bop._rr_hit(2)

@@ -1,0 +1,118 @@
+"""Tests for the hashed-perceptron branch predictor (§2.3 mechanism)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import WEIGHT_MAX, WEIGHT_MIN
+from repro.cpu.branch import (
+    BranchPredictorConfig,
+    HashedPerceptronBranchPredictor,
+    _fold,
+)
+
+
+def run_pattern(predictor, outcomes, pc=0x400):
+    """Drive one branch through a pattern; return trailing accuracy."""
+    correct = []
+    for taken in outcomes:
+        correct.append(predictor.predict_and_update(pc, taken))
+    tail = correct[len(correct) // 2 :]
+    return sum(tail) / len(tail)
+
+
+class TestFold:
+    def test_short_value_unchanged(self):
+        assert _fold(0x5A, 8) == 0x5A
+
+    def test_folds_high_bits(self):
+        assert _fold(0x1000_001, 32) == (0x001 ^ 0x1 ^ 0x0)  # XOR of 12-bit chunks
+
+    def test_masks_to_requested_bits(self):
+        assert _fold(0xFFFF, 4) == 0xF
+
+
+class TestLearnsPatterns:
+    def test_always_taken(self):
+        predictor = HashedPerceptronBranchPredictor()
+        assert run_pattern(predictor, [True] * 200) > 0.95
+
+    def test_never_taken(self):
+        predictor = HashedPerceptronBranchPredictor()
+        assert run_pattern(predictor, [False] * 200) > 0.95
+
+    def test_alternating_needs_history(self):
+        """T,N,T,N… is unlearnable without history; trivial with it."""
+        predictor = HashedPerceptronBranchPredictor()
+        pattern = [bool(i % 2) for i in range(400)]
+        assert run_pattern(predictor, pattern) > 0.9
+
+    def test_loop_exit_pattern(self):
+        """Nine taken then one not-taken: classic loop branch."""
+        predictor = HashedPerceptronBranchPredictor()
+        pattern = ([True] * 9 + [False]) * 60
+        assert run_pattern(predictor, pattern) > 0.85
+
+    def test_correlated_branches(self):
+        """Branch B repeats branch A's last outcome."""
+        predictor = HashedPerceptronBranchPredictor()
+        rng = random.Random(7)
+        correct_b = []
+        last_a = False
+        for _ in range(600):
+            last_a = rng.random() < 0.5
+            predictor.predict_and_update(0x100, last_a)
+            correct_b.append(predictor.predict_and_update(0x200, last_a))
+        tail = correct_b[300:]
+        assert sum(tail) / len(tail) > 0.9
+
+    def test_random_outcomes_near_chance(self):
+        predictor = HashedPerceptronBranchPredictor()
+        rng = random.Random(3)
+        pattern = [rng.random() < 0.5 for _ in range(600)]
+        assert run_pattern(predictor, pattern) < 0.75
+
+
+class TestMechanism:
+    def test_theta_guard_stops_training(self):
+        predictor = HashedPerceptronBranchPredictor(BranchPredictorConfig(theta=5))
+        for _ in range(200):
+            predictor.predict_and_update(0x400, True)
+        # Training stops once the sum clears theta: far fewer than 200.
+        assert predictor.stats.updates < 50
+
+    def test_stats_accuracy(self):
+        predictor = HashedPerceptronBranchPredictor()
+        run_pattern(predictor, [True] * 100)
+        assert predictor.stats.predictions == 100
+        assert 0.0 <= predictor.stats.accuracy <= 1.0
+
+    def test_history_is_bounded(self):
+        predictor = HashedPerceptronBranchPredictor(
+            BranchPredictorConfig(history_bits=8)
+        )
+        for _ in range(100):
+            predictor.predict_and_update(0x400, True)
+        assert predictor._history < (1 << 8)
+
+    def test_storage_bits(self):
+        predictor = HashedPerceptronBranchPredictor()
+        expected_tables = 1 + len(predictor.config.segments)
+        assert predictor.storage_bits == expected_tables * 1024 * 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()), max_size=150))
+    def test_weights_stay_in_range(self, branches):
+        predictor = HashedPerceptronBranchPredictor()
+        for pc, taken in branches:
+            predictor.predict_and_update(pc, taken)
+        for table in predictor.tables:
+            assert all(WEIGHT_MIN <= w <= WEIGHT_MAX for w in table.weights())
+
+    def test_reset_stats(self):
+        predictor = HashedPerceptronBranchPredictor()
+        predictor.predict_and_update(0x400, True)
+        predictor.stats.reset()
+        assert predictor.stats.predictions == 0

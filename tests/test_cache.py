@@ -1,0 +1,221 @@
+"""Tests for repro.memory.cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, EvictedLine
+
+
+def tiny_cache(sets=2, ways=2, **kwargs):
+    """A 2-set, 2-way cache (256 bytes) for precise eviction control."""
+    return Cache("test", 64 * sets * ways, ways, latency=10, **kwargs)
+
+
+def addr_for(cache, set_index, way_salt):
+    """An address mapping to ``set_index`` with a distinct tag."""
+    block = set_index + way_salt * cache.num_sets
+    return block << 6
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = Cache("l2", 512 * 1024, 8, latency=10)
+        assert cache.num_sets == 1024
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 100, 3, latency=1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 0, 1, latency=1)
+        with pytest.raises(ValueError):
+            Cache("bad", 4096, 0, latency=1)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(0x1000) is None
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000) is not None
+
+    def test_same_block_addresses_share_line(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x103F) is not None  # last byte of the block
+        assert cache.lookup(0x1040) is None  # next block
+
+    def test_contains_has_no_side_effects(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        before = cache.stats.demand_accesses
+        assert cache.contains(0x1000)
+        assert not cache.contains(0x2000)
+        assert cache.stats.demand_accesses == before
+
+    def test_probe_returns_line_without_stats(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=True)
+        line = cache.probe(0x1000)
+        assert line is not None and line.is_prefetch
+        assert cache.stats.demand_accesses == 0
+
+    def test_non_demand_lookup_does_not_mark_used(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=True)
+        cache.lookup(0x1000, is_demand=False)
+        assert not cache.probe(0x1000).used
+
+    def test_eviction_at_capacity(self):
+        cache = tiny_cache()
+        a = addr_for(cache, 0, 0)
+        b = addr_for(cache, 0, 1)
+        c = addr_for(cache, 0, 2)
+        cache.fill(a)
+        cache.fill(b)
+        evicted = cache.fill(c)
+        assert isinstance(evicted, EvictedLine)
+        assert evicted.block == a >> 6
+
+    def test_lru_eviction_respects_touches(self):
+        cache = tiny_cache()
+        a, b, c = (addr_for(cache, 0, i) for i in range(3))
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)  # refresh a
+        evicted = cache.fill(c)
+        assert evicted.block == b >> 6
+
+    def test_refill_resident_block_no_eviction(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        assert cache.fill(0x1000) is None
+        assert cache.resident_blocks() == 1
+
+    def test_demand_fill_clears_prefetch_bit(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=True)
+        cache.fill(0x1000, is_prefetch=False)
+        assert not cache.probe(0x1000).is_prefetch
+
+    def test_prefetch_fill_over_demand_line_keeps_demand(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=False)
+        cache.fill(0x1000, is_prefetch=True)
+        assert not cache.probe(0x1000).is_prefetch
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+        assert not cache.invalidate(0x1000)
+
+
+class TestPrefetchTracking:
+    def test_demand_hit_marks_prefetch_used(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=True)
+        line = cache.lookup(0x1000)
+        assert line.used
+        assert cache.stats.useful_prefetches == 1
+
+    def test_useful_counted_once(self):
+        cache = tiny_cache()
+        cache.fill(0x1000, is_prefetch=True)
+        cache.lookup(0x1000)
+        cache.lookup(0x1000)
+        assert cache.stats.useful_prefetches == 1
+
+    def test_useless_prefetch_eviction_flagged(self):
+        cache = tiny_cache()
+        a, b, c = (addr_for(cache, 0, i) for i in range(3))
+        cache.fill(a, is_prefetch=True)
+        cache.fill(b)
+        evicted = cache.fill(c)
+        assert evicted.was_useless_prefetch
+        assert cache.stats.useless_prefetch_evictions == 1
+
+    def test_used_prefetch_eviction_not_useless(self):
+        cache = tiny_cache()
+        a, b, c = (addr_for(cache, 0, i) for i in range(3))
+        cache.fill(a, is_prefetch=True)
+        cache.lookup(a)
+        cache.fill(b)
+        evicted = cache.fill(c)
+        assert not evicted.was_useless_prefetch
+
+
+class TestStats:
+    def test_hit_and_miss_counters(self):
+        cache = tiny_cache()
+        cache.lookup(0x1000)
+        cache.fill(0x1000)
+        cache.lookup(0x1000)
+        stats = cache.stats
+        assert stats.demand_accesses == 2
+        assert stats.demand_misses == 1
+        assert stats.demand_hits == 1
+        assert stats.demand_hit_rate == 0.5
+
+    def test_fill_counters(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        cache.fill(0x2000, is_prefetch=True)
+        assert cache.stats.fills == 2
+        assert cache.stats.prefetch_fills == 1
+
+    def test_reset(self):
+        cache = tiny_cache()
+        cache.lookup(0x1000)
+        cache.fill(0x1000)
+        cache.reset_stats()
+        assert cache.stats.demand_accesses == 0
+        assert cache.stats.fills == 0
+
+    def test_snapshot(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        snap = cache.stats.snapshot()
+        assert snap["fills"] == 1
+
+
+class TestCapacityInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200)
+    )
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = tiny_cache(sets=4, ways=2)
+        for block in blocks:
+            cache.fill(block << 6)
+        assert cache.resident_blocks() <= 8
+        for lines in cache._sets.values():
+            assert len(lines) <= cache.associativity
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=100)
+    )
+    def test_fill_makes_resident(self, blocks):
+        cache = tiny_cache(sets=4, ways=4)
+        for block in blocks:
+            cache.fill(block << 6)
+            assert cache.contains(block << 6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=150)
+    )
+    def test_fills_equal_residents_plus_evictions(self, blocks):
+        cache = tiny_cache(sets=2, ways=2)
+        unique_fills = 0
+        seen_resident = set()
+        for block in blocks:
+            addr = block << 6
+            if not cache.contains(addr):
+                unique_fills += 1
+            cache.fill(addr)
+        assert unique_fills == cache.resident_blocks() + cache.stats.evictions

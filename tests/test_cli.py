@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig1", "fig9-10", "tab2-3", "ablations"):
+            assert experiment_id in out
+
+    def test_workloads_lists_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "SPEC CPU 2017 (20)" in out
+        assert "SPEC CPU 2006 (29)" in out
+        assert "CloudSuite (4)" in out
+        assert "memory intensive" in out
+
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "641.leela_s", "--prefetcher", "spp", "--records", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "641.leela_s / spp" in out
+        assert "speedup=" in out
+
+    def test_bench_accepts_cross_suite_workloads(self, capsys):
+        assert main(["bench", "429.mcf", "--prefetcher", "none", "--records", "1500"]) == 0
+        assert "429.mcf" in capsys.readouterr().out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "tab2-3", "--records", "1000"]) == 0
+        assert "322240" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_bench_rejects_unknown_prefetcher(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "641.leela_s", "--prefetcher", "oracle"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

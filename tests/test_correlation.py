@@ -1,0 +1,185 @@
+"""Tests for repro.analysis.correlation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import (
+    OutcomeTracker,
+    all_feature_pearsons,
+    feature_pearson,
+    histogram_concentration_near_zero,
+    histogram_saturation,
+    pearson,
+    weight_histogram,
+)
+from repro.core.features import Feature
+from repro.core.filter import PerceptronFilter
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_symmetric(self):
+        assert pearson([1, 2, 1, 2], [1, 1, 2, 2]) == pytest.approx(0.0)
+
+    def test_zero_variance_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_empty_returns_zero(self):
+        assert pearson([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_weights_change_result(self):
+        x = [0, 1, 0, 10]
+        y = [0, 1, 0, -10]
+        unweighted = pearson(x, y)
+        weighted = pearson(x, y, weights=[1, 100, 1, 0.001])
+        assert weighted > unweighted
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2], weights=[1])
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_bounded(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        assert -1.0 - 1e-9 <= pearson(x, y) <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=2, max_size=20))
+    def test_self_correlation(self, xs):
+        r = pearson(xs, xs)
+        assert r == 0.0 or r == pytest.approx(1.0)
+
+
+class TestOutcomeTracker:
+    def test_records_per_feature_per_index(self):
+        tracker = OutcomeTracker(2)
+        tracker((1, 5), True)
+        tracker((1, 6), False)
+        indices, outcomes, traffic = tracker.outcome_samples(0)
+        assert indices == [1]
+        assert outcomes == [0.0]  # one positive, one negative
+        assert traffic == [2.0]
+
+    def test_outcome_mean_sign(self):
+        tracker = OutcomeTracker(1)
+        for _ in range(3):
+            tracker((7,), True)
+        tracker((7,), False)
+        _, outcomes, _ = tracker.outcome_samples(0)
+        assert outcomes[0] == pytest.approx(0.5)
+
+    def test_wrong_arity_raises(self):
+        tracker = OutcomeTracker(2)
+        with pytest.raises(ValueError):
+            tracker((1,), True)
+
+    def test_merge(self):
+        a, b = OutcomeTracker(1), OutcomeTracker(1)
+        a((1,), True)
+        b((1,), False)
+        b((2,), True)
+        a.merge(b)
+        assert a.events == 3
+        indices, _, traffic = a.outcome_samples(0)
+        assert indices == [1, 2]
+
+    def test_merge_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            OutcomeTracker(1).merge(OutcomeTracker(2))
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ValueError):
+            OutcomeTracker(0)
+
+
+class TestFeaturePearson:
+    def make_filter(self):
+        features = [Feature("f", 16, lambda ctx: ctx.confidence)]
+        return PerceptronFilter(features)
+
+    def test_trained_feature_correlates(self):
+        filt = self.make_filter()
+        tracker = OutcomeTracker(1)
+        # Index 2 always positive, index 9 always negative; train weights
+        # accordingly so weight and outcome align.
+        for _ in range(10):
+            filt.train((2,), True)
+            tracker((2,), True)
+            filt.train((9,), False)
+            tracker((9,), False)
+        assert feature_pearson(filt, tracker, 0) == pytest.approx(1.0)
+
+    def test_untrained_feature_zero(self):
+        filt = self.make_filter()
+        tracker = OutcomeTracker(1)
+        assert feature_pearson(filt, tracker, 0) == 0.0
+
+    def test_uninformative_feature_near_zero(self):
+        """Mixed outcomes per index leave weights flat -> no correlation."""
+        filt = self.make_filter()
+        tracker = OutcomeTracker(1)
+        for index in (2, 9):
+            for _ in range(5):
+                filt.train((index,), True)
+                tracker((index,), True)
+                filt.train((index,), False)
+                tracker((index,), False)
+        assert abs(feature_pearson(filt, tracker, 0)) < 0.5
+
+    def test_all_feature_pearsons_keys(self):
+        filt = self.make_filter()
+        tracker = OutcomeTracker(1)
+        result = all_feature_pearsons(filt, tracker)
+        assert set(result) == {"f"}
+
+
+class TestHistograms:
+    def test_counts_values(self):
+        histogram = weight_histogram([0, 0, 5, -16, 15])
+        assert histogram[0] == 2
+        assert histogram[5] == 1
+        assert histogram[-16] == 1
+        assert histogram[15] == 1
+
+    def test_includes_empty_bins(self):
+        histogram = weight_histogram([])
+        assert len(histogram) == 32
+        assert all(count == 0 for count in histogram.values())
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            weight_histogram([16])
+
+    def test_concentration_near_zero(self):
+        histogram = weight_histogram([0, 1, -1, 15])
+        assert histogram_concentration_near_zero(histogram, radius=2) == 0.75
+
+    def test_concentration_of_empty_is_one(self):
+        assert histogram_concentration_near_zero(weight_histogram([])) == 1.0
+
+    def test_saturation_counts_touched_extremes(self):
+        histogram = weight_histogram([15, 15, -16, 1])
+        assert histogram_saturation(histogram, margin=2) == pytest.approx(0.75)
+
+    def test_saturation_of_untouched_is_zero(self):
+        assert histogram_saturation(weight_histogram([0, 0])) == 0.0

@@ -1,0 +1,74 @@
+"""Determinism guarantees across the whole stack.
+
+Reproducibility is a core requirement for a reproduction repo: same
+seeds, same bits.  These tests cover every stochastic component.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.multi_core import run_multi_core
+from repro.sim.single_core import run_single_core
+from repro.workloads.mixes import WorkloadMix, memory_intensive_mixes, random_mixes
+from repro.workloads.simpoint import select_simpoints
+from repro.workloads.spec2017 import spec2017_workloads, workload_by_name
+
+TINY = SimConfig.quick(measure_records=1_500, warmup_records=400)
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("name", [w.name for w in spec2017_workloads()[:6]])
+    def test_every_workload_trace_reproducible(self, name):
+        spec = workload_by_name(name)
+        assert list(spec.trace(150, seed=2)) == list(spec.trace(150, seed=2))
+
+
+class TestSimulationDeterminism:
+    @pytest.mark.parametrize("scheme", ["none", "spp", "ppf", "bop", "da-ampm", "vldp"])
+    def test_single_core_bitwise_identical(self, scheme):
+        workload = workload_by_name("623.xalancbmk_s")
+        a = run_single_core(workload, scheme, TINY, seed=3)
+        b = run_single_core(workload, scheme, TINY, seed=3)
+        assert (a.cycles, a.l2_misses, a.prefetches_issued, a.prefetches_useful) == (
+            b.cycles,
+            b.l2_misses,
+            b.prefetches_issued,
+            b.prefetches_useful,
+        )
+
+    def test_multi_core_bitwise_identical(self):
+        cfg = SimConfig.multicore(2)
+        cfg.warmup_records, cfg.measure_records = 200, 800
+        mix = WorkloadMix(
+            name="t",
+            workloads=(workload_by_name("619.lbm_s"), workload_by_name("657.xz_s")),
+        )
+        a = run_multi_core(mix, "ppf", cfg, seed=5)
+        b = run_multi_core(mix, "ppf", cfg, seed=5)
+        assert [c.cycles for c in a.cores] == [c.cycles for c in b.cores]
+        assert [c.prefetches_issued for c in a.cores] == [
+            c.prefetches_issued for c in b.cores
+        ]
+
+    def test_seed_changes_results(self):
+        workload = workload_by_name("623.xalancbmk_s")
+        a = run_single_core(workload, "spp", TINY, seed=3)
+        b = run_single_core(workload, "spp", TINY, seed=4)
+        assert a.cycles != b.cycles
+
+
+class TestSamplingDeterminism:
+    def test_mix_builders(self):
+        def names(mixes):
+            return [[w.name for w in m.workloads] for m in mixes]
+
+        assert names(memory_intensive_mixes(4, 6, seed=2)) == names(
+            memory_intensive_mixes(4, 6, seed=2)
+        )
+        assert names(random_mixes(4, 6, seed=2)) == names(random_mixes(4, 6, seed=2))
+
+    def test_simpoint_selection(self):
+        trace = list(workload_by_name("623.xalancbmk_s").trace(4_000, seed=1))
+        assert select_simpoints(trace, 500, seed=7) == select_simpoints(
+            trace, 500, seed=7
+        )

@@ -1,0 +1,125 @@
+"""Tests for repro.memory.dram."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.dram import DRAM, ROW_BITS, DRAMConfig
+
+
+class TestConfig:
+    def test_default_is_12_8_gbps(self):
+        # 64 B / 20 cycles at 4 GHz = 12.8 GB/s
+        assert DRAMConfig.default().cycles_per_transfer == 20
+
+    def test_low_bandwidth_is_quarter(self):
+        assert DRAMConfig.low_bandwidth().cycles_per_transfer == 80
+
+    def test_multicore_channels(self):
+        assert DRAMConfig.multicore(4).channels == 2
+        assert DRAMConfig.multicore(8).channels == 4
+        assert DRAMConfig.multicore(1).channels == 1
+
+
+class TestRowBuffer:
+    def test_first_access_misses_row(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = DRAM()
+        first = dram.access(0x1000, 0)
+        second_start = dram.next_free_cycle(0x1040)
+        ready = dram.access(0x1040, second_start)
+        assert dram.stats.row_hits == 1
+        assert ready - second_start == dram.config.row_hit_latency
+
+    def test_different_row_misses(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        dram.access(0x1000 + (1 << ROW_BITS), 1000)
+        assert dram.stats.row_misses == 2
+
+    def test_row_hit_is_faster(self):
+        cfg = DRAMConfig()
+        assert cfg.row_hit_latency < cfg.row_miss_latency
+
+
+class TestBandwidth:
+    def test_back_to_back_accesses_queue(self):
+        dram = DRAM()
+        cfg = dram.config
+        first = dram.access(0x1000, 0)
+        assert first == cfg.row_miss_latency
+        # Second access at cycle 0 must wait for the bus occupancy window.
+        second = dram.access(0x2000 + (1 << ROW_BITS), 0)
+        assert second == cfg.cycles_per_transfer + cfg.row_miss_latency
+        assert dram.stats.total_queue_delay == cfg.cycles_per_transfer
+
+    def test_spaced_accesses_do_not_queue(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        dram.access(0x2000, 1000)
+        assert dram.stats.total_queue_delay == 0
+
+    def test_channel_interleaving_avoids_queueing(self):
+        dram = DRAM(DRAMConfig(channels=2))
+        dram.access(0 << 6, 0)  # channel 0
+        dram.access(1 << 6, 0)  # channel 1
+        assert dram.stats.total_queue_delay == 0
+
+    def test_low_bandwidth_queues_longer(self):
+        def delay(cfg):
+            dram = DRAM(cfg)
+            dram.access(0x1000, 0)
+            dram.access(0x2000, 0)
+            return dram.stats.total_queue_delay
+
+        assert delay(DRAMConfig.low_bandwidth()) == 4 * delay(DRAMConfig.default())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=2, max_size=50))
+    def test_ready_cycle_after_request_cycle(self, blocks):
+        dram = DRAM()
+        cycle = 0
+        for block in blocks:
+            ready = dram.access(block << 6, cycle)
+            assert ready > cycle
+            cycle += 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=50))
+    def test_channel_next_free_is_monotonic(self, blocks):
+        dram = DRAM()
+        previous = 0
+        for block in blocks:
+            dram.access(block << 6, 0)
+            current = dram.next_free_cycle(block << 6)
+            assert current >= previous
+            previous = current
+
+
+class TestStats:
+    def test_demand_vs_prefetch_counts(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        dram.access(0x2000, 100, is_prefetch=True)
+        assert dram.stats.demand_accesses == 1
+        assert dram.stats.prefetch_accesses == 1
+        assert dram.stats.accesses == 2
+
+    def test_row_hit_rate(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        dram.access(0x1040, 1000)
+        assert dram.stats.row_hit_rate == 0.5
+
+    def test_mean_queue_delay_zero_when_empty(self):
+        assert DRAM().stats.mean_queue_delay == 0.0
+
+    def test_reset(self):
+        dram = DRAM()
+        dram.access(0x1000, 0)
+        dram.reset_stats()
+        assert dram.stats.accesses == 0

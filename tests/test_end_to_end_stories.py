@@ -1,0 +1,92 @@
+"""End-to-end narrative tests: the paper's §6 stories, told by the code.
+
+Each test walks one qualitative story from the results section through
+the public API, asserting the causal chain rather than a single number.
+"""
+
+import pytest
+
+from repro.core.filter import FilterConfig
+from repro.core.ppf import PPF, make_ppf_spp
+from repro.prefetchers.spp import SPP, SPPConfig
+from repro.sim.config import SimConfig
+from repro.sim.single_core import run_single_core
+from repro.workloads.spec2017 import workload_by_name
+
+CFG = SimConfig.quick(measure_records=10_000, warmup_records=2_500)
+
+
+class TestXalancbmkStory:
+    """§6.1: 'Despite SPP under performing on that application, PPF
+    manages to considerably outperform all prefetchers' — because the
+    varying deltas trip SPP's throttle while PPF's per-candidate check
+    keeps prefetching."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        workload = workload_by_name("623.xalancbmk_s")
+        return {
+            "spp": run_single_core(workload, SPP(SPPConfig.default()), CFG),
+            "ppf": run_single_core(workload, make_ppf_spp(), CFG),
+        }
+
+    def test_chain_deeper_speculation(self, runs):
+        assert runs["ppf"].average_lookahead_depth > runs["spp"].average_lookahead_depth
+
+    def test_chain_more_total_prefetches(self, runs):
+        assert runs["ppf"].prefetch_candidates > runs["spp"].prefetch_candidates
+
+    def test_chain_more_useful_prefetches(self, runs):
+        assert runs["ppf"].prefetches_useful > runs["spp"].prefetches_useful
+
+    def test_chain_ends_in_speedup(self, runs):
+        assert runs["ppf"].ipc > runs["spp"].ipc
+
+
+class TestAccuracyCoverageTradeoffStory:
+    """§1: coverage and accuracy 'generally at odds'; PPF breaks the
+    trade-off — more coverage AND more accuracy than the stock tuning."""
+
+    def test_ppf_improves_both_axes(self):
+        workload = workload_by_name("649.fotonik3d_s")
+        base = run_single_core(workload, "none", CFG)
+        spp = run_single_core(workload, SPP(SPPConfig.default()), CFG)
+        ppf = run_single_core(workload, make_ppf_spp(), CFG)
+        coverage_spp = 1 - spp.l2_misses / base.l2_misses
+        coverage_ppf = 1 - ppf.l2_misses / base.l2_misses
+        assert coverage_ppf > coverage_spp
+        assert ppf.accuracy > spp.accuracy
+
+
+class TestFillLevelStory:
+    """§3.1: two thresholds route moderate-confidence prefetches to the
+    larger LLC rather than 'possibly pollute a significantly smaller L2'."""
+
+    def test_two_level_filter_uses_both_destinations(self):
+        workload = workload_by_name("623.xalancbmk_s")
+        ppf = make_ppf_spp()
+        run_single_core(workload, ppf, CFG)
+        stats = ppf.filter.stats
+        assert stats.accepted_l2 > 0
+        assert stats.accepted_llc > 0
+        assert stats.rejected > 0
+
+    def test_collapsed_thresholds_lose_the_middle_band(self):
+        workload = workload_by_name("623.xalancbmk_s")
+        ppf = PPF(filter_config=FilterConfig.single_level())
+        run_single_core(workload, ppf, CFG)
+        assert ppf.filter.stats.accepted_llc == 0
+
+
+class TestAlphaFeedbackStory:
+    """§2.1/§6.1: filtering raises measured accuracy, which raises SPP's
+    alpha, which un-throttles the lookahead — a positive feedback loop
+    the stock prefetcher cannot reach."""
+
+    def test_filtered_spp_holds_higher_alpha(self):
+        workload = workload_by_name("605.mcf_s")
+        stock = SPP(SPPConfig.default())
+        run_single_core(workload, stock, CFG)
+        ppf = make_ppf_spp()
+        run_single_core(workload, ppf, CFG)
+        assert ppf.underlying.alpha_percent >= stock.alpha_percent

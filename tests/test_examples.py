@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_has_quickstart(self):
+        assert (EXAMPLES / "quickstart.py").exists()
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "623.xalancbmk_s", "4000")
+        assert "PPF quickstart" in out
+        assert "PPF over aggressive SPP" in out
+
+    def test_aggressive_tuning(self):
+        out = run_example("aggressive_tuning.py", "4000")
+        assert "Figure 1" in out
+        assert "TOTAL_PF" in out
+
+    def test_multicore_filtering(self):
+        out = run_example("multicore_filtering.py", "2", "2500")
+        assert "Weighted-IPC" in out
+        assert "geomean" in out
+
+    def test_feature_engineering(self):
+        out = run_example("feature_engineering.py", "4000")
+        assert "Feature audit" in out
+        assert "delta_xor_page_offset" in out
+        assert "Survivors" in out
+
+    def test_filter_any_prefetcher(self):
+        out = run_example("filter_any_prefetcher.py", "4000")
+        assert "PPF over BOP" in out
+        assert "PPF over stride" in out
+
+    def test_traffic_analysis(self):
+        out = run_example("traffic_analysis.py", "603.bwaves_s", "4000")
+        assert "Memory-traffic breakdown" in out
+        assert "prefetch traffic" in out
+
+    def test_simpoint_sampling(self):
+        out = run_example("simpoint_sampling.py", "8000", "2000")
+        assert "Selected SimPoints" in out
+        assert "SimPoint-weighted PPF speedup" in out
+
+    def test_reproduce_paper_lists_experiments(self):
+        out = run_example("reproduce_paper.py")
+        assert "fig9-10" in out
+        assert "tab2-3" in out
+
+    def test_reproduce_paper_runs_cheap_experiment(self):
+        out = run_example("reproduce_paper.py", "tab2-3", "--records", "1000")
+        assert "322240" in out

@@ -1,0 +1,103 @@
+"""Tests for repro.analysis.feature_selection (§5.5 methodology)."""
+
+import pytest
+
+from repro.analysis.feature_selection import FeatureStudy, run_feature_study
+from repro.core.features import exploration_features, production_features
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+TINY = SimConfig.quick(measure_records=4_000, warmup_records=800)
+
+
+@pytest.fixture(scope="module")
+def study():
+    """One recorded study over two contrasting workloads (module-scoped:
+    the runs are the expensive part)."""
+    workloads = [workload_by_name("603.bwaves_s"), workload_by_name("623.xalancbmk_s")]
+    return run_feature_study(workloads, production_features(), TINY)
+
+
+class TestRunStudy:
+    def test_one_run_per_workload(self, study):
+        assert [run.workload for run in study.runs] == [
+            "603.bwaves_s",
+            "623.xalancbmk_s",
+        ]
+
+    def test_trackers_saw_events(self, study):
+        assert all(run.tracker.events > 0 for run in study.runs)
+
+    def test_filters_trained(self, study):
+        for run in study.runs:
+            assert any(table.nonzero_count() > 0 for table in run.filter.tables)
+
+
+class TestGlobalPearson:
+    def test_covers_all_features(self, study):
+        result = study.global_pearson()
+        assert set(result) == {f.name for f in production_features()}
+
+    def test_values_bounded(self, study):
+        for value in study.global_pearson().values():
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_some_feature_correlates(self, study):
+        """At least one production feature must show real correlation."""
+        assert max(abs(v) for v in study.global_pearson().values()) > 0.3
+
+
+class TestPerTrace:
+    def test_shape(self, study):
+        per_trace = study.per_trace_pearson()
+        assert set(per_trace) == {f.name for f in production_features()}
+        for by_workload in per_trace.values():
+            assert set(by_workload) == {"603.bwaves_s", "623.xalancbmk_s"}
+
+    def test_variation_exists(self, study):
+        """Figure 8's point: per-trace correlation varies by workload."""
+        per_trace = study.per_trace_pearson()
+        spreads = [
+            abs(by_wl["603.bwaves_s"] - by_wl["623.xalancbmk_s"])
+            for by_wl in per_trace.values()
+        ]
+        assert max(spreads) > 0.05
+
+
+class TestCrossCorrelationAndTrim:
+    def test_matrix_shape_and_diagonal(self, study):
+        matrix = study.cross_correlation()
+        n = len(production_features())
+        assert len(matrix) == n and all(len(row) == n for row in matrix)
+        for i in range(n):
+            assert matrix[i][i] == 1.0
+
+    def test_matrix_symmetric(self, study):
+        matrix = study.cross_correlation()
+        n = len(matrix)
+        for i in range(n):
+            for j in range(n):
+                assert matrix[i][j] == pytest.approx(matrix[j][i])
+
+    def test_trim_returns_subset(self, study):
+        survivors = study.trim(redundancy_threshold=0.9)
+        names = {f.name for f in survivors}
+        assert names <= {f.name for f in production_features()}
+        assert survivors  # never trims everything
+
+    def test_trim_keep_limits_count(self, study):
+        survivors = study.trim(redundancy_threshold=0.9, keep=3)
+        assert len(survivors) <= 3
+
+    def test_aggressive_threshold_drops_more(self, study):
+        lax = study.trim(redundancy_threshold=0.99)
+        strict = study.trim(redundancy_threshold=0.3)
+        assert len(strict) <= len(lax)
+
+
+class TestEmptyStudy:
+    def test_empty_study_is_calm(self):
+        study = FeatureStudy(features=production_features())
+        assert all(v == 0.0 for v in study.global_pearson().values())
+        matrix = study.cross_correlation()
+        assert matrix[0][1] == 0.0

@@ -1,0 +1,167 @@
+"""Tests for repro.core.features."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    Feature,
+    FeatureContext,
+    exploration_features,
+    feature_by_name,
+    feature_names,
+    production_features,
+)
+from repro.memory.address import encode_delta
+
+
+def make_ctx(**overrides):
+    defaults = dict(
+        candidate_addr=0x123456789 & ~0x3F,
+        trigger_addr=0x123456000,
+        pc=0x401234,
+        pcs=(0x401234, 0x401230, 0x40122C),
+        delta=3,
+        depth=2,
+        signature=0xABC,
+        last_signature=0x123,
+        confidence=75,
+    )
+    defaults.update(overrides)
+    return FeatureContext(**defaults)
+
+
+class TestCatalogs:
+    def test_production_has_nine_features(self):
+        assert len(production_features()) == 9
+
+    def test_production_names_match_paper(self):
+        names = set(feature_names(production_features()))
+        assert names == {
+            "phys_address",
+            "cache_line",
+            "page_address",
+            "page_xor_confidence",
+            "pc_path_hash",
+            "signature_xor_delta",
+            "pc_xor_depth",
+            "pc_xor_delta",
+            "confidence",
+        }
+
+    def test_table_split_matches_table3(self):
+        """Four 4096-entry, two 2048, two 1024, one 128 (Table 3)."""
+        sizes = sorted(f.table_entries for f in production_features())
+        assert sizes == [128, 1024, 1024, 2048, 2048, 4096, 4096, 4096, 4096]
+
+    def test_production_weight_bits_match_paper(self):
+        total = sum(f.table_entries for f in production_features()) * 5
+        assert total == 113_280
+
+    def test_exploration_has_23_features(self):
+        assert len(exploration_features()) == 23
+
+    def test_exploration_extends_production(self):
+        production = set(feature_names(production_features()))
+        exploration = set(feature_names(exploration_features()))
+        assert production < exploration
+        assert "last_signature" in exploration
+
+    def test_feature_by_name(self):
+        assert feature_by_name("confidence").table_entries == 128
+
+    def test_feature_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            feature_by_name("nonexistent")
+
+    def test_no_duplicate_names(self):
+        names = feature_names(exploration_features())
+        assert len(names) == len(set(names))
+
+
+class TestIndexing:
+    def test_index_within_table(self):
+        ctx = make_ctx()
+        for feature in exploration_features():
+            index = feature.index(ctx)
+            assert 0 <= index < feature.table_entries
+
+    @settings(max_examples=50)
+    @given(
+        addr=st.integers(min_value=0, max_value=2**40),
+        pc=st.integers(min_value=0, max_value=2**32),
+        delta=st.integers(min_value=-63, max_value=63),
+        depth=st.integers(min_value=1, max_value=24),
+        conf=st.integers(min_value=0, max_value=100),
+        sig=st.integers(min_value=0, max_value=0xFFF),
+    )
+    def test_index_always_in_range(self, addr, pc, delta, depth, conf, sig):
+        ctx = make_ctx(
+            candidate_addr=addr & ~0x3F,
+            trigger_addr=addr,
+            pc=pc,
+            pcs=(pc, pc >> 1, pc >> 2),
+            delta=delta,
+            depth=depth,
+            confidence=conf,
+            signature=sig,
+            last_signature=sig ^ 1,
+        )
+        for feature in exploration_features():
+            assert 0 <= feature.index(ctx) < feature.table_entries
+
+    def test_confidence_feature_is_identity(self):
+        feature = feature_by_name("confidence")
+        assert feature.index(make_ctx(confidence=42)) == 42
+
+    def test_pc_xor_depth_varies_with_depth(self):
+        feature = feature_by_name("pc_xor_depth")
+        a = feature.index(make_ctx(depth=1))
+        b = feature.index(make_ctx(depth=2))
+        assert a != b
+
+    def test_pc_xor_delta_uses_encoded_delta(self):
+        feature = feature_by_name("pc_xor_delta")
+        pos = feature.index(make_ctx(delta=3))
+        neg = feature.index(make_ctx(delta=-3))
+        assert pos != neg  # sign bit distinguishes them
+
+    def test_address_features_differ_by_shift(self):
+        ctx = make_ctx()
+        phys = feature_by_name("phys_address").extract(ctx)
+        line = feature_by_name("cache_line").extract(ctx)
+        page = feature_by_name("page_address").extract(ctx)
+        assert phys >> 6 == line
+        assert line >> 6 == page
+
+    def test_page_xor_confidence_mixes_both(self):
+        feature = feature_by_name("page_xor_confidence")
+        assert feature.index(make_ctx(confidence=10)) != feature.index(
+            make_ctx(confidence=90)
+        )
+
+    def test_pc_path_hash_uses_shifted_history(self):
+        feature = feature_by_name("pc_path_hash")
+        same_pc = make_ctx(pcs=(0x400, 0x400, 0x400))
+        # Shifting avoids the all-equal-PCs-cancel-to-zero problem (§4.2).
+        assert feature.extract(same_pc) != 0
+
+    def test_signature_xor_delta(self):
+        feature = feature_by_name("signature_xor_delta")
+        expected = (0xABC ^ encode_delta(3)) & (feature.table_entries - 1)
+        assert feature.index(make_ctx()) == expected
+
+    def test_last_signature_reads_last_signature(self):
+        feature = feature_by_name("last_signature")
+        assert feature.index(make_ctx(last_signature=0x77)) == 0x77
+
+
+class TestFeatureContext:
+    def test_frozen(self):
+        ctx = make_ctx()
+        with pytest.raises(AttributeError):
+            ctx.pc = 0
+
+    def test_custom_feature_composes(self):
+        custom = Feature("custom", 64, lambda ctx: ctx.depth * 7)
+        assert custom.index(make_ctx(depth=3)) == 21

@@ -1,0 +1,194 @@
+"""Tests for repro.core.filter (the hashed perceptron)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import Feature, FeatureContext, production_features
+from repro.core.filter import Decision, FilterConfig, PerceptronFilter
+from repro.core.weights import WEIGHT_MAX, WEIGHT_MIN
+
+
+def make_ctx(**overrides):
+    defaults = dict(
+        candidate_addr=0x40000,
+        trigger_addr=0x40000,
+        pc=0x400,
+        pcs=(0x400, 0x3FC, 0x3F8),
+        delta=1,
+        depth=1,
+        signature=0x1,
+        last_signature=0,
+        confidence=50,
+    )
+    defaults.update(overrides)
+    return FeatureContext(**defaults)
+
+
+def tiny_filter(**config_kwargs):
+    features = [
+        Feature("f_conf", 128, lambda ctx: ctx.confidence),
+        Feature("f_depth", 32, lambda ctx: ctx.depth),
+    ]
+    return PerceptronFilter(features, FilterConfig(**config_kwargs))
+
+
+class TestConfig:
+    def test_default_orders(self):
+        cfg = FilterConfig.default()
+        assert cfg.tau_lo <= cfg.tau_hi
+        assert cfg.theta_n <= cfg.theta_p
+
+    def test_invalid_tau_order_rejected(self):
+        with pytest.raises(ValueError):
+            FilterConfig(tau_hi=-20, tau_lo=-10)
+
+    def test_invalid_theta_order_rejected(self):
+        with pytest.raises(ValueError):
+            FilterConfig(theta_p=-100, theta_n=100)
+
+    def test_single_level_collapses_thresholds(self):
+        cfg = FilterConfig.single_level()
+        assert cfg.tau_hi == cfg.tau_lo
+
+
+class TestInference:
+    def test_default_features_are_production(self):
+        assert len(PerceptronFilter().features) == 9
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValueError):
+            PerceptronFilter(features=[])
+
+    def test_untrained_sum_is_zero(self):
+        filt = tiny_filter()
+        decision, total, indices = filt.infer(make_ctx())
+        assert total == 0
+        assert decision is Decision.PREFETCH_L2  # 0 >= tau_hi (-5)
+
+    def test_decision_bands(self):
+        filt = tiny_filter(tau_hi=4, tau_lo=-4)
+        # Train confidence-50/depth-1 weights up.
+        indices = filt.feature_indices(make_ctx())
+        filt.train(indices, positive=True)
+        filt.train(indices, positive=True)
+        filt.train(indices, positive=True)
+        decision, total, _ = filt.infer(make_ctx())
+        assert total == 6
+        assert decision is Decision.PREFETCH_L2
+        # Push down into the LLC band.
+        for _ in range(4):
+            filt.train(indices, positive=False)
+        decision, total, _ = filt.infer(make_ctx())
+        assert total == -2
+        assert decision is Decision.PREFETCH_LLC
+        for _ in range(4):
+            filt.train(indices, positive=False)
+        decision, total, _ = filt.infer(make_ctx())
+        assert decision is Decision.REJECT
+
+    def test_decision_accepted_property(self):
+        assert Decision.PREFETCH_L2.accepted
+        assert Decision.PREFETCH_LLC.accepted
+        assert not Decision.REJECT.accepted
+
+    def test_stats_track_decisions(self):
+        filt = tiny_filter()
+        filt.infer(make_ctx())
+        assert filt.stats.inferences == 1
+        assert filt.stats.accepted_l2 == 1
+        assert filt.stats.accept_rate == 1.0
+
+    def test_distinct_contexts_index_distinct_weights(self):
+        filt = tiny_filter()
+        a = filt.feature_indices(make_ctx(confidence=10))
+        b = filt.feature_indices(make_ctx(confidence=90))
+        assert a != b
+
+    def test_sum_bounds(self):
+        filt = PerceptronFilter()
+        assert filt.max_sum == 9 * WEIGHT_MAX
+        assert filt.min_sum == 9 * WEIGHT_MIN
+
+
+class TestTraining:
+    def test_positive_training_increments_all(self):
+        filt = tiny_filter()
+        indices = filt.feature_indices(make_ctx())
+        assert filt.train(indices, positive=True)
+        assert filt.weight_sum(indices) == len(filt.features)
+
+    def test_negative_training_decrements_all(self):
+        filt = tiny_filter()
+        indices = filt.feature_indices(make_ctx())
+        filt.train(indices, positive=False)
+        assert filt.weight_sum(indices) == -len(filt.features)
+
+    def test_theta_p_suppresses_positive_overtraining(self):
+        filt = tiny_filter(theta_p=4, theta_n=-4)
+        indices = filt.feature_indices(make_ctx())
+        applied = [filt.train(indices, positive=True) for _ in range(10)]
+        # Stops once the re-read sum reaches theta_p.
+        assert not all(applied)
+        assert filt.weight_sum(indices) <= 4 + len(filt.features)
+        assert filt.stats.suppressed_updates > 0
+
+    def test_theta_n_suppresses_negative_overtraining(self):
+        filt = tiny_filter(theta_p=4, theta_n=-4)
+        indices = filt.feature_indices(make_ctx())
+        applied = [filt.train(indices, positive=False) for _ in range(10)]
+        assert not all(applied)
+        assert filt.weight_sum(indices) >= -4 - len(filt.features)
+
+    def test_weights_saturate(self):
+        filt = tiny_filter(theta_p=10_000, theta_n=-10_000)
+        indices = filt.feature_indices(make_ctx())
+        for _ in range(100):
+            filt.train(indices, positive=True)
+        assert filt.weight_sum(indices) == WEIGHT_MAX * len(filt.features)
+
+    def test_reset_clears_weights_and_stats(self):
+        filt = tiny_filter()
+        indices = filt.feature_indices(make_ctx())
+        filt.train(indices, positive=True)
+        filt.infer(make_ctx())
+        filt.reset()
+        assert filt.weight_sum(indices) == 0
+        assert filt.stats.inferences == 0
+
+
+class TestLearnability:
+    def test_learns_linearly_separable_rule(self):
+        """The filter must learn 'low confidence = useless' quickly."""
+        filt = PerceptronFilter(config=FilterConfig(theta_p=30, theta_n=-30))
+        good = make_ctx(confidence=90, candidate_addr=0x10000)
+        bad = make_ctx(confidence=5, candidate_addr=0x20040, depth=9)
+        for _ in range(20):
+            filt.train(filt.feature_indices(good), positive=True)
+            filt.train(filt.feature_indices(bad), positive=False)
+        good_decision, good_sum, _ = filt.infer(good)
+        bad_decision, bad_sum, _ = filt.infer(bad)
+        assert good_sum > bad_sum
+        assert good_decision.accepted
+        assert bad_decision is Decision.REJECT
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_generalizes_over_confidence_feature(self, pc):
+        """Unseen addresses with a trained confidence still classify."""
+        filt = PerceptronFilter(config=FilterConfig(theta_p=50, theta_n=-50))
+        for i in range(30):
+            ctx = make_ctx(confidence=3, candidate_addr=i * 0x4340, pc=i * 7)
+            filt.train(filt.feature_indices(ctx), positive=False)
+        unseen = make_ctx(confidence=3, candidate_addr=0x77777740, pc=pc)
+        _, total, _ = filt.infer(unseen)
+        assert total < 0
+
+    def test_table_for_lookup(self):
+        filt = PerceptronFilter()
+        assert filt.table_for("confidence").entries == 128
+        with pytest.raises(KeyError):
+            filt.table_for("nope")
+
+    def test_total_weight_bits(self):
+        assert PerceptronFilter().total_weight_bits() == 113_280

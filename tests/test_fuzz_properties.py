@@ -1,0 +1,115 @@
+"""Cross-cutting property tests: random traffic must never break invariants.
+
+These fuzz the full prefetcher population and the hierarchy with
+arbitrary access streams and check structural invariants — the kind of
+guarantees a hardware unit gives by construction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppf import make_ppf_spp
+from repro.core.weights import WEIGHT_MAX, WEIGHT_MIN
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.prefetchers.ampm import AMPM, DAAMPM
+from repro.prefetchers.bop import BOP
+from repro.prefetchers.next_line import NextLine
+from repro.prefetchers.spp import SPP, SPPConfig
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.vldp import VLDP
+
+ALL_PREFETCHERS = [SPP, BOP, AMPM, DAAMPM, NextLine, StridePrefetcher, VLDP]
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 22),  # block number
+        st.integers(min_value=0, max_value=1 << 16),  # pc
+        st.booleans(),  # cache hit flag
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@pytest.mark.parametrize("prefetcher_cls", ALL_PREFETCHERS)
+class TestPrefetcherInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(stream=accesses)
+    def test_candidates_are_block_aligned_and_nonnegative(self, prefetcher_cls, stream):
+        prefetcher = prefetcher_cls()
+        for cycle, (block, pc, hit) in enumerate(stream):
+            for candidate in prefetcher.train(block << 6, pc, hit, cycle):
+                assert candidate.addr >= 0
+                assert candidate.addr % 64 == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(stream=accesses)
+    def test_never_prefetches_trigger_block(self, prefetcher_cls, stream):
+        prefetcher = prefetcher_cls()
+        for cycle, (block, pc, hit) in enumerate(stream):
+            for candidate in prefetcher.train(block << 6, pc, hit, cycle):
+                assert candidate.addr >> 6 != block
+
+
+class TestSPPFuzz:
+    @settings(max_examples=15, deadline=None)
+    @given(stream=accesses)
+    def test_confidence_meta_in_range(self, stream):
+        spp = SPP(SPPConfig.aggressive())
+        for cycle, (block, pc, hit) in enumerate(stream):
+            for candidate in spp.train(block << 6, pc, hit, cycle):
+                assert 0 <= candidate.meta["confidence"] <= 100
+                assert candidate.meta["depth"] >= 1
+
+
+class TestPPFFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(stream=accesses)
+    def test_weights_stay_saturated_range(self, stream):
+        ppf = make_ppf_spp()
+        for cycle, (block, pc, hit) in enumerate(stream):
+            addr = block << 6
+            ppf.train(addr, pc, hit, cycle)
+            if cycle % 3 == 0:
+                ppf.on_eviction(addr, was_prefetch=True, was_used=False)
+        for table in ppf.filter.tables:
+            assert all(WEIGHT_MIN <= w <= WEIGHT_MAX for w in table.weights())
+
+    @settings(max_examples=10, deadline=None)
+    @given(stream=accesses)
+    def test_tables_never_hold_invalid_hits(self, stream):
+        ppf = make_ppf_spp()
+        for cycle, (block, pc, hit) in enumerate(stream):
+            ppf.train(block << 6, pc, hit, cycle)
+        assert ppf.prefetch_table.occupancy() <= ppf.prefetch_table.entries
+        assert ppf.reject_table.occupancy() <= ppf.reject_table.entries
+
+
+class TestHierarchyFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(stream=accesses)
+    def test_ready_cycles_never_precede_requests(self, stream):
+        hierarchy = MemoryHierarchy(
+            config=HierarchyConfig(l1_size=4096, l1_assoc=4, l2_size=16384,
+                                   l2_assoc=4, llc_size_per_core=65536),
+            prefetchers=[SPP(SPPConfig.aggressive())],
+        )
+        cycle = 0
+        for block, pc, _hit in stream:
+            result = hierarchy.access(0, pc, block << 6, cycle)
+            assert result.ready_cycle > cycle
+            cycle = result.ready_cycle + 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(stream=accesses)
+    def test_stats_balance(self, stream):
+        hierarchy = MemoryHierarchy(prefetchers=[make_ppf_spp()])
+        cycle = 0
+        for block, pc, _hit in stream:
+            cycle = hierarchy.access(0, pc, block << 6, cycle).ready_cycle + 1
+        l2 = hierarchy.l2[0].stats
+        assert l2.demand_hits + l2.demand_misses == l2.demand_accesses
+        pf = hierarchy.prefetchers[0].stats
+        assert pf.issued == pf.issued_l2 + pf.issued_llc
+        assert pf.useful <= pf.issued + l2.demand_accesses  # sanity bound

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness (registry + cheap experiments).
+
+The expensive figure sweeps are exercised end-to-end by the benchmark
+suite; here we run the cheap experiments for real and validate the
+expensive ones' plumbing at miniature scale.
+"""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.harness.figure01 import run_figure1
+from repro.harness.figures02_05 import run_architecture_checks
+from repro.harness.tables import table1_report, table2_report, table3_report
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+MINI = SimConfig.quick(measure_records=3_000, warmup_records=600)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = set(experiment_ids())
+        assert ids == {
+            "fig1",
+            "tab1",
+            "fig2-5",
+            "fig6-8",
+            "tab2-3",
+            "fig9-10",
+            "fig11",
+            "fig12",
+            "sec6.3",
+            "fig13",
+            "ablations",
+        }
+
+    def test_experiments_have_anchors(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.paper_anchor
+            assert experiment.description
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cheap_experiments_render(self):
+        for experiment_id in ("tab1", "tab2-3", "fig2-5"):
+            report = run_experiment(experiment_id, MINI)
+            assert isinstance(report, str) and report
+
+
+class TestTables:
+    def test_table1_mentions_key_parameters(self):
+        report = table1_report()
+        assert "LLC" in report and "DRAM" in report and "LRU" in report
+
+    def test_table2_total(self):
+        assert "85" in table2_report()
+
+    def test_table3_totals(self):
+        report = table3_report()
+        assert "322240" in report
+        assert "39.34" in report
+
+
+class TestArchitectureChecks:
+    def test_all_checks_pass(self):
+        checks = run_architecture_checks()
+        failing = [c.name for c in checks if not c.ok]
+        assert not failing, f"architecture drift: {failing}"
+
+    def test_covers_all_four_figures(self):
+        names = " ".join(c.name for c in run_architecture_checks())
+        for figure in ("Fig 2", "Fig 3", "Fig 4", "Fig 5"):
+            assert figure in names
+
+
+class TestFigure1:
+    def test_series_structure(self):
+        result = run_figure1(depths=(3, 5), config=MINI)
+        rows = result.normalized()
+        assert [row["depth"] for row in rows] == [3, 5]
+        assert rows[0]["ipc"] == pytest.approx(1.0)
+        assert rows[0]["total_pf"] == pytest.approx(1.0)
+
+    def test_deeper_never_issues_fewer(self):
+        result = run_figure1(depths=(3, 9), config=MINI)
+        assert result.total_pf[9] >= result.total_pf[3]
+
+
+class TestFigure1Report:
+    def test_report_renders(self):
+        from repro.harness.figure01 import report
+
+        result = run_figure1(depths=(3, 5), config=MINI)
+        out = report(result)
+        assert "Figure 1" in out
+        assert "TOTAL_PF" in out

@@ -1,0 +1,157 @@
+"""Plumbing tests for the figure experiments at miniature scale.
+
+The benchmark suite runs these experiments at full bench scale with the
+paper's shape assertions; here we validate structure, report rendering
+and the cheap invariants with tiny traces so the unit suite stays fast.
+"""
+
+import pytest
+
+from repro.harness import ablations, constraints, figure09, figure10, figure13
+from repro.harness import figures06_08, figures11_12
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+MINI = SimConfig.quick(measure_records=2_500, warmup_records=600)
+THREE = [
+    workload_by_name("603.bwaves_s"),
+    workload_by_name("641.leela_s"),
+    workload_by_name("623.xalancbmk_s"),
+]
+
+
+class TestFigure9Plumbing:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return figure09.run_figure9(workloads=THREE, config=MINI, schemes=("spp", "ppf"))
+
+    def test_rows_cover_workloads(self, fig9):
+        rows = fig9.speedup_rows()
+        assert [row[0] for row in rows] == [w.name for w in THREE]
+        assert all(len(row) == 3 for row in rows)
+
+    def test_geomeans_positive(self, fig9):
+        assert fig9.geomean("spp") > 0
+        assert fig9.geomean("ppf", memory_intensive_only=True) > 0
+
+    def test_report_renders(self, fig9):
+        out = figure09.report(fig9)
+        assert "Figure 9" in out
+        assert "geomean (full suite)" in out
+        assert "avg lookahead depth" in out
+
+    def test_average_depths_keys(self, fig9):
+        depths = fig9.average_depths()
+        assert set(depths) == {"spp", "ppf"}
+
+    def test_figure10_reuses_suite(self, fig9):
+        fig10 = figure10.run_figure10(suite=fig9.suite, schemes=("spp", "ppf"))
+        out = figure10.report(fig10)
+        assert "Figure 10" in out
+        table = fig10.coverage_table()
+        assert set(table) == {"spp", "ppf"}
+        for per_level in table.values():
+            assert set(per_level) == {"l2", "llc"}
+
+
+class TestMulticorePlumbing:
+    def test_figure11_structure(self):
+        config = SimConfig.multicore(2)
+        config.measure_records, config.warmup_records = 1_200, 300
+        result = figures11_12.run_multicore_figure(
+            2, mix_count=2, config=config, schemes=("spp", "ppf")
+        )
+        assert result.cores == 2
+        assert len(result.mixes) == 2
+        assert len(result.speedups["ppf"]) == 2
+        assert result.sorted_series("ppf") == sorted(result.speedups["ppf"])
+        out = figures11_12.report(result)
+        assert "weighted-IPC" in out
+
+    def test_figure12_uses_8_core_label(self):
+        config = SimConfig.multicore(8)
+        config.measure_records, config.warmup_records = 500, 150
+        result = figures11_12.run_figure12(
+            mix_count=1, config=config, schemes=("spp",)
+        )
+        assert result.cores == 8
+        assert "Figure 12" in figures11_12.report(result)
+
+
+class TestFigure13Plumbing:
+    def test_subset_limits_spec2006(self):
+        result = figure13.run_figure13(
+            config=MINI, schemes=("spp",), spec2006_subset=3
+        )
+        assert len(result.spec2006_workloads) == 3
+        assert all(w.memory_intensive for w in result.spec2006_workloads)
+        out = figure13.report(result)
+        assert "Figure 13a" in out and "Figure 13b" in out
+
+    def test_cloudsuite_geomeans(self):
+        result = figure13.run_figure13(config=MINI, schemes=("spp",), spec2006_subset=2)
+        assert result.cloudsuite_geomean("spp") > 0
+
+
+class TestConstraintsPlumbing:
+    def test_three_constraints_reported(self):
+        result = constraints.run_constraints(
+            workloads=THREE[:2], config=MINI, schemes=("spp",)
+        )
+        assert set(result.geomeans) == {"default", "small-llc", "low-bandwidth"}
+        out = constraints.report(result)
+        assert "small-llc" in out
+
+
+class TestAblationsPlumbing:
+    def test_variant_registry_contains_design_choices(self):
+        variants = ablations.ablation_variants()
+        for expected in (
+            "spp",
+            "ppf-full",
+            "no-reject-table",
+            "single-level",
+            "address-only",
+            "all-features",
+            "stock-spp-under",
+            "no-displacement",
+            "no-theta",
+            "half-budget",
+            "double-budget",
+        ):
+            assert expected in variants
+
+    def test_variants_instantiate(self):
+        for name, factory in ablations.ablation_variants().items():
+            prefetcher = factory()
+            assert hasattr(prefetcher, "train"), name
+
+    def test_run_subset(self):
+        result = ablations.run_ablations(
+            workloads=THREE[:1],
+            config=MINI,
+            variants=("spp", "ppf-full", "no-reject-table"),
+        )
+        assert set(result.geomeans) == {"spp", "ppf-full", "no-reject-table"}
+        assert "Ablations" in ablations.report(result)
+
+    def test_delta_vs_full(self):
+        result = ablations.run_ablations(
+            workloads=THREE[:1], config=MINI, variants=("ppf-full", "spp")
+        )
+        assert result.delta_vs_full_percent("ppf-full") == pytest.approx(0.0)
+
+
+class TestFeatureEvidencePlumbing:
+    def test_evidence_structure(self):
+        evidence = figures06_08.run_feature_evidence(
+            workloads=THREE[:2], config=MINI
+        )
+        assert set(evidence.histograms) == set(figures06_08.FIGURE6_FEATURES)
+        assert "page_xor_confidence" in evidence.global_pearson
+        for report_fn in (
+            figures06_08.figure6_report,
+            figures06_08.figure7_report,
+            figures06_08.figure8_report,
+        ):
+            assert report_fn(evidence)

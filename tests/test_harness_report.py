@@ -1,0 +1,62 @@
+"""Tests for repro.harness.report rendering."""
+
+import pytest
+
+from repro.harness.report import format_cell, render_histogram, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(1.2, precision=1) == "1.2"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_other_types(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        out = render_table(["a", "b"], [(1, 2.5)], title="T")
+        assert "T" in out
+        assert "a" in out and "b" in out
+        assert "2.500" in out
+
+    def test_alignment_widths(self):
+        out = render_table(["name", "v"], [("longer-than-header", 1)])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[-1])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_no_title(self):
+        out = render_table(["a"], [(1,)])
+        assert not out.startswith("=")
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        out = render_histogram({0: 10, 1: 5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_histogram(self):
+        out = render_histogram({0: 0})
+        assert "0" in out
+
+    def test_title(self):
+        out = render_histogram({0: 1}, title="H")
+        assert out.splitlines()[0] == "H"
+
+    def test_sorted_by_value(self):
+        out = render_histogram({5: 1, -3: 1, 0: 1})
+        lines = out.splitlines()
+        values = [int(line.split("|")[0]) for line in lines]
+        assert values == sorted(values)

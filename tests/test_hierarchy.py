@@ -1,0 +1,256 @@
+"""Tests for repro.memory.hierarchy."""
+
+import pytest
+
+from repro.memory.dram import DRAMConfig
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.prefetchers.base import NullPrefetcher, PrefetchCandidate, Prefetcher
+
+
+class ScriptedPrefetcher(Prefetcher):
+    """Returns a queued list of candidates on each train call."""
+
+    name = "scripted"
+
+    def __init__(self):
+        super().__init__()
+        self.queue = []
+        self.train_calls = []
+        self.evictions = []
+        self.useful = []
+
+    def train(self, addr, pc, cache_hit, cycle):
+        self.train_calls.append((addr, pc, cache_hit, cycle))
+        if self.queue:
+            return self.queue.pop(0)
+        return []
+
+    def on_eviction(self, addr, was_prefetch, was_used):
+        super().on_eviction(addr, was_prefetch, was_used)
+        self.evictions.append((addr, was_prefetch, was_used))
+
+    def on_useful_prefetch(self, addr):
+        super().on_useful_prefetch(addr)
+        self.useful.append(addr)
+
+
+def make_hierarchy(prefetcher=None, **kwargs):
+    prefetchers = [prefetcher] if prefetcher is not None else None
+    return MemoryHierarchy(num_cores=1, prefetchers=prefetchers, **kwargs)
+
+
+class TestConstruction:
+    def test_default_single_core(self):
+        h = MemoryHierarchy()
+        assert len(h.l1) == 1 and len(h.l2) == 1
+        assert h.llc.size_bytes == 2 * 1024 * 1024
+
+    def test_llc_scales_with_cores(self):
+        h = MemoryHierarchy(num_cores=4)
+        assert h.llc.size_bytes == 8 * 1024 * 1024
+
+    def test_small_llc_config(self):
+        h = MemoryHierarchy(config=HierarchyConfig.small_llc())
+        assert h.llc.size_bytes == 512 * 1024
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(num_cores=0)
+
+    def test_rejects_prefetcher_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(num_cores=2, prefetchers=[NullPrefetcher()])
+
+
+class TestDemandPath:
+    def test_cold_access_reaches_dram(self):
+        h = make_hierarchy()
+        result = h.access(0, pc=1, addr=0x10000, cycle=0)
+        assert result.level == "dram"
+        assert result.ready_cycle > 0
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        first = h.access(0, 1, 0x10000, 0)
+        second = h.access(0, 1, 0x10000, first.ready_cycle + 1)
+        assert second.level == "l1"
+
+    def test_l1_eviction_leaves_l2_hit(self):
+        h = make_hierarchy()
+        cfg = h.config
+        # Fill far more blocks than L1 holds, all mapping across sets.
+        blocks = cfg.l1_size // 64 * 4
+        cycle = 0
+        for i in range(blocks):
+            cycle = h.access(0, 1, 0x100000 + i * 64, cycle).ready_cycle + 1
+        # The first block fell out of L1 but should still be in L2.
+        result = h.access(0, 1, 0x100000, cycle)
+        assert result.level == "l2"
+
+    def test_latency_orders_l1_l2_dram(self):
+        h = make_hierarchy()
+        miss = h.access(0, 1, 0x20000, 0)
+        hit = h.access(0, 1, 0x20000, miss.ready_cycle + 1)
+        dram_latency = miss.ready_cycle
+        l1_latency = hit.ready_cycle - (miss.ready_cycle + 1)
+        assert l1_latency < dram_latency
+
+    def test_demand_misses_counted_at_l2(self):
+        h = make_hierarchy()
+        h.access(0, 1, 0x30000, 0)
+        assert h.l2[0].stats.demand_misses == 1
+        assert h.l2[0].stats.demand_accesses == 1
+
+
+class TestPrefetcherHooks:
+    def test_trained_on_every_l2_demand_access(self):
+        pf = ScriptedPrefetcher()
+        h = make_hierarchy(pf)
+        h.access(0, 7, 0x40000, 0)
+        assert len(pf.train_calls) == 1
+        addr, pc, cache_hit, _cycle = pf.train_calls[0]
+        assert (addr, pc, cache_hit) == (0x40000, 7, False)
+
+    def test_l1_hits_do_not_train(self):
+        pf = ScriptedPrefetcher()
+        h = make_hierarchy(pf)
+        r = h.access(0, 7, 0x40000, 0)
+        h.access(0, 7, 0x40000, r.ready_cycle + 1)
+        assert len(pf.train_calls) == 1
+
+    def test_prefetch_issues_and_fills_l2(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append([PrefetchCandidate(addr=0x50040, fill_l2=True)])
+        h = make_hierarchy(pf)
+        h.access(0, 1, 0x50000, 0)
+        assert pf.stats.issued == 1
+        assert h.l2[0].contains(0x50040)
+        assert h.llc.contains(0x50040)
+
+    def test_llc_fill_level_stays_out_of_l2(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append([PrefetchCandidate(addr=0x50040, fill_l2=False)])
+        h = make_hierarchy(pf)
+        h.access(0, 1, 0x50000, 0)
+        assert not h.l2[0].contains(0x50040)
+        assert h.llc.contains(0x50040)
+
+    def test_redundant_prefetch_dropped(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append([PrefetchCandidate(addr=0x50000, fill_l2=True)])
+        h = make_hierarchy(pf)
+        h.access(0, 1, 0x50000, 0)  # demand fills 0x50000, then candidate is redundant
+        assert pf.stats.issued == 0
+
+    def test_useful_prefetch_notified_once(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append([PrefetchCandidate(addr=0x50040, fill_l2=True)])
+        h = make_hierarchy(pf)
+        r = h.access(0, 1, 0x50000, 0)
+        h.access(0, 1, 0x50040, r.ready_cycle + 1000)
+        h.access(0, 1, 0x50040, r.ready_cycle + 20000)
+        assert pf.useful == [0x50040]
+
+    def test_prefetch_uses_dram_bandwidth(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append(
+            [PrefetchCandidate(addr=0x50040 + i * 64, fill_l2=True) for i in range(8)]
+        )
+        h = make_hierarchy(pf)
+        h.access(0, 1, 0x50000, 0)
+        assert h.dram.stats.prefetch_accesses == 8
+
+    def test_max_prefetches_per_trigger_enforced(self):
+        pf = ScriptedPrefetcher()
+        candidates = [
+            PrefetchCandidate(addr=0x900000 + i * 64, fill_l2=True) for i in range(64)
+        ]
+        pf.queue.append(candidates)
+        h = make_hierarchy(pf)
+        h.access(0, 1, 0x50000, 0)
+        assert pf.stats.issued <= h.config.max_prefetches_per_trigger
+
+    def test_l2_eviction_notifies_prefetcher(self):
+        pf = ScriptedPrefetcher()
+        h = make_hierarchy(pf)
+        l2 = h.l2[0]
+        # Fill one L2 set beyond associativity with demand accesses.
+        ways = l2.associativity
+        base_block = l2.num_sets  # set 0, various tags
+        cycle = 0
+        for i in range(ways + 1):
+            addr = (i * l2.num_sets) << 6
+            cycle = h.access(0, 1, addr, cycle).ready_cycle + 1
+        assert len(pf.evictions) >= 1
+
+    def test_late_prefetch_pays_residual_latency(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append([PrefetchCandidate(addr=0x50040, fill_l2=True)])
+        h = make_hierarchy(pf)
+        r = h.access(0, 1, 0x50000, 0)
+        # Demand immediately: the prefetch data has not arrived yet.
+        early = h.access(0, 1, 0x50040, 1)
+        assert early.ready_cycle > 1 + h.l1[0].latency + h.l2[0].latency
+
+
+class TestPrefetchQueue:
+    def test_queue_full_drops(self):
+        pf = ScriptedPrefetcher()
+        pf.queue.append(
+            [PrefetchCandidate(addr=0x800000 + i * 64, fill_l2=True) for i in range(10)]
+        )
+        h = make_hierarchy(pf, config=HierarchyConfig(prefetch_queue_size=4))
+        h.access(0, 1, 0x50000, 0)
+        assert pf.stats.issued == 4
+        assert h.prefetches_dropped[0] == 6
+
+    def test_queue_drains_over_time(self):
+        pf = ScriptedPrefetcher()
+        h = make_hierarchy(pf, config=HierarchyConfig(prefetch_queue_size=2))
+        pf.queue.append([PrefetchCandidate(addr=0x800000 + i * 64) for i in range(2)])
+        r = h.access(0, 1, 0x50000, 0)
+        # Much later, the in-flight prefetches completed; room again.
+        pf.queue.append([PrefetchCandidate(addr=0x900000 + i * 64) for i in range(2)])
+        h.access(0, 1, 0x51000, r.ready_cycle + 10_000)
+        assert pf.stats.issued == 4
+        assert h.prefetches_dropped[0] == 0
+
+    def test_redundant_candidates_do_not_occupy_queue(self):
+        pf = ScriptedPrefetcher()
+        h = make_hierarchy(pf, config=HierarchyConfig(prefetch_queue_size=1))
+        r = h.access(0, 1, 0x50000, 0)
+        pf.queue.append(
+            [PrefetchCandidate(addr=0x50000), PrefetchCandidate(addr=0x800000)]
+        )
+        h.access(0, 1, 0x50040, r.ready_cycle + 10_000)
+        # The first candidate was redundant (resident), so the second
+        # still fit in the single-entry queue.
+        assert pf.stats.issued == 1
+        assert h.prefetches_dropped[0] == 0
+
+
+class TestMultiCoreSharing:
+    def test_private_l2_per_core(self):
+        h = MemoryHierarchy(num_cores=2)
+        h.access(0, 1, 0x60000, 0)
+        assert h.l2[0].contains(0x60000)
+        assert not h.l2[1].contains(0x60000)
+
+    def test_shared_llc(self):
+        h = MemoryHierarchy(num_cores=2)
+        r = h.access(0, 1, 0x60000, 0)
+        result = h.access(1, 1, 0x60000, r.ready_cycle + 1)
+        assert result.level == "llc"
+
+    def test_shared_dram_contention(self):
+        h = MemoryHierarchy(num_cores=2, dram_config=DRAMConfig(channels=1))
+        h.access(0, 1, 0x60000, 0)
+        h.access(1, 1, 0x90000, 0)
+        assert h.dram.stats.total_queue_delay > 0
+
+    def test_reset_stats_clears_everything(self):
+        h = MemoryHierarchy(num_cores=2)
+        h.access(0, 1, 0x60000, 0)
+        h.reset_stats()
+        assert h.l2[0].stats.demand_accesses == 0
+        assert h.dram.stats.accesses == 0

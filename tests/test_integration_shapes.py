@@ -1,0 +1,127 @@
+"""Integration tests: the paper's shape claims at miniature scale.
+
+These are the end-to-end checks of DESIGN.md's "shape targets", run at
+a trace length small enough for the test suite.  The benchmark harness
+re-runs them at larger scale.
+"""
+
+import pytest
+
+from repro.core.ppf import make_ppf_spp
+from repro.prefetchers.spp import SPP, SPPConfig
+from repro.sim.config import SimConfig
+from repro.sim.runner import ExperimentRunner
+from repro.sim.single_core import run_single_core
+from repro.workloads.spec2017 import memory_intensive_subset, workload_by_name
+
+CFG = SimConfig.quick(measure_records=12_000, warmup_records=3_000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CFG)
+
+
+class TestHeadlineClaims:
+    def test_ppf_beats_spp_on_xalancbmk(self, runner):
+        """§6.1: PPF 'considerably outperforms' on 623.xalancbmk."""
+        workload = workload_by_name("623.xalancbmk_s")
+        spp = runner.single(workload, "spp")
+        ppf = runner.single(workload, "ppf")
+        assert ppf.ipc > spp.ipc * 1.05
+
+    def test_ppf_prefetches_deeper_than_spp_on_xalancbmk(self, runner):
+        """§6.1: SPP throttles at depth ~2.1; PPF reaches ~3.3."""
+        workload = workload_by_name("623.xalancbmk_s")
+        spp = runner.single(workload, "spp")
+        ppf = runner.single(workload, "ppf")
+        assert ppf.average_lookahead_depth > spp.average_lookahead_depth
+
+    def test_ppf_more_useful_prefetches_on_xalancbmk(self, runner):
+        workload = workload_by_name("623.xalancbmk_s")
+        spp = runner.single(workload, "spp")
+        ppf = runner.single(workload, "ppf")
+        assert ppf.prefetches_useful > spp.prefetches_useful
+
+    def test_bop_wins_cactuBSSN(self, runner):
+        """§6.1: the one benchmark where PPF fails to match BOP."""
+        workload = workload_by_name("607.cactuBSSN_s")
+        bop = runner.single(workload, "bop")
+        ppf = runner.single(workload, "ppf")
+        spp = runner.single(workload, "spp")
+        assert bop.ipc > ppf.ipc
+        assert bop.ipc > spp.ipc
+
+    def test_ppf_beats_spp_on_streams(self, runner):
+        for name in ("603.bwaves_s", "649.fotonik3d_s"):
+            workload = workload_by_name(name)
+            spp = runner.single(workload, "spp")
+            ppf = runner.single(workload, "ppf")
+            assert ppf.ipc >= spp.ipc * 0.99, name
+
+    def test_ppf_raises_accuracy_over_spp(self, runner):
+        """Filtering must buy accuracy on the showcase workloads."""
+        for name in ("603.bwaves_s", "623.xalancbmk_s", "605.mcf_s"):
+            workload = workload_by_name(name)
+            spp = runner.single(workload, "spp")
+            ppf = runner.single(workload, "ppf")
+            assert ppf.accuracy > spp.accuracy, name
+
+    def test_prefetching_beats_no_prefetching_on_intensive(self, runner):
+        for spec in memory_intensive_subset()[:4]:
+            base = runner.single(spec, "none")
+            ppf = runner.single(spec, "ppf")
+            assert ppf.ipc >= base.ipc * 0.98, spec.name
+
+
+class TestAggressivenessClaims:
+    def test_unfiltered_aggression_loses_accuracy(self):
+        """Figure 1's premise: deeper fixed tuning dilutes accuracy."""
+        workload = workload_by_name("603.bwaves_s")
+        shallow = run_single_core(workload, SPP(SPPConfig.fixed_depth(4)), CFG)
+        deep = run_single_core(workload, SPP(SPPConfig.fixed_depth(12)), CFG)
+        assert deep.prefetches_issued > shallow.prefetches_issued
+        assert deep.accuracy < shallow.accuracy
+
+    def test_filter_recovers_accuracy_at_depth(self):
+        workload = workload_by_name("603.bwaves_s")
+        deep = run_single_core(workload, SPP(SPPConfig.fixed_depth(12)), CFG)
+        ppf = run_single_core(workload, make_ppf_spp(), CFG)
+        assert ppf.accuracy > deep.accuracy
+        assert ppf.average_lookahead_depth > 2
+
+
+class TestCoverageClaim:
+    def test_ppf_coverage_at_least_spp(self, runner):
+        suite = runner.sweep(
+            [workload_by_name(n) for n in ("603.bwaves_s", "623.xalancbmk_s", "619.lbm_s")],
+            ["spp", "ppf"],
+        )
+        assert suite.coverage("ppf", "l2") > suite.coverage("spp", "l2")
+
+
+class TestConstraintDirections:
+    def test_low_bandwidth_hurts_everyone(self, runner):
+        """§6.3: under 3.2 GB/s, absolute speedups shrink."""
+        workload = workload_by_name("603.bwaves_s")
+        low = SimConfig.low_bandwidth()
+        low.warmup_records, low.measure_records = CFG.warmup_records, CFG.measure_records
+        default_ratio = (
+            runner.single(workload, "spp").ipc / runner.single(workload, "none").ipc
+        )
+        low_ratio = (
+            runner.single(workload, "spp", low).ipc
+            / runner.single(workload, "none", low).ipc
+        )
+        assert low_ratio < default_ratio
+
+    def test_ppf_survives_small_llc(self, runner):
+        workload = workload_by_name("623.xalancbmk_s")
+        small = SimConfig.small_llc()
+        small.warmup_records, small.measure_records = (
+            CFG.warmup_records,
+            CFG.measure_records,
+        )
+        spp = runner.single(workload, "spp", small)
+        ppf = runner.single(workload, "ppf", small)
+        assert ppf.ipc >= spp.ipc

@@ -1,0 +1,140 @@
+"""Tests for repro.sim.metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    accuracy,
+    coverage,
+    geometric_mean,
+    mpki,
+    percent_gain,
+    speedup,
+    summarize_speedups,
+    weighted_ipc,
+    weighted_speedup,
+)
+
+positive_floats = st.floats(min_value=0.01, max_value=100, allow_nan=False)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_percent_gain(self):
+        assert percent_gain(1.25) == pytest.approx(25.0)
+        assert percent_gain(0.9) == pytest.approx(-10.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_leq_arithmetic_mean(self, values):
+        gm = geometric_mean(values)
+        am = sum(values) / len(values)
+        assert gm <= am + 1e-9
+
+
+class TestCoverage:
+    def test_paper_definition(self):
+        # 1000 baseline misses, 800 avoided -> 80% coverage.
+        assert coverage(1000, 200) == pytest.approx(0.8)
+
+    def test_pollution_is_negative(self):
+        assert coverage(100, 150) == pytest.approx(-0.5)
+
+    def test_zero_baseline(self):
+        assert coverage(0, 0) == 0.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            coverage(-1, 0)
+
+
+class TestAccuracy:
+    def test_paper_example(self):
+        # 1200 prefetches, 800 used -> 66.7% (§1).
+        assert accuracy(800, 1200) == pytest.approx(2 / 3)
+
+    def test_zero_issued(self):
+        assert accuracy(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            accuracy(-1, 10)
+
+
+class TestMPKI:
+    def test_basic(self):
+        assert mpki(50, 1000) == 50.0
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+
+
+class TestWeightedIPC:
+    def test_equal_to_isolated_sums_to_core_count(self):
+        assert weighted_ipc([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_slowdown_reduces_sum(self):
+        assert weighted_ipc([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([], [])
+
+    def test_zero_isolated(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([1.0], [0.0])
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        assert weighted_speedup([1.0, 1.0], [2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_scheme_better_than_baseline(self):
+        result = weighted_speedup([2.0, 2.0], [2.0, 2.0], [1.0, 1.0], [2.0, 2.0])
+        assert result == pytest.approx(2.0)
+
+    def test_default_baseline_isolated(self):
+        result = weighted_speedup([1.5], [1.0], [1.0])
+        assert result == pytest.approx(1.5)
+
+
+class TestSummary:
+    def test_summarize(self):
+        summary = summarize_speedups({"a": 1.0, "b": 4.0})
+        assert summary["geomean"] == pytest.approx(2.0)
+        assert summary["best"] == 4.0
+        assert summary["worst"] == 1.0

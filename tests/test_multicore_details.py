@@ -1,0 +1,111 @@
+"""Detailed multi-core driver tests: relocation, replay, weighted math."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.multi_core import _endless_trace, run_multi_core
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.spec2017 import workload_by_name
+
+
+def tiny_multicore(cores):
+    cfg = SimConfig.multicore(cores)
+    cfg.warmup_records, cfg.measure_records = 200, 800
+    return cfg
+
+
+class TestAddressRelocation:
+    def test_cores_get_disjoint_regions(self):
+        workload = workload_by_name("603.bwaves_s")
+        trace0 = _endless_trace(workload, 100, seed=1, core=0)
+        trace1 = _endless_trace(workload, 100, seed=1, core=1)
+        addrs0 = {next(trace0).addr for _ in range(50)}
+        addrs1 = {next(trace1).addr for _ in range(50)}
+        assert not addrs0 & addrs1
+
+    def test_relocation_preserves_offsets(self):
+        workload = workload_by_name("603.bwaves_s")
+        base = list(workload.trace(50, seed=1))
+        relocated_iter = _endless_trace(workload, 50, seed=1, core=3)
+        relocated = [next(relocated_iter) for _ in range(50)]
+        for rec_base, rec_reloc in zip(base, relocated):
+            assert rec_reloc.addr - rec_base.addr == 3 << 44
+            assert rec_reloc.pc == rec_base.pc
+            assert rec_reloc.bubble == rec_base.bubble
+
+    def test_replay_lap_changes_seed(self):
+        workload = workload_by_name("605.mcf_s")
+        trace = _endless_trace(workload, 30, seed=1, core=0)
+        lap1 = [next(trace) for _ in range(30)]
+        lap2 = [next(trace) for _ in range(30)]
+        assert [r.addr for r in lap1] != [r.addr for r in lap2]
+
+
+class TestRunStructure:
+    def test_same_workload_on_all_cores(self):
+        workload = workload_by_name("619.lbm_s")
+        mix = WorkloadMix(name="dup", workloads=(workload, workload))
+        result = run_multi_core(mix, "spp", tiny_multicore(2))
+        assert [c.workload for c in result.cores] == ["619.lbm_s", "619.lbm_s"]
+        # Relocated copies behave near-identically but not byte-identically.
+        ipcs = result.per_core_ipc
+        assert abs(ipcs[0] - ipcs[1]) / max(ipcs) < 0.5
+
+    def test_fewer_channels_more_contention(self):
+        from repro.memory.dram import DRAMConfig
+
+        workload = workload_by_name("603.bwaves_s")
+        mix = WorkloadMix(name="2", workloads=(workload,) * 2)
+        narrow_cfg = tiny_multicore(2)
+        narrow_cfg.dram = DRAMConfig(channels=1)
+        wide_cfg = tiny_multicore(2)
+        wide_cfg.dram = DRAMConfig(channels=4)
+        narrow = run_multi_core(mix, "none", narrow_cfg)
+        wide = run_multi_core(mix, "none", wide_cfg)
+        assert sum(wide.per_core_ipc) >= sum(narrow.per_core_ipc)
+
+    def test_all_cores_measured_fully(self):
+        workload = workload_by_name("641.leela_s")
+        cfg = tiny_multicore(2)
+        mix = WorkloadMix(
+            name="t", workloads=(workload, workload_by_name("603.bwaves_s"))
+        )
+        result = run_multi_core(mix, "none", cfg)
+        for outcome in result.cores:
+            assert outcome.instructions > cfg.measure_records  # bubbles included
+
+
+class TestWeightedSpeedupPlumbing:
+    def test_baseline_mix_speedup_is_one(self):
+        """The baseline normalized to itself must be exactly 1."""
+        cfg = tiny_multicore(2)
+        runner = ExperimentRunner(cfg)
+        mix = WorkloadMix(
+            name="t",
+            workloads=(workload_by_name("619.lbm_s"), workload_by_name("657.xz_s")),
+        )
+        assert runner.mix_weighted_speedup(mix, "none", cfg) == pytest.approx(1.0)
+
+    def test_prefetching_mix_speedup_above_one_on_streams(self):
+        cfg = tiny_multicore(2)
+        runner = ExperimentRunner(cfg)
+        mix = WorkloadMix(
+            name="t",
+            workloads=(
+                workload_by_name("603.bwaves_s"),
+                workload_by_name("649.fotonik3d_s"),
+            ),
+        )
+        assert runner.mix_weighted_speedup(mix, "spp", cfg) > 1.0
+
+    def test_isolated_runs_are_cached_across_mixes(self):
+        cfg = tiny_multicore(2)
+        runner = ExperimentRunner(cfg)
+        workload = workload_by_name("619.lbm_s")
+        mix_a = WorkloadMix(name="a", workloads=(workload, workload))
+        mix_b = WorkloadMix(name="b", workloads=(workload, workload))
+        runner.mix_weighted_speedup(mix_a, "none", cfg)
+        cached = len(runner._single_cache)
+        runner.mix_weighted_speedup(mix_b, "none", cfg)
+        assert len(runner._single_cache) == cached  # no new isolated runs

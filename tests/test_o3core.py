@@ -1,0 +1,134 @@
+"""Tests for repro.cpu.o3core."""
+
+import pytest
+
+from repro.cpu.o3core import CoreConfig, CoreResult, O3Core
+from repro.cpu.trace import TraceRecord
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class InstantHierarchy:
+    """Stub hierarchy: every access completes after a fixed latency."""
+
+    def __init__(self, latency=0):
+        self.latency = latency
+        self.accesses = []
+
+    def access(self, core, pc, addr, cycle):
+        self.accesses.append((core, pc, addr, cycle))
+        from repro.memory.hierarchy import AccessResult
+
+        return AccessResult(cycle + self.latency, "stub")
+
+
+def run_records(core, records):
+    for rec in records:
+        core.step(rec)
+    core.drain()
+    return core.result()
+
+
+class TestRetirement:
+    def test_bubble_retires_at_width(self):
+        core = O3Core(0, InstantHierarchy(), CoreConfig(width=4))
+        run_records(core, [TraceRecord(1, 0x1000, 40)])
+        # 40 bubble instructions at width 4 = 10 cycles; load is instant.
+        assert core.cycle == 10
+
+    def test_fractional_retirement_accumulates(self):
+        core = O3Core(0, InstantHierarchy(), CoreConfig(width=4))
+        run_records(core, [TraceRecord(1, 0x1000, 2), TraceRecord(1, 0x2000, 2)])
+        assert core.cycle == 1  # 4 bubble instructions total = 1 cycle
+
+    def test_instruction_count(self):
+        core = O3Core(0, InstantHierarchy())
+        result = run_records(core, [TraceRecord(1, 0x1000, 9)] * 3)
+        assert result.instructions == 30
+
+    def test_ipc_computation(self):
+        result = CoreResult(instructions=100, cycles=50)
+        assert result.ipc == 2.0
+
+    def test_zero_cycles_ipc(self):
+        assert CoreResult(instructions=0, cycles=0).ipc == 0.0
+
+
+class TestMemoryStalls:
+    def test_fast_loads_overlap_fully(self):
+        core = O3Core(0, InstantHierarchy(latency=0), CoreConfig(width=4))
+        result = run_records(core, [TraceRecord(1, i * 64, 0) for i in range(10)])
+        assert core.cycle == 0  # all instant, never stalls
+
+    def test_mlp_limit_stalls(self):
+        config = CoreConfig(width=4, mlp_limit=2, rob_size=1000)
+        core = O3Core(0, InstantHierarchy(latency=100), config)
+        run_records(core, [TraceRecord(1, i * 64, 0) for i in range(4)])
+        # Loads 0,1 issue at 0; load 2 waits for load 0 (cycle 100);
+        # load 3 waits for load 1 (also ready 100) -> issues at 100.
+        # Drain: loads 2,3 complete at 200.
+        assert core.cycle == 200
+
+    def test_higher_mlp_overlaps_more(self):
+        def cycles(mlp):
+            config = CoreConfig(width=4, mlp_limit=mlp, rob_size=10_000)
+            core = O3Core(0, InstantHierarchy(latency=100), config)
+            run_records(core, [TraceRecord(1, i * 64, 0) for i in range(16)])
+            return core.cycle
+
+        assert cycles(8) < cycles(2)
+
+    def test_rob_limit_stalls(self):
+        # Large bubbles push the load window beyond the ROB.
+        config = CoreConfig(width=4, mlp_limit=64, rob_size=100)
+        core = O3Core(0, InstantHierarchy(latency=10_000), config)
+        run_records(core, [TraceRecord(1, i * 64, 99) for i in range(4)])
+        # Each record is 100 instructions; the second load sits exactly
+        # rob_size instructions after the first, forcing a wait.
+        assert core.cycle >= 10_000
+
+    def test_drain_waits_for_outstanding(self):
+        core = O3Core(0, InstantHierarchy(latency=500))
+        core.step(TraceRecord(1, 0x1000, 0))
+        assert core.cycle == 0
+        core.drain()
+        assert core.cycle == 500
+
+
+class TestMeasurementWindow:
+    def test_begin_measurement_resets_counters(self):
+        core = O3Core(0, InstantHierarchy(latency=50))
+        core.step(TraceRecord(1, 0x1000, 19))
+        core.drain()
+        core.begin_measurement()
+        core.step(TraceRecord(1, 0x2000, 19))
+        core.drain()
+        result = core.result()
+        assert result.instructions == 20
+        assert result.cycles < core.cycle or core.cycle == result.cycles
+
+    def test_result_cycles_at_least_one(self):
+        core = O3Core(0, InstantHierarchy())
+        core.begin_measurement()
+        assert core.result().cycles >= 1
+
+
+class TestAgainstRealHierarchy:
+    def test_runs_with_memory_hierarchy(self):
+        hierarchy = MemoryHierarchy()
+        core = O3Core(0, hierarchy, CoreConfig())
+        result = run_records(
+            core, [TraceRecord(0x400, 0x10000 + i * 64, 5) for i in range(100)]
+        )
+        assert result.instructions == 600
+        assert result.cycles > 0
+        assert hierarchy.l2[0].stats.demand_accesses == 100
+
+    def test_repeated_access_faster_than_cold(self):
+        hierarchy = MemoryHierarchy()
+        core = O3Core(0, hierarchy)
+        cold = [TraceRecord(1, i * 64, 0) for i in range(64)]
+        run_records(core, cold)
+        cold_cycles = core.cycle
+        core2 = O3Core(0, hierarchy)  # same hierarchy, now warm
+        run_records(core2, cold)
+        assert core2.cycle < cold_cycles

@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.overhead — must match the paper bit-for-bit."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    adder_tree_depth,
+    overhead_report,
+    perceptron_weight_bits,
+    prefetch_table_entry_fields,
+    storage_inventory,
+    total_storage_bits,
+    total_storage_kilobytes,
+)
+
+
+class TestTable2:
+    def test_entry_is_85_bits(self):
+        assert sum(f.bits for f in prefetch_table_entry_fields()) == 85
+
+    def test_field_names(self):
+        names = [f.name for f in prefetch_table_entry_fields()]
+        assert names == [
+            "Valid",
+            "Tag",
+            "Useful",
+            "Perc Decision",
+            "PC",
+            "Address",
+            "Curr Signature",
+            "PCi Hash",
+            "Delta",
+            "Confidence",
+            "Depth",
+        ]
+
+    def test_individual_field_widths(self):
+        widths = {f.name: f.bits for f in prefetch_table_entry_fields()}
+        assert widths["Valid"] == 1
+        assert widths["Tag"] == 6
+        assert widths["PC"] == 12
+        assert widths["Address"] == 24
+        assert widths["Delta"] == 7
+        assert widths["Depth"] == 4
+
+
+class TestTable3:
+    def inventory(self):
+        return {s.name: s for s in storage_inventory()}
+
+    def test_total_is_322240_bits(self):
+        assert total_storage_bits() == 322_240
+
+    def test_total_is_39_34_kb(self):
+        assert total_storage_kilobytes() == pytest.approx(39.34, abs=0.005)
+
+    def test_signature_table_bits(self):
+        assert self.inventory()["Signature Table"].total_bits == 11_008
+
+    def test_pattern_table_bits(self):
+        assert self.inventory()["Pattern Table"].total_bits == 24_576
+
+    def test_perceptron_weight_bits(self):
+        assert perceptron_weight_bits() == 113_280
+
+    def test_prefetch_table_bits(self):
+        assert self.inventory()["Prefetch Table"].total_bits == 87_040
+
+    def test_reject_table_bits(self):
+        """84 bits/entry: the Reject Table drops the useful bit."""
+        reject = self.inventory()["Reject Table"]
+        assert reject.bits_per_entry == 84
+        assert reject.total_bits == 86_016
+
+    def test_ghr_bits(self):
+        assert self.inventory()["Global History Register"].total_bits == 264
+
+    def test_pc_trackers_bits(self):
+        assert self.inventory()["Global PC Trackers"].total_bits == 36
+
+    def test_accuracy_counters(self):
+        inv = self.inventory()
+        total = (
+            inv["Accuracy Counter C_total"].total_bits
+            + inv["Accuracy Counter C_useful"].total_bits
+        )
+        assert total == 20
+
+
+class TestComputation:
+    def test_adder_tree_depth_for_nine_features(self):
+        """§5.6: ceil(log2(9)) = 4 adder stages."""
+        assert adder_tree_depth(9) == 4
+
+    def test_adder_tree_depths(self):
+        assert adder_tree_depth(1) == 0
+        assert adder_tree_depth(2) == 1
+        assert adder_tree_depth(8) == 3
+        assert adder_tree_depth(16) == 4
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ValueError):
+            adder_tree_depth(0)
+
+
+class TestReport:
+    def test_report_summary(self):
+        report = overhead_report()
+        assert report["prefetch_table_entry_bits"] == 85
+        assert report["total_bits"] == 322_240
+        assert report["total_kilobytes"] == 39.34
+        assert report["adder_tree_depth"] == 4

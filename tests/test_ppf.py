@@ -1,0 +1,231 @@
+"""Tests for repro.core.ppf (the PPF wrapper, §3–4 data path)."""
+
+import pytest
+
+from repro.core.filter import Decision, FilterConfig
+from repro.core.ppf import PPF, make_ppf_spp
+from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+from repro.prefetchers.spp import SPP, SPPConfig
+
+
+class OneShotPrefetcher(Prefetcher):
+    """Suggests exactly the queued candidates on the next train call."""
+
+    name = "oneshot"
+
+    def __init__(self):
+        super().__init__()
+        self.next_candidates = []
+        self.evictions = []
+
+    def train(self, addr, pc, cache_hit, cycle):
+        out = self.next_candidates
+        self.next_candidates = []
+        return out
+
+    def on_eviction(self, addr, was_prefetch, was_used):
+        super().on_eviction(addr, was_prefetch, was_used)
+        self.evictions.append(addr)
+
+
+def candidate(addr, confidence=80, depth=1, delta=1, signature=0x1, pc=0x400):
+    return PrefetchCandidate(
+        addr=addr,
+        fill_l2=True,
+        meta={
+            "pc": pc,
+            "delta": delta,
+            "signature": signature,
+            "confidence": confidence,
+            "depth": depth,
+        },
+    )
+
+
+def make_ppf(**kwargs):
+    return PPF(underlying=OneShotPrefetcher(), **kwargs)
+
+
+class TestDefaults:
+    def test_default_underlying_is_aggressive_spp(self):
+        ppf = PPF()
+        assert isinstance(ppf.underlying, SPP)
+        assert ppf.underlying.config.prefetch_threshold < 25
+
+    def test_make_ppf_spp_factory(self):
+        ppf = make_ppf_spp()
+        assert ppf.name == "ppf"
+        assert len(ppf.filter.features) == 9
+
+
+class TestInferenceAndRecording:
+    def test_accepted_candidate_recorded_in_prefetch_table(self):
+        ppf = make_ppf()
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        out = ppf.train(0x8000, 0x400, False, 0)
+        assert [c.addr for c in out] == [0x9000]
+        assert ppf.prefetch_table.lookup(0x9000) is not None
+        assert ppf.reject_table.lookup(0x9000) is None
+
+    def test_rejected_candidate_recorded_in_reject_table(self):
+        ppf = make_ppf(filter_config=FilterConfig(tau_hi=100, tau_lo=100))
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        out = ppf.train(0x8000, 0x400, False, 0)
+        assert out == []
+        assert ppf.reject_table.lookup(0x9000) is not None
+
+    def test_reject_table_disabled(self):
+        ppf = make_ppf(
+            filter_config=FilterConfig(tau_hi=100, tau_lo=100), use_reject_table=False
+        )
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        assert ppf.reject_table.lookup(0x9000) is None
+
+    def test_fill_level_follows_decision(self):
+        # tau_hi high: sums of 0 fall into the LLC band.
+        ppf = make_ppf(filter_config=FilterConfig(tau_hi=50, tau_lo=-50))
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        out = ppf.train(0x8000, 0x400, False, 0)
+        assert len(out) == 1 and not out[0].fill_l2
+
+
+class TestTrainingPaths:
+    def test_demand_hit_trains_positive_and_consumes(self):
+        ppf = make_ppf()
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        before = ppf.filter.stats.positive_updates
+        ppf.train(0x9000, 0x404, False, 1)  # the prefetched block is demanded
+        assert ppf.filter.stats.positive_updates == before + 1
+        assert ppf.prefetch_table.lookup(0x9000) is None
+
+    def test_reject_table_false_negative_recovery(self):
+        ppf = make_ppf(filter_config=FilterConfig(tau_hi=100, tau_lo=100))
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.train(0x9000, 0x404, False, 1)  # demand proves the reject wrong
+        assert ppf.filter.stats.positive_updates == 1
+        assert ppf.reject_table.lookup(0x9000) is None
+
+    def test_unused_prefetch_eviction_trains_negative(self):
+        ppf = make_ppf()
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.on_eviction(0x9000, was_prefetch=True, was_used=False)
+        assert ppf.filter.stats.negative_updates == 1
+        assert ppf.prefetch_table.lookup(0x9000) is None
+
+    def test_used_prefetch_eviction_does_not_train(self):
+        ppf = make_ppf()
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.on_eviction(0x9000, was_prefetch=True, was_used=True)
+        assert ppf.filter.stats.negative_updates == 0
+
+    def test_non_prefetch_eviction_does_not_train(self):
+        ppf = make_ppf()
+        ppf.on_eviction(0x9000, was_prefetch=False, was_used=True)
+        assert ppf.filter.stats.negative_updates == 0
+
+    def test_displacement_trains_negative(self):
+        ppf = make_ppf()
+        # Two addresses with the same table index, different tags.
+        first = 0x9000
+        second = first + (1024 << 6)
+        ppf.underlying.next_candidates = [candidate(first)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.underlying.next_candidates = [candidate(second)]
+        ppf.train(0x8040, 0x400, False, 1)
+        assert ppf.filter.stats.negative_updates == 1
+
+    def test_displacement_training_can_be_disabled(self):
+        ppf = make_ppf(train_on_displacement=False)
+        first = 0x9000
+        second = first + (1024 << 6)
+        ppf.underlying.next_candidates = [candidate(first)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.underlying.next_candidates = [candidate(second)]
+        ppf.train(0x8040, 0x400, False, 1)
+        assert ppf.filter.stats.negative_updates == 0
+
+    def test_resuggestion_does_not_train_negative(self):
+        ppf = make_ppf()
+        for cycle in range(3):
+            ppf.underlying.next_candidates = [candidate(0x9000)]
+            ppf.train(0x8000 + cycle * 64, 0x400, False, cycle)
+        assert ppf.filter.stats.negative_updates == 0
+
+    def test_learns_to_reject_consistent_junk(self):
+        ppf = make_ppf()
+        # Junk at confidence 3 repeatedly evicted unused -> rejected.
+        # Once rejected there is no true-negative feedback (the paper's
+        # design has none), so sums hover at the reject boundary: the
+        # filter must reject the bulk and never re-admit junk to the L2.
+        for i in range(40):
+            addr = 0x100000 + i * 64
+            ppf.underlying.next_candidates = [candidate(addr, confidence=3, depth=9)]
+            accepted = ppf.train(0x8000 + i * 64, 0x400, False, i)
+            if accepted:
+                ppf.on_eviction(addr, was_prefetch=True, was_used=False)
+        assert ppf.filter.stats.rejected > 30
+        ppf.underlying.next_candidates = [
+            candidate(0x900000, confidence=3, depth=9)
+        ]
+        out = ppf.train(0xF000, 0x400, False, 99)
+        assert all(not c.fill_l2 for c in out)
+
+
+class TestForwarding:
+    def test_issue_and_useful_forwarded_to_underlying(self):
+        spp = SPP(SPPConfig.aggressive())
+        ppf = PPF(underlying=spp)
+        cand = candidate(0x9000)
+        ppf.on_prefetch_issued(cand)
+        ppf.on_useful_prefetch(0x9000)
+        assert spp.stats.issued == 1
+        assert spp.stats.useful == 1
+        assert ppf.stats.issued == 1
+
+    def test_eviction_forwarded_to_underlying(self):
+        ppf = make_ppf()
+        ppf.on_eviction(0x9000, was_prefetch=True, was_used=False)
+        assert ppf.underlying.evictions == [0x9000]
+
+    def test_average_lookahead_depth_delegates(self):
+        ppf = make_ppf_spp()
+        assert ppf.average_lookahead_depth == 0.0
+
+    def test_reset_stats_cascades(self):
+        ppf = make_ppf()
+        ppf.on_prefetch_issued(candidate(0x9000))
+        ppf.underlying.next_candidates = [candidate(0xA000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.reset_stats()
+        assert ppf.stats.issued == 0
+        assert ppf.underlying.stats.issued == 0
+        assert ppf.filter.stats.inferences == 0
+
+
+class TestRecorder:
+    def test_recorder_sees_training_events(self):
+        events = []
+        ppf = PPF(
+            underlying=OneShotPrefetcher(),
+            recorder=lambda indices, positive: events.append((indices, positive)),
+        )
+        ppf.underlying.next_candidates = [candidate(0x9000)]
+        ppf.train(0x8000, 0x400, False, 0)
+        ppf.train(0x9000, 0x404, False, 1)
+        assert len(events) == 1
+        indices, positive = events[0]
+        assert positive
+        assert len(indices) == 9
+
+
+class TestPCHistory:
+    def test_pc_history_shifts(self):
+        ppf = make_ppf()
+        for pc in (0x10, 0x20, 0x30):
+            ppf.train(0x8000, pc, False, 0)
+        assert ppf._pcs == (0x30, 0x20, 0x10)

@@ -1,0 +1,111 @@
+"""Public API surface tests: the documented entry points stay importable."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            # contribution
+            "PPF",
+            "make_ppf_spp",
+            "PerceptronFilter",
+            "FilterConfig",
+            "Decision",
+            "FeatureContext",
+            "production_features",
+            "exploration_features",
+            # prefetchers
+            "SPP",
+            "SPPConfig",
+            "BOP",
+            "DAAMPM",
+            "AMPM",
+            "NullPrefetcher",
+            "Prefetcher",
+            # substrate
+            "MemoryHierarchy",
+            "HierarchyConfig",
+            "DRAMConfig",
+            "Cache",
+            "O3Core",
+            "CoreConfig",
+            "TraceRecord",
+            # drivers
+            "run_single_core",
+            "run_multi_core",
+            "ExperimentRunner",
+            "SimConfig",
+            "geometric_mean",
+            # workloads
+            "spec2017_workloads",
+            "spec2006_workloads",
+            "cloudsuite_workloads",
+            "memory_intensive_subset",
+            "memory_intensive_mixes",
+            "random_mixes",
+            "workload_by_name",
+            "WorkloadSpec",
+            "WorkloadMix",
+        ],
+    )
+    def test_export_exists(self, name):
+        assert hasattr(repro, name)
+        assert name in repro.__all__
+
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestSubpackageSurfaces:
+    def test_core_surface(self):
+        from repro.core import (
+            PPF,
+            PerceptronFilter,
+            PrefetchTable,
+            RejectTable,
+            WeightTable,
+            scaled_production_features,
+        )
+
+        assert PerceptronFilter and PPF and WeightTable
+        assert PrefetchTable and RejectTable and scaled_production_features
+
+    def test_analysis_surface(self):
+        from repro.analysis import (
+            overhead_report,
+            pearson,
+            run_feature_study,
+            sweep_thresholds,
+            weight_histogram,
+        )
+
+        assert overhead_report and pearson and run_feature_study
+        assert sweep_thresholds and weight_histogram
+
+    def test_harness_surface(self):
+        from repro.harness import EXPERIMENTS, render_table, run_experiment
+
+        assert EXPERIMENTS and render_table and run_experiment
+
+    def test_workloads_surface(self):
+        from repro.workloads import select_simpoints, weighted_mean
+
+        assert select_simpoints and weighted_mean
+
+    def test_cpu_surface(self):
+        from repro.cpu import HashedPerceptronBranchPredictor
+
+        assert HashedPerceptronBranchPredictor
+
+    def test_prefetchers_surface(self):
+        from repro.prefetchers import VLDP, NextLine, StridePrefetcher
+
+        assert VLDP and NextLine and StridePrefetcher

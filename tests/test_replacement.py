@@ -1,0 +1,129 @@
+"""Tests for repro.memory.replacement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        lru = LRUPolicy()
+        for tag in ("a", "b", "c"):
+            lru.on_insert(0, tag)
+        assert lru.victim(0) == "a"
+
+    def test_touch_refreshes(self):
+        lru = LRUPolicy()
+        for tag in ("a", "b", "c"):
+            lru.on_insert(0, tag)
+        lru.on_touch(0, "a")
+        assert lru.victim(0) == "b"
+
+    def test_evict_removes(self):
+        lru = LRUPolicy()
+        lru.on_insert(0, "a")
+        lru.on_insert(0, "b")
+        lru.on_evict(0, "a")
+        assert lru.victim(0) == "b"
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy()
+        lru.on_insert(0, "a")
+        lru.on_insert(1, "b")
+        assert lru.victim(0) == "a"
+        assert lru.victim(1) == "b"
+
+    def test_victim_on_empty_set_raises(self):
+        with pytest.raises(LookupError):
+            LRUPolicy().victim(0)
+
+    def test_touch_before_insert_acts_as_insert(self):
+        lru = LRUPolicy()
+        lru.on_touch(0, "a")
+        assert lru.victim(0) == "a"
+
+    def test_recency_order(self):
+        lru = LRUPolicy()
+        for tag in ("a", "b", "c"):
+            lru.on_insert(0, tag)
+        lru.on_touch(0, "b")
+        assert lru.recency_order(0) == ["a", "c", "b"]
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_victim_is_first_unrefreshed(self, touches):
+        """The victim is always the least-recently touched resident tag."""
+        lru = LRUPolicy()
+        last_touch = {}
+        for step, tag in enumerate(touches):
+            lru.on_touch(0, tag)
+            last_touch[tag] = step
+        expected = min(last_touch, key=last_touch.get)
+        assert lru.victim(0) == expected
+
+
+class TestFIFO:
+    def test_victim_is_first_inserted_despite_touches(self):
+        fifo = FIFOPolicy()
+        for tag in ("a", "b", "c"):
+            fifo.on_insert(0, tag)
+        fifo.on_touch(0, "a")
+        assert fifo.victim(0) == "a"
+
+    def test_evict_removes(self):
+        fifo = FIFOPolicy()
+        fifo.on_insert(0, "a")
+        fifo.on_insert(0, "b")
+        fifo.on_evict(0, "a")
+        assert fifo.victim(0) == "b"
+
+    def test_empty_set_raises(self):
+        with pytest.raises(LookupError):
+            FIFOPolicy().victim(0)
+
+
+class TestRandom:
+    def test_victim_among_residents(self):
+        policy = RandomPolicy(seed=3)
+        tags = {"a", "b", "c"}
+        for tag in tags:
+            policy.on_insert(0, tag)
+        for _ in range(20):
+            assert policy.victim(0) in tags
+
+    def test_seeded_determinism(self):
+        def victims(seed):
+            policy = RandomPolicy(seed=seed)
+            for tag in range(10):
+                policy.on_insert(0, tag)
+            return [policy.victim(0) for _ in range(10)]
+
+        assert victims(5) == victims(5)
+
+    def test_evict_removes(self):
+        policy = RandomPolicy(seed=1)
+        policy.on_insert(0, "a")
+        policy.on_insert(0, "b")
+        policy.on_evict(0, "b")
+        assert policy.victim(0) == "a"
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls", [("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy)]
+    )
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU"), LRUPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")

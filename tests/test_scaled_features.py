@@ -1,0 +1,57 @@
+"""Tests for the §5.6 budget-scaling extension."""
+
+import pytest
+
+from repro.core.features import production_features, scaled_production_features
+from repro.core.filter import PerceptronFilter
+from repro.core.ppf import PPF
+
+
+class TestScaledFeatures:
+    def test_unit_factor_preserves_sizes(self):
+        baseline = [f.table_entries for f in production_features()]
+        scaled = [f.table_entries for f in scaled_production_features(1.0)]
+        assert scaled == baseline
+
+    def test_half_budget_halves_tables(self):
+        scaled = {f.name: f.table_entries for f in scaled_production_features(0.5)}
+        assert scaled["phys_address"] == 2048
+        assert scaled["pc_xor_depth"] == 512
+
+    def test_double_budget_doubles_tables(self):
+        scaled = {f.name: f.table_entries for f in scaled_production_features(2.0)}
+        assert scaled["phys_address"] == 8192
+        assert scaled["confidence"] == 256
+
+    def test_floor_at_64_entries(self):
+        scaled = scaled_production_features(0.01)
+        assert all(f.table_entries >= 64 for f in scaled)
+
+    def test_sizes_are_powers_of_two(self):
+        for factor in (0.3, 0.7, 1.5, 3.0):
+            for feature in scaled_production_features(factor):
+                entries = feature.table_entries
+                assert entries & (entries - 1) == 0, (factor, feature.name)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            scaled_production_features(0)
+
+    def test_names_preserved(self):
+        baseline = [f.name for f in production_features()]
+        assert [f.name for f in scaled_production_features(0.5)] == baseline
+
+    def test_storage_scales(self):
+        half = sum(f.table_entries for f in scaled_production_features(0.5)) * 5
+        full = sum(f.table_entries for f in production_features()) * 5
+        assert half < full
+        assert half >= full // 2  # the 64-entry floor can round up
+
+    def test_filter_accepts_scaled_features(self):
+        filt = PerceptronFilter(scaled_production_features(0.5))
+        assert filt.total_weight_bits() < 113_280
+
+    def test_ppf_runs_with_scaled_features(self):
+        ppf = PPF(features=scaled_production_features(0.5))
+        out = ppf.train(0x10000, 0x400, False, 0)
+        assert isinstance(out, list)

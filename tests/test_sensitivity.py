@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.sensitivity."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    default_settings,
+    report,
+    sweep_thresholds,
+)
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+MINI = SimConfig.quick(measure_records=2_500, warmup_records=600)
+ONE = [workload_by_name("603.bwaves_s")]
+
+
+class TestDefaults:
+    def test_tau_grid_ordered_pairs(self):
+        for tau_hi, tau_lo in default_settings("tau"):
+            assert tau_lo <= tau_hi
+
+    def test_theta_grid_ordered_pairs(self):
+        for theta_p, theta_n in default_settings("theta"):
+            assert theta_n <= theta_p
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError):
+            default_settings("gamma")
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def tau_result(self):
+        return sweep_thresholds(
+            "tau", settings=[(0, -10), (-5, -15)], workloads=ONE, config=MINI
+        )
+
+    def test_point_per_setting(self, tau_result):
+        assert [p.setting for p in tau_result.points] == [(0, -10), (-5, -15)]
+
+    def test_metrics_sane(self, tau_result):
+        for point in tau_result.points:
+            assert point.geomean_speedup > 0
+            assert 0.0 <= point.mean_accuracy <= 1.0
+            assert 0.0 <= point.mean_accept_rate <= 1.0
+
+    def test_best_is_max(self, tau_result):
+        best = tau_result.best()
+        assert best.geomean_speedup == max(
+            p.geomean_speedup for p in tau_result.points
+        )
+
+    def test_spread_nonnegative(self, tau_result):
+        assert tau_result.spread_percent() >= 0.0
+
+    def test_theta_sweep_runs(self):
+        result = sweep_thresholds(
+            "theta", settings=[(30, -30), (1000, -1000)], workloads=ONE, config=MINI
+        )
+        assert len(result.points) == 2
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds("gamma", settings=[(0, 0)], workloads=ONE, config=MINI)
+
+    def test_report_renders(self, tau_result):
+        out = report(tau_result)
+        assert "Sensitivity" in out
+        assert "tau" in out
+
+
+class TestAcceptRateResponds:
+    def test_stricter_tau_accepts_less(self):
+        lenient = sweep_thresholds(
+            "tau", settings=[(-20, -40)], workloads=ONE, config=MINI
+        ).points[0]
+        strict = sweep_thresholds(
+            "tau", settings=[(10, 5)], workloads=ONE, config=MINI
+        ).points[0]
+        assert strict.mean_accept_rate <= lenient.mean_accept_rate

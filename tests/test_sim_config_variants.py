@@ -1,0 +1,83 @@
+"""Config-variant behaviour tests: the §5.2/§6.3 machine knobs act as claimed."""
+
+import pytest
+
+from repro.memory.dram import DRAM, DRAMConfig
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.sim.config import SimConfig
+from repro.sim.single_core import run_single_core
+from repro.workloads.spec2017 import workload_by_name
+
+SMALL = SimConfig.quick(measure_records=3_000, warmup_records=800)
+
+
+def with_records(config):
+    config.warmup_records = SMALL.warmup_records
+    config.measure_records = SMALL.measure_records
+    return config
+
+
+class TestSmallLLC:
+    def test_small_llc_raises_llc_misses(self):
+        workload = workload_by_name("657.xz_s")  # large-footprint irregular
+        default = run_single_core(workload, "none", SMALL)
+        small = run_single_core(workload, "none", with_records(SimConfig.small_llc()))
+        assert small.llc_misses >= default.llc_misses
+
+    def test_small_llc_never_beats_default(self):
+        workload = workload_by_name("620.omnetpp_s")
+        default = run_single_core(workload, "none", SMALL)
+        small = run_single_core(workload, "none", with_records(SimConfig.small_llc()))
+        assert small.ipc <= default.ipc * 1.05
+
+
+class TestLowBandwidth:
+    def test_low_bandwidth_slows_memory_bound_work(self):
+        workload = workload_by_name("603.bwaves_s")
+        default = run_single_core(workload, "none", SMALL)
+        low = run_single_core(workload, "none", with_records(SimConfig.low_bandwidth()))
+        assert low.ipc < default.ipc
+
+    def test_low_bandwidth_barely_touches_compute_bound_work(self):
+        workload = workload_by_name("648.exchange2_s")
+        default = run_single_core(workload, "none", SMALL)
+        low = run_single_core(workload, "none", with_records(SimConfig.low_bandwidth()))
+        assert low.ipc > default.ipc * 0.7
+
+    def test_transfer_occupancy_quadruples(self):
+        default, low = DRAMConfig.default(), DRAMConfig.low_bandwidth()
+        assert low.cycles_per_transfer == 4 * default.cycles_per_transfer
+
+
+class TestHierarchyVariants:
+    def test_llc_scales_with_core_count(self):
+        for cores in (1, 2, 4, 8):
+            hierarchy = MemoryHierarchy(num_cores=cores)
+            assert hierarchy.llc.size_bytes == cores * 2 * 1024 * 1024
+
+    def test_prefetch_queue_size_configurable(self):
+        config = HierarchyConfig(prefetch_queue_size=3)
+        hierarchy = MemoryHierarchy(config=config)
+        assert hierarchy.config.prefetch_queue_size == 3
+
+    def test_table1_dump_tracks_variant(self):
+        rows = dict(SimConfig.low_bandwidth().describe())
+        assert "3.2 GB/s" in rows["DRAM"]
+        rows = dict(SimConfig.small_llc().describe())
+        assert "512 KB/core" in rows["LLC"]
+
+
+class TestDRAMRowPolicy:
+    def test_row_stays_open_between_accesses(self):
+        dram = DRAM()
+        dram.access(0x0, 0)
+        # Far in the future, same row: still an open-row hit.
+        before = dram.stats.row_hits
+        dram.access(0x40, 10_000_000)
+        assert dram.stats.row_hits == before + 1
+
+    def test_channels_partition_rows(self):
+        dram = DRAM(DRAMConfig(channels=2))
+        dram.access(0 << 6, 0)  # channel 0
+        dram.access(1 << 6, 0)  # channel 1 — different open-row state
+        assert dram.stats.row_misses == 2

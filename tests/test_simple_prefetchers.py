@@ -1,0 +1,124 @@
+"""Tests for next-line and stride baselines, and the Prefetcher base."""
+
+import pytest
+
+from repro.prefetchers.base import (
+    NullPrefetcher,
+    PrefetchCandidate,
+    Prefetcher,
+    PrefetcherStats,
+)
+from repro.prefetchers.next_line import NextLine, NextLineConfig
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+
+
+class TestPrefetchCandidate:
+    def test_defaults(self):
+        cand = PrefetchCandidate(addr=0x1000)
+        assert cand.fill_l2
+        assert cand.meta == {}
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            PrefetchCandidate(addr=-1)
+
+
+class TestPrefetcherStats:
+    def test_accuracy(self):
+        stats = PrefetcherStats(issued=10, useful=4)
+        assert stats.accuracy == 0.4
+
+    def test_accuracy_zero_when_nothing_issued(self):
+        assert PrefetcherStats().accuracy == 0.0
+
+    def test_issue_accounting(self):
+        pf = NullPrefetcher()
+        pf.on_prefetch_issued(PrefetchCandidate(addr=0x1000, fill_l2=True))
+        pf.on_prefetch_issued(PrefetchCandidate(addr=0x2000, fill_l2=False))
+        assert pf.stats.issued == 2
+        assert pf.stats.issued_l2 == 1
+        assert pf.stats.issued_llc == 1
+
+    def test_useless_eviction_accounting(self):
+        pf = NullPrefetcher()
+        pf.on_eviction(0x1000, was_prefetch=True, was_used=False)
+        pf.on_eviction(0x2000, was_prefetch=True, was_used=True)
+        pf.on_eviction(0x3000, was_prefetch=False, was_used=True)
+        assert pf.stats.useless_evictions == 1
+
+    def test_reset(self):
+        pf = NullPrefetcher()
+        pf.on_prefetch_issued(PrefetchCandidate(addr=0x1000))
+        pf.reset_stats()
+        assert pf.stats.issued == 0
+
+
+class TestNullPrefetcher:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.train(0x1000, 0x400, False, 0) == []
+
+
+class TestNextLine:
+    def test_prefetches_next_block(self):
+        pf = NextLine()
+        candidates = pf.train(0x1000, 0x400, False, 0)
+        assert [c.addr for c in candidates] == [0x1040]
+
+    def test_degree(self):
+        pf = NextLine(NextLineConfig(degree=3))
+        candidates = pf.train(0x1000, 0x400, False, 0)
+        assert [c.addr for c in candidates] == [0x1040, 0x1080, 0x10C0]
+
+    def test_stops_at_page_boundary(self):
+        pf = NextLine(NextLineConfig(degree=4))
+        candidates = pf.train(0xFC0, 0x400, False, 0)  # last block of page 0
+        assert candidates == []
+
+
+class TestStridePrefetcher:
+    def test_requires_confirmation(self):
+        pf = StridePrefetcher()
+        assert pf.train(0x1000, 0xA, False, 0) == []
+        assert pf.train(0x1040, 0xA, False, 1) == []  # stride seen once
+
+    def test_prefetches_after_confirmation(self):
+        pf = StridePrefetcher()
+        for i in range(3):
+            candidates = pf.train(0x1000 + i * 64, 0xA, False, i)
+        assert candidates
+        assert candidates[0].addr == 0x1000 + 3 * 64
+
+    def test_different_pcs_tracked_separately(self):
+        pf = StridePrefetcher()
+        for i in range(3):
+            pf.train(0x1000 + i * 64, 0xA, False, i)
+            candidates_b = pf.train(0x800000 + i * 128, 0xB, False, i)
+        assert candidates_b
+        assert candidates_b[0].addr == 0x800000 + 3 * 128
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher()
+        for i in range(3):
+            pf.train(0x1000 + i * 64, 0xA, False, i)
+        assert pf.train(0x9000, 0xA, False, 10) == []
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher()
+        for i in range(5):
+            candidates = pf.train(0x1000, 0xA, False, i)
+        assert candidates == []
+
+    def test_table_capacity(self):
+        pf = StridePrefetcher(StrideConfig(table_entries=2))
+        for pc in range(5):
+            pf.train(0x1000, pc, False, 0)
+        assert len(pf._table) <= 2
+
+    def test_candidates_stay_in_page(self):
+        pf = StridePrefetcher(StrideConfig(degree=8))
+        for i in range(4):
+            candidates = pf.train(0x1000 + i * 15 * 64, 0xA, False, i)
+        for cand in candidates:
+            assert cand.addr >> 12 == 0x1000 >> 12 or True  # page-checked inside
+            assert cand.addr >> 12 == (0x1000 + 3 * 15 * 64) >> 12

@@ -1,0 +1,140 @@
+"""Tests for repro.workloads.simpoint (§5.3 phase-sampling methodology)."""
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.simpoint import (
+    SimPoint,
+    phase_count,
+    select_simpoints,
+    signature_vectors,
+    weighted_mean,
+    window_records,
+)
+
+
+def phase_trace(phase_specs, records_per_phase=200):
+    """Build a trace with distinct phases: (pc_base, stride) per phase."""
+    trace = []
+    addr = 0
+    for pc_base, stride in phase_specs:
+        for i in range(records_per_phase):
+            addr += stride * 64
+            trace.append(TraceRecord(pc=pc_base + (i % 4) * 4, addr=addr, bubble=3))
+    return trace
+
+
+class TestSimPointDataclass:
+    def test_valid(self):
+        sp = SimPoint(window_index=2, weight=0.5)
+        assert sp.window_index == 2
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            SimPoint(window_index=0, weight=0.0)
+        with pytest.raises(ValueError):
+            SimPoint(window_index=0, weight=1.5)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            SimPoint(window_index=-1, weight=0.5)
+
+
+class TestSignatureVectors:
+    def test_shape(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=200)
+        vectors = signature_vectors(trace, window_size=50)
+        assert vectors.shape == (4, 34)
+
+    def test_partial_tail_dropped(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=105)
+        vectors = signature_vectors(trace, window_size=50)
+        assert vectors.shape[0] == 2
+
+    def test_sequential_fraction_detected(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=100)
+        vectors = signature_vectors(trace, window_size=100)
+        assert vectors[0, -1] > 0.9  # nearly all deltas are +1
+
+    def test_distinct_phases_distinct_vectors(self):
+        trace = phase_trace([(0x400, 1), (0x9000, 16)])
+        vectors = signature_vectors(trace, window_size=200)
+        import numpy as np
+
+        assert np.linalg.norm(vectors[0] - vectors[1]) > 0.1
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            signature_vectors(phase_trace([(0x400, 1)]), window_size=1)
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError):
+            signature_vectors(phase_trace([(0x400, 1)], 10), window_size=100)
+
+
+class TestSelection:
+    def test_weights_sum_to_one(self):
+        trace = phase_trace([(0x400, 1), (0x9000, 16), (0x400, 1)])
+        simpoints = select_simpoints(trace, window_size=100)
+        assert sum(sp.weight for sp in simpoints) == pytest.approx(1.0)
+
+    def test_two_phases_found(self):
+        trace = phase_trace([(0x400, 1), (0x9000, 16)], records_per_phase=400)
+        assert phase_count(trace, window_size=100, max_clusters=2) == 2
+
+    def test_uniform_trace_collapses(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=800)
+        simpoints = select_simpoints(trace, window_size=100, max_clusters=4)
+        # A single behaviour may split into a few near-identical
+        # clusters, but the dominant one carries most of the weight.
+        assert max(sp.weight for sp in simpoints) >= 0.25
+
+    def test_representatives_are_valid_windows(self):
+        trace = phase_trace([(0x400, 1), (0x9000, 16)])
+        simpoints = select_simpoints(trace, window_size=100)
+        n_windows = len(trace) // 100
+        for sp in simpoints:
+            assert 0 <= sp.window_index < n_windows
+
+    def test_deterministic(self):
+        trace = phase_trace([(0x400, 1), (0x9000, 16)])
+        a = select_simpoints(trace, window_size=100, seed=3)
+        b = select_simpoints(trace, window_size=100, seed=3)
+        assert a == b
+
+    def test_dominant_phase_gets_dominant_weight(self):
+        trace = phase_trace([(0x400, 1)] * 3 + [(0x9000, 16)], records_per_phase=200)
+        simpoints = select_simpoints(trace, window_size=200, max_clusters=2)
+        assert max(sp.weight for sp in simpoints) >= 0.7
+
+
+class TestWindowRecords:
+    def test_extracts_window(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=100)
+        window = window_records(trace, 25, 2)
+        assert window == trace[50:75]
+
+    def test_out_of_range(self):
+        trace = phase_trace([(0x400, 1)], records_per_phase=100)
+        with pytest.raises(IndexError):
+            window_records(trace, 50, 10)
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([2.0, 4.0], [0.5, 0.5]) == pytest.approx(3.0)
+
+    def test_weights_need_not_be_normalized(self):
+        assert weighted_mean([2.0, 4.0], [1, 3]) == pytest.approx(3.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+
+    def test_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])

@@ -1,0 +1,205 @@
+"""Tests for repro.prefetchers.spp (Signature Path Prefetcher)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import BLOCKS_PER_PAGE, encode_delta
+from repro.prefetchers.base import PrefetchCandidate
+from repro.prefetchers.spp import SIGNATURE_MASK, SPP, SPPConfig, update_signature
+
+
+def access_stream(spp, page, offsets, pc=0x400):
+    """Feed a sequence of in-page block offsets; return all candidates."""
+    out = []
+    for offset in offsets:
+        out.extend(spp.train((page << 12) | (offset << 6), pc, False, 0))
+    return out
+
+
+class TestSignature:
+    def test_update_rule(self):
+        assert update_signature(0, 1) == 1
+        assert update_signature(1, 1) == (1 << 3) ^ 1
+
+    def test_signature_is_12_bits(self):
+        sig = 0
+        for delta in range(1, 100):
+            sig = update_signature(sig, delta)
+            assert 0 <= sig <= SIGNATURE_MASK
+
+    def test_negative_delta_uses_sign_magnitude(self):
+        assert update_signature(0, -1) == encode_delta(-1)
+
+    @given(st.integers(min_value=0, max_value=SIGNATURE_MASK),
+           st.integers(min_value=-63, max_value=63))
+    def test_update_stays_in_range(self, sig, delta):
+        assert 0 <= update_signature(sig, delta) <= SIGNATURE_MASK
+
+
+class TestConfig:
+    def test_default_thresholds(self):
+        cfg = SPPConfig.default()
+        assert cfg.prefetch_threshold == 25
+        assert cfg.fill_threshold == 90
+
+    def test_lookahead_threshold_defaults_to_prefetch(self):
+        assert SPPConfig().lookahead_threshold == 25
+
+    def test_aggressive_is_more_aggressive(self):
+        stock, aggressive = SPPConfig.default(), SPPConfig.aggressive()
+        assert aggressive.prefetch_threshold < stock.prefetch_threshold
+        assert aggressive.max_depth > stock.max_depth
+
+    def test_fixed_depth(self):
+        cfg = SPPConfig.fixed_depth(9)
+        assert cfg.max_depth == 9
+        assert not cfg.compound_confidence
+
+
+class TestLearning:
+    def test_no_prefetch_without_history(self):
+        spp = SPP()
+        assert access_stream(spp, page=1, offsets=[0]) == []
+
+    def test_learns_unit_stride(self):
+        spp = SPP()
+        candidates = access_stream(spp, page=1, offsets=range(10))
+        assert candidates, "unit stride should trigger prefetches"
+        # all candidates stay within the page
+        for cand in candidates:
+            assert cand.addr >> 12 == 1
+
+    def test_prefetch_targets_follow_stride(self):
+        spp = SPP()
+        access_stream(spp, page=1, offsets=range(8))
+        next_candidates = spp.train((1 << 12) | (8 << 6), 0x400, False, 0)
+        targets = {(c.addr >> 6) & 63 for c in next_candidates}
+        assert 9 in targets
+
+    def test_learns_stride_two(self):
+        spp = SPP()
+        candidates = access_stream(spp, page=2, offsets=range(0, 30, 2))
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert targets and all(t % 2 == 0 for t in targets)
+
+    def test_pattern_shared_across_pages(self):
+        spp = SPP()
+        access_stream(spp, page=1, offsets=range(12))
+        # Same delta history on a fresh page re-uses the learned pattern.
+        candidates = access_stream(spp, page=50, offsets=range(6))
+        assert candidates
+
+    def test_repeated_offset_is_ignored(self):
+        spp = SPP()
+        access_stream(spp, page=1, offsets=[3, 3, 3])
+        assert spp.pattern_entry_count() == 0
+
+    def test_signature_table_capacity(self):
+        spp = SPP(SPPConfig(signature_table_entries=4))
+        for page in range(10):
+            access_stream(spp, page=page, offsets=[0, 1])
+        assert spp.signature_entry_count() <= 4
+
+    def test_counter_halving_on_saturation(self):
+        spp = SPP(SPPConfig(counter_max=4))
+        access_stream(spp, page=1, offsets=range(40))
+        for entry in spp._pattern_table.values():
+            assert entry.c_sig <= 4
+            for count in entry.deltas.values():
+                assert count <= 4
+
+    def test_delta_slots_bounded(self):
+        spp = SPP(SPPConfig(deltas_per_entry=2))
+        # Alternate many deltas under one signature path.
+        spp.train(0 << 6, 0, False, 0)
+        for offset in [1, 4, 9, 16, 25, 36]:
+            spp.train(offset << 6, 0, False, 0)
+        for entry in spp._pattern_table.values():
+            assert len(entry.deltas) <= 2
+
+
+class TestLookahead:
+    def test_depth_grows_with_confidence(self):
+        spp = SPP()
+        access_stream(spp, page=1, offsets=range(40))
+        assert spp.average_lookahead_depth > 1.0
+
+    def test_max_depth_respected(self):
+        spp = SPP(SPPConfig.fixed_depth(3))
+        candidates = access_stream(spp, page=1, offsets=range(30))
+        assert max(c.meta["depth"] for c in candidates) <= 3
+
+    def test_deeper_config_emits_more(self):
+        def issued(depth):
+            spp = SPP(SPPConfig.fixed_depth(depth))
+            return len(access_stream(spp, page=1, offsets=range(30)))
+
+        assert issued(8) >= issued(2)
+
+    def test_candidates_carry_ppf_metadata(self):
+        spp = SPP()
+        candidates = access_stream(spp, page=1, offsets=range(10), pc=0xBEEF)
+        cand = candidates[-1]
+        for key in ("pc", "delta", "signature", "confidence", "depth"):
+            assert key in cand.meta
+        assert cand.meta["pc"] == 0xBEEF
+        assert 0 <= cand.meta["confidence"] <= 100
+
+    def test_fill_level_uses_fill_threshold(self):
+        spp = SPP(SPPConfig(fill_threshold=0))
+        candidates = access_stream(spp, page=1, offsets=range(10))
+        assert all(c.fill_l2 for c in candidates)
+
+    def test_high_fill_threshold_sends_to_llc(self):
+        spp = SPP(SPPConfig(fill_threshold=101))
+        candidates = access_stream(spp, page=1, offsets=range(10))
+        assert candidates and all(not c.fill_l2 for c in candidates)
+
+    def test_candidates_never_leave_page(self):
+        spp = SPP(SPPConfig.aggressive())
+        candidates = access_stream(spp, page=7, offsets=range(50, 64))
+        for cand in candidates:
+            assert cand.addr >> 12 == 7
+
+
+class TestGHR:
+    def test_cross_page_bootstrap(self):
+        spp = SPP()
+        # Walk to the end of page 1 so the lookahead records a
+        # page-crossing in the GHR.
+        access_stream(spp, page=1, offsets=range(40, 64))
+        assert spp._ghr, "page-crossing walk should populate the GHR"
+        # First touch of page 2 at offset 0 continues the pattern.
+        candidates = spp.train(2 << 12, 0x400, False, 0)
+        assert candidates, "GHR bootstrap should enable immediate prefetching"
+
+    def test_ghr_capacity(self):
+        spp = SPP(SPPConfig(ghr_entries=4))
+        for page in range(10):
+            access_stream(spp, page=page, offsets=range(56, 64))
+        assert len(spp._ghr) <= 4
+
+
+class TestAccuracyAlpha:
+    def test_alpha_optimistic_when_cold(self):
+        assert SPP().alpha_percent == 100
+
+    def test_alpha_tracks_usefulness(self):
+        spp = SPP()
+        for _ in range(64):
+            spp.on_prefetch_issued(PrefetchCandidate(addr=0x1000))
+        for _ in range(16):
+            spp.on_useful_prefetch(0x1000)
+        assert spp.alpha_percent == 25
+
+    def test_counters_halve_at_cap(self):
+        spp = SPP(SPPConfig(accuracy_counter_max=64))
+        for _ in range(200):
+            spp.on_prefetch_issued(PrefetchCandidate(addr=0x1000))
+        assert spp._c_total < 200
+
+    def test_last_signature_exported(self):
+        spp = SPP()
+        access_stream(spp, page=1, offsets=[0, 1, 2])
+        assert spp.last_signature != 0

@@ -1,0 +1,117 @@
+"""Golden-value tests pinning SPP's exact semantics.
+
+Hand-computed expectations for small access sequences — a refactoring
+guard: any change to signature math, counter updates or lookahead
+ordering shows up here as an exact-value mismatch.
+"""
+
+import pytest
+
+from repro.memory.address import encode_delta
+from repro.prefetchers.spp import SPP, SPPConfig, update_signature
+
+
+class TestSignatureGolden:
+    def test_unit_stride_signature_sequence(self):
+        """offsets 0,1,2,3 from signature 0: sig_k = ((sig << 3) ^ 1)."""
+        expected = []
+        sig = 0
+        for _ in range(3):
+            sig = ((sig << 3) ^ 1) & 0xFFF
+            expected.append(sig)
+        assert expected == [0x001, 0x009, 0x049]
+
+    def test_negative_delta_encoding_in_signature(self):
+        # delta -2 encodes as 0b1000010 = 66
+        assert encode_delta(-2) == 66
+        assert update_signature(0, -2) == 66
+
+    def test_signature_wraps_at_12_bits(self):
+        sig = 0xFFF
+        assert update_signature(sig, 1) == ((0xFFF << 3) ^ 1) & 0xFFF
+
+
+class TestPatternTableGolden:
+    def test_counts_after_known_stream(self):
+        spp = SPP()
+        # offsets 0,1,2,3 in page 7: three delta-1 updates at signatures
+        # 0x000, 0x001, 0x009 respectively.
+        for offset in range(4):
+            spp.train((7 << 12) | (offset << 6), 0x400, False, offset)
+        table = spp._pattern_table
+        cfg = spp.config
+        for sig in (0x000, 0x001, 0x009):
+            entry = table[sig % cfg.pattern_table_entries]
+            assert entry.c_sig == 1
+            assert entry.deltas == {1: 1}
+
+    def test_csig_counts_signature_hits(self):
+        spp = SPP()
+        # Two different pages walking the same pattern double the counts.
+        for page in (3, 5):
+            for offset in range(4):
+                spp.train((page << 12) | (offset << 6), 0x400, False, offset)
+        entry = spp._pattern_table[0x001 % spp.config.pattern_table_entries]
+        assert entry.c_sig == 2
+        assert entry.deltas == {1: 2}
+
+
+class TestLookaheadGolden:
+    def warm(self, spp, page=9, length=20):
+        out = []
+        for offset in range(length):
+            out = spp.train((page << 12) | (offset << 6), 0x400, False, offset)
+        return out
+
+    def test_depth1_target_is_next_block(self):
+        spp = SPP()
+        candidates = self.warm(spp)
+        depth1 = [c for c in candidates if c.meta["depth"] == 1]
+        assert len(depth1) == 1
+        assert (depth1[0].addr >> 6) & 63 == 20  # trigger was offset 19
+
+    def test_depth1_confidence_is_100_on_clean_stream(self):
+        spp = SPP()
+        candidates = self.warm(spp)
+        depth1 = [c for c in candidates if c.meta["depth"] == 1][0]
+        assert depth1.meta["confidence"] == 100
+
+    def test_lookahead_targets_are_consecutive(self):
+        spp = SPP()
+        candidates = self.warm(spp)
+        offsets = sorted((c.addr >> 6) & 63 for c in candidates)
+        assert offsets == list(range(20, 20 + len(offsets)))
+
+    def test_alpha_100_while_cold_gives_deep_walk(self):
+        spp = SPP()  # T_p = 25: depth limited by nothing on a clean stream
+        candidates = self.warm(spp)
+        assert max(c.meta["depth"] for c in candidates) >= 4
+
+    def test_signature_meta_tracks_walk(self):
+        spp = SPP()
+        candidates = self.warm(spp)
+        by_depth = {c.meta["depth"]: c.meta["signature"] for c in candidates}
+        # Each level's signature extends the previous with delta 1.
+        for depth in range(1, max(by_depth)):
+            if depth in by_depth and depth + 1 in by_depth:
+                assert by_depth[depth + 1] == update_signature(by_depth[depth], 1)
+
+
+class TestGHRGolden:
+    def test_ghr_entry_contents(self):
+        spp = SPP()
+        # Walk to the very end of a page so lookahead crosses out.
+        for offset in range(56, 64):
+            spp.train((11 << 12) | (offset << 6), 0x400, False, offset)
+        assert spp._ghr
+        entry = spp._ghr[-1]
+        assert entry.delta == 1
+        assert entry.last_offset >= 56
+
+    def test_bootstrap_produces_correct_first_prefetch(self):
+        spp = SPP()
+        for offset in range(56, 64):
+            spp.train((11 << 12) | (offset << 6), 0x400, False, offset)
+        candidates = spp.train(12 << 12, 0x400, False, 99)  # page 12, offset 0
+        targets = [(c.addr >> 6) & 63 for c in candidates if c.addr >> 12 == 12]
+        assert 1 in targets  # continues the unit stride immediately

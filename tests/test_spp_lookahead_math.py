@@ -1,0 +1,108 @@
+"""Focused tests on SPP's path-confidence arithmetic (§2.1).
+
+These pin the `P_d = alpha * C_d * P_{d-1}` compounding behaviour and
+its interaction with the thresholds — the mechanics PPF replaces.
+"""
+
+import pytest
+
+from repro.prefetchers.base import PrefetchCandidate
+from repro.prefetchers.spp import SPP, SPPConfig
+
+
+def warm_stream(spp, page, length=40):
+    """Teach a unit-stride pattern; return the last trigger's candidates."""
+    candidates = []
+    for offset in range(length):
+        candidates = spp.train((page << 12) | (offset << 6), 0x400, False, offset)
+    return candidates
+
+
+def force_alpha(spp, percent):
+    """Set the global accuracy counters to an exact percentage."""
+    spp._c_total = 100
+    spp._c_useful = percent
+
+
+class TestPathConfidence:
+    def test_confidence_decreases_with_depth(self):
+        spp = SPP(SPPConfig(max_depth=8, prefetch_threshold=1, lookahead_threshold=1))
+        force_alpha(spp, 80)
+        candidates = warm_stream(spp, page=1)
+        by_depth = {}
+        for cand in candidates:
+            by_depth.setdefault(cand.meta["depth"], []).append(cand.meta["confidence"])
+        depths = sorted(by_depth)
+        assert len(depths) >= 2
+        series = [max(by_depth[d]) for d in depths]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_low_alpha_cuts_depth(self):
+        def max_depth_at(alpha):
+            spp = SPP(SPPConfig(max_depth=12, prefetch_threshold=5, lookahead_threshold=5))
+            force_alpha(spp, alpha)
+            candidates = warm_stream(spp, page=1)
+            return max((c.meta["depth"] for c in candidates), default=0)
+
+        assert max_depth_at(95) > max_depth_at(30)
+
+    def test_depth_one_ignores_alpha(self):
+        """Non-speculative prefetches use C_d only (P_0 = 1, §2.1)."""
+        spp = SPP(SPPConfig(prefetch_threshold=50))
+        force_alpha(spp, 1)  # terrible global accuracy
+        candidates = warm_stream(spp, page=1)
+        assert any(c.meta["depth"] == 1 for c in candidates)
+
+    def test_thresholds_gate_emission(self):
+        spp_strict = SPP(SPPConfig(prefetch_threshold=99, lookahead_threshold=99))
+        strict = warm_stream(spp_strict, page=1)
+        spp_lax = SPP(SPPConfig(prefetch_threshold=5, lookahead_threshold=5))
+        lax = warm_stream(spp_lax, page=1)
+        assert len(lax) >= len(strict)
+
+    def test_fill_threshold_partitions_by_confidence(self):
+        spp = SPP(SPPConfig(prefetch_threshold=5, lookahead_threshold=5, fill_threshold=60,
+                            max_depth=10))
+        force_alpha(spp, 85)
+        candidates = warm_stream(spp, page=1)
+        for cand in candidates:
+            assert cand.fill_l2 == (cand.meta["confidence"] >= 60)
+
+    def test_compound_off_keeps_confidence_flat(self):
+        spp = SPP(SPPConfig.fixed_depth(8))
+        force_alpha(spp, 10)  # would kill a compounding walk instantly
+        candidates = warm_stream(spp, page=1)
+        assert max((c.meta["depth"] for c in candidates), default=0) >= 6
+
+
+class TestMultiDeltaEntries:
+    def teach_mixed_deltas(self, spp):
+        """Two interleaved delta behaviours under similar signatures.
+
+        Returns every candidate emitted during teaching.
+        """
+        emitted = []
+        offset = 0
+        for i in range(120):
+            delta = 1 if i % 4 else 3
+            offset = (offset + delta) % 60
+            emitted.extend(spp.train((5 << 12) | (offset << 6), 0x400, False, i))
+        return emitted
+
+    def test_multiple_deltas_emitted_when_aggressive(self):
+        spp = SPP(SPPConfig(prefetch_threshold=1, lookahead_threshold=1))
+        emitted = self.teach_mixed_deltas(spp)
+        deltas = {c.meta["delta"] for c in emitted}
+        # aggressive tuning exposes secondary deltas to the filter
+        assert len(deltas) >= 2
+
+    def test_dominant_delta_has_higher_confidence(self):
+        spp = SPP(SPPConfig(prefetch_threshold=1, lookahead_threshold=1))
+        emitted = self.teach_mixed_deltas(spp)
+        depth1 = [c for c in emitted if c.meta["depth"] == 1]
+        by_delta = {}
+        for cand in depth1:
+            by_delta.setdefault(cand.meta["delta"], []).append(cand.meta["confidence"])
+        if 1 in by_delta and 3 in by_delta:
+            # delta 1 occurs 3x as often as delta 3 in the teaching mix
+            assert max(by_delta[1]) >= max(by_delta[3])

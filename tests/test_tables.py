@@ -1,0 +1,146 @@
+"""Tests for repro.core.tables (Prefetch / Reject tables)."""
+
+import pytest
+
+from repro.core.tables import (
+    INDEX_BITS,
+    TABLE_ENTRIES,
+    DecisionTable,
+    PrefetchTable,
+    RejectTable,
+    split_address,
+)
+
+
+def addr_with(index, tag):
+    """Compose a block address with the given table index and tag."""
+    return ((tag << INDEX_BITS) | index) << 6
+
+
+class TestSplitAddress:
+    def test_paper_geometry(self):
+        assert TABLE_ENTRIES == 1024
+        index, tag = split_address(addr_with(5, 3))
+        assert index == 5
+        assert tag == 3
+
+    def test_tag_is_six_bits(self):
+        _, tag = split_address(addr_with(0, 0xFF))
+        assert tag == 0xFF & 0x3F
+
+
+class TestInsertLookup:
+    def test_lookup_after_insert(self):
+        table = DecisionTable()
+        addr = addr_with(1, 1)
+        table.insert(addr, (1, 2, 3), True, 5)
+        entry = table.lookup(addr)
+        assert entry is not None
+        assert entry.feature_indices == (1, 2, 3)
+        assert entry.perc_decision
+        assert entry.perc_sum == 5
+        assert not entry.useful
+
+    def test_lookup_miss_on_empty(self):
+        assert DecisionTable().lookup(0x1000) is None
+
+    def test_tag_mismatch_misses(self):
+        table = DecisionTable()
+        table.insert(addr_with(1, 1), (), True, 0)
+        assert table.lookup(addr_with(1, 2)) is None
+
+    def test_same_block_different_bytes_match(self):
+        table = DecisionTable()
+        addr = addr_with(1, 1)
+        table.insert(addr, (), True, 0)
+        assert table.lookup(addr + 63) is not None
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DecisionTable(entries=1000)
+
+
+class TestDisplacement:
+    def test_conflicting_insert_returns_displaced(self):
+        table = DecisionTable()
+        first = addr_with(1, 1)
+        second = addr_with(1, 2)  # same index, different tag
+        table.insert(first, (9,), True, 0)
+        displaced = table.insert(second, (8,), True, 0)
+        assert displaced is not None
+        assert displaced.feature_indices == (9,)
+        assert table.conflicts == 1
+
+    def test_same_block_reinsert_is_refresh(self):
+        """Re-recording the same block must NOT report a displacement —
+        otherwise the lookahead's re-suggestions would train negative
+        against their own pending prefetches."""
+        table = DecisionTable()
+        addr = addr_with(1, 1)
+        table.insert(addr, (1,), True, 0)
+        displaced = table.insert(addr, (2,), True, 0)
+        assert displaced is None
+        assert table.conflicts == 0
+
+    def test_displaced_entry_is_gone(self):
+        table = DecisionTable()
+        first = addr_with(1, 1)
+        table.insert(first, (), True, 0)
+        table.insert(addr_with(1, 2), (), True, 0)
+        assert table.lookup(first) is None
+
+    def test_invalidated_slot_does_not_count_as_conflict(self):
+        table = DecisionTable()
+        addr = addr_with(1, 1)
+        table.insert(addr, (), True, 0)
+        table.invalidate(addr)
+        displaced = table.insert(addr_with(1, 2), (), True, 0)
+        assert displaced is None
+        assert table.conflicts == 0
+
+
+class TestInvalidate:
+    def test_invalidate_consumes_entry(self):
+        table = DecisionTable()
+        addr = addr_with(3, 3)
+        table.insert(addr, (), True, 0)
+        assert table.invalidate(addr)
+        assert table.lookup(addr) is None
+        assert not table.invalidate(addr)
+
+    def test_invalidate_respects_tag(self):
+        table = DecisionTable()
+        table.insert(addr_with(3, 3), (), True, 0)
+        assert not table.invalidate(addr_with(3, 4))
+
+
+class TestBookkeeping:
+    def test_occupancy(self):
+        table = DecisionTable()
+        table.insert(addr_with(0, 1), (), True, 0)
+        table.insert(addr_with(1, 1), (), True, 0)
+        assert table.occupancy() == 2
+        table.invalidate(addr_with(0, 1))
+        assert table.occupancy() == 1
+
+    def test_hits_counted(self):
+        table = DecisionTable()
+        addr = addr_with(0, 1)
+        table.insert(addr, (), True, 0)
+        table.lookup(addr)
+        table.lookup(addr_with(0, 2))  # miss
+        assert table.hits == 1
+
+    def test_reset(self):
+        table = DecisionTable()
+        table.insert(addr_with(0, 1), (), True, 0)
+        table.reset()
+        assert table.occupancy() == 0
+        assert table.inserts == 0
+
+    def test_subclasses_share_behaviour(self):
+        for cls in (PrefetchTable, RejectTable):
+            table = cls()
+            addr = addr_with(9, 2)
+            table.insert(addr, (4,), cls is PrefetchTable, -3)
+            assert table.lookup(addr).feature_indices == (4,)

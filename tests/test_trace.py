@@ -1,0 +1,102 @@
+"""Tests for repro.cpu.trace."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import (
+    TraceRecord,
+    footprint_by_page,
+    read_trace,
+    trace_from_string,
+    trace_stats,
+    trace_to_string,
+    write_trace,
+)
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        pc=st.integers(min_value=0, max_value=2**32),
+        addr=st.integers(min_value=0, max_value=2**40),
+        bubble=st.integers(min_value=0, max_value=500),
+    ),
+    max_size=50,
+)
+
+
+class TestTraceRecord:
+    def test_instructions_counts_bubble_plus_load(self):
+        assert TraceRecord(pc=1, addr=2, bubble=9).instructions == 10
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            TraceRecord(pc=-1, addr=0, bubble=0)
+        with pytest.raises(ValueError):
+            TraceRecord(pc=0, addr=-1, bubble=0)
+        with pytest.raises(ValueError):
+            TraceRecord(pc=0, addr=0, bubble=-1)
+
+    def test_frozen(self):
+        rec = TraceRecord(pc=1, addr=2, bubble=3)
+        with pytest.raises(AttributeError):
+            rec.pc = 5
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        trace = [TraceRecord(0x400, 0x1000, 3), TraceRecord(0x404, 0x1040, 0)]
+        assert trace_from_string(trace_to_string(trace)) == trace
+
+    def test_write_returns_count(self):
+        buffer = io.StringIO()
+        assert write_trace([TraceRecord(1, 2, 3)] * 4, buffer) == 4
+
+    def test_read_skips_comments_and_blanks(self):
+        text = "# header\n\n400 1000 3\n"
+        assert len(list(read_trace(io.StringIO(text)))) == 1
+
+    def test_read_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            list(read_trace(io.StringIO("400 1000\n")))
+
+    @settings(max_examples=30, deadline=None)
+    @given(records_strategy)
+    def test_roundtrip_property(self, trace):
+        assert trace_from_string(trace_to_string(trace)) == trace
+
+
+class TestStats:
+    def test_counts(self):
+        trace = [
+            TraceRecord(1, 0x1000, 4),
+            TraceRecord(1, 0x1040, 4),
+            TraceRecord(1, 0x2000, 4),
+        ]
+        stats = trace_stats(trace)
+        assert stats.records == 3
+        assert stats.instructions == 15
+        assert stats.unique_blocks == 3
+        assert stats.unique_pages == 2
+
+    def test_loads_per_kilo_instruction(self):
+        trace = [TraceRecord(1, 0x1000, 99)]
+        assert trace_stats(trace).loads_per_kilo_instruction == 10.0
+
+    def test_empty_trace(self):
+        stats = trace_stats([])
+        assert stats.records == 0
+        assert stats.loads_per_kilo_instruction == 0.0
+
+    def test_footprint_by_page(self):
+        trace = [
+            TraceRecord(1, 0x1000, 0),
+            TraceRecord(1, 0x1040, 0),
+            TraceRecord(1, 0x1040, 0),
+            TraceRecord(1, 0x2000, 0),
+        ]
+        footprint = footprint_by_page(trace)
+        assert footprint[1] == 2
+        assert footprint[2] == 1

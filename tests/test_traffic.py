@@ -1,0 +1,66 @@
+"""Tests for repro.analysis.traffic."""
+
+import pytest
+
+from repro.analysis.traffic import TrafficBreakdown, compare_traffic, report, traffic_breakdown
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+MINI = SimConfig.quick(measure_records=3_000, warmup_records=800)
+
+
+class TestBreakdownProperties:
+    def test_total_and_share(self):
+        b = TrafficBreakdown(
+            scheme="x", ipc=1.0, demand_dram=30, prefetch_dram=70,
+            mean_queue_delay=0.0, useless_evictions=7, useful_prefetches=50,
+            prefetches_dropped=0,
+        )
+        assert b.total_dram == 100
+        assert b.prefetch_share == pytest.approx(0.7)
+        assert b.waste_rate == pytest.approx(0.1)
+
+    def test_zero_traffic(self):
+        b = TrafficBreakdown(
+            scheme="x", ipc=1.0, demand_dram=0, prefetch_dram=0,
+            mean_queue_delay=0.0, useless_evictions=0, useful_prefetches=0,
+            prefetches_dropped=0,
+        )
+        assert b.prefetch_share == 0.0
+        assert b.waste_rate == 0.0
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        return compare_traffic(
+            workload_by_name("603.bwaves_s"), schemes=("none", "spp", "ppf"), config=MINI
+        )
+
+    def test_baseline_has_no_prefetch_traffic(self, breakdowns):
+        none = breakdowns[0]
+        assert none.prefetch_dram == 0
+        assert none.demand_dram > 0
+
+    def test_prefetching_shifts_traffic(self, breakdowns):
+        none, spp, _ppf = breakdowns
+        assert spp.prefetch_dram > 0
+        # Prefetching converts demand DRAM traffic into prefetch traffic.
+        assert spp.demand_dram < none.demand_dram
+
+    def test_ppf_wastes_less_than_spp(self, breakdowns):
+        _none, spp, ppf = breakdowns
+        assert ppf.useless_evictions <= spp.useless_evictions
+
+    def test_ipc_recorded(self, breakdowns):
+        assert all(b.ipc > 0 for b in breakdowns)
+
+    def test_report_renders(self, breakdowns):
+        out = report(breakdowns, "603.bwaves_s")
+        assert "Memory-traffic breakdown" in out
+        assert "prefetch DRAM" in out
+
+    def test_single_breakdown_matches_compare(self):
+        single = traffic_breakdown(workload_by_name("641.leela_s"), "spp", MINI)
+        assert single.scheme == "spp"
+        assert single.total_dram >= 0

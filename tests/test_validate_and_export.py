@@ -1,0 +1,117 @@
+"""Tests for the scorecard (harness.validate) and data export."""
+
+import json
+
+import pytest
+
+from repro.harness.export import (
+    figure1_rows,
+    figure9_rows,
+    figure10_rows,
+    multicore_rows,
+    to_csv,
+    to_json,
+    write_rows,
+)
+from repro.harness.figure01 import run_figure1
+from repro.harness.figure09 import run_figure9
+from repro.harness.figure10 import run_figure10
+from repro.harness.validate import Scorecard, report_scorecard, validate
+from repro.sim.config import SimConfig
+from repro.workloads.spec2017 import workload_by_name
+
+MINI = SimConfig.quick(measure_records=2_500, warmup_records=600)
+
+
+class TestScorecard:
+    def test_structural_claims_pass(self):
+        scorecard = validate(include_sweeps=False)
+        assert scorecard.total == 3
+        assert scorecard.all_passed
+        assert scorecard.failures() == []
+
+    def test_counts(self):
+        scorecard = Scorecard()
+        scorecard.add("a", "first", True)
+        scorecard.add("b", "second", False, "detail")
+        assert scorecard.passed == 1
+        assert scorecard.total == 2
+        assert not scorecard.all_passed
+        assert [c.id for c in scorecard.failures()] == ["b"]
+
+    def test_report_renders(self):
+        scorecard = validate(include_sweeps=False)
+        out = report_scorecard(scorecard)
+        assert "Reproduction scorecard" in out
+        assert "3/3 claims hold" in out
+
+    def test_cli_validate_fast(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["validate", "--fast"]) == 0
+        assert "claims hold" in capsys.readouterr().out
+
+
+class TestExportRows:
+    def test_figure1_rows(self):
+        result = run_figure1(depths=(3, 5), config=MINI)
+        rows = figure1_rows(result)
+        assert [row["depth"] for row in rows] == [3, 5]
+        assert {"depth", "ipc", "total_pf", "good_pf"} <= set(rows[0])
+
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        workloads = [workload_by_name("603.bwaves_s"), workload_by_name("641.leela_s")]
+        return run_figure9(workloads=workloads, config=MINI, schemes=("spp", "ppf"))
+
+    def test_figure9_rows(self, fig9):
+        rows = figure9_rows(fig9)
+        assert [row["workload"] for row in rows] == ["603.bwaves_s", "641.leela_s"]
+        assert all("spp" in row and "ppf" in row for row in rows)
+
+    def test_figure10_rows(self, fig9):
+        fig10 = run_figure10(suite=fig9.suite, schemes=("spp", "ppf"))
+        rows = figure10_rows(fig10)
+        assert {row["scheme"] for row in rows} == {"spp", "ppf"}
+        assert all("l2_coverage" in row for row in rows)
+
+    def test_multicore_rows(self):
+        from repro.harness.figures11_12 import run_multicore_figure
+        from repro.sim.config import SimConfig
+
+        config = SimConfig.multicore(2)
+        config.measure_records, config.warmup_records = 800, 200
+        result = run_multicore_figure(2, mix_count=2, config=config, schemes=("spp",))
+        rows = multicore_rows(result)
+        assert [row["rank"] for row in rows] == [0, 1]
+        assert rows[0]["spp"] <= rows[1]["spp"]  # sorted series
+
+
+class TestSerialization:
+    ROWS = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+
+    def test_csv(self):
+        out = to_csv(self.ROWS)
+        lines = out.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_roundtrip(self):
+        assert json.loads(to_json(self.ROWS)) == self.ROWS
+
+    def test_write_rows_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(self.ROWS, str(path))
+        assert path.read_text().startswith("a,b")
+
+    def test_write_rows_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_rows(self.ROWS, str(path))
+        assert json.loads(path.read_text()) == self.ROWS
+
+    def test_write_rows_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows(self.ROWS, str(tmp_path / "out.xml"))

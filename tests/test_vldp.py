@@ -1,0 +1,110 @@
+"""Tests for repro.prefetchers.vldp (Variable Length Delta Prefetcher)."""
+
+import pytest
+
+from repro.prefetchers.vldp import VLDP, VLDPConfig
+
+
+def feed(vldp, page, offsets, pc=0x400):
+    out = []
+    for i, offset in enumerate(offsets):
+        out.extend(vldp.train((page << 12) | (offset << 6), pc, False, i))
+    return out
+
+
+class TestLearning:
+    def test_no_prediction_cold(self):
+        vldp = VLDP()
+        assert feed(vldp, 1, [0, 1]) == []
+
+    def test_learns_unit_delta(self):
+        vldp = VLDP()
+        candidates = feed(vldp, 1, [0, 1, 2, 3])
+        targets = {(c.addr >> 6) & 63 for c in candidates}
+        assert 4 in targets or 3 in targets
+
+    def test_learns_repeating_delta_pattern(self):
+        """The variable-length tables must learn alternating deltas."""
+        vldp = VLDP()
+        offsets = [0]
+        for _ in range(12):
+            offsets.append(offsets[-1] + (1 if len(offsets) % 2 else 3))
+        candidates = feed(vldp, 1, offsets)
+        assert candidates  # pattern (1,3,1,3,...) becomes predictable
+
+    def test_longest_history_wins(self):
+        """Order-2 history disambiguates what order-1 cannot."""
+        vldp = VLDP(VLDPConfig(degree=1))
+        # Sequence: deltas 1,2,1,2,... After delta 1 comes 2 and after
+        # 2 comes 1 — order-1 suffices here, but build the history and
+        # check the prediction matches the alternation.
+        offsets = [0, 1, 3, 4, 6, 7, 9, 10, 12]
+        feed(vldp, 1, offsets)
+        candidates = feed(vldp, 1, [13])  # last delta was 1 -> predict +2
+        assert [(c.addr >> 6) & 63 for c in candidates] == [15]
+
+    def test_lookahead_degree(self):
+        vldp = VLDP(VLDPConfig(degree=3))
+        candidates = feed(vldp, 1, range(10))
+        depths = {c.meta["depth"] for c in candidates}
+        assert max(depths) <= 3
+        assert len(depths) > 1
+
+    def test_first_level_fills_l2_deeper_fills_llc(self):
+        vldp = VLDP(VLDPConfig(degree=3))
+        candidates = feed(vldp, 1, range(10))
+        for cand in candidates:
+            assert cand.fill_l2 == (cand.meta["depth"] == 1)
+
+    def test_candidates_stay_in_page(self):
+        vldp = VLDP(VLDPConfig(degree=8))
+        candidates = feed(vldp, 3, range(55, 64))
+        for cand in candidates:
+            assert cand.addr >> 12 == 3
+
+    def test_repeated_offset_ignored(self):
+        vldp = VLDP()
+        assert feed(vldp, 1, [5, 5, 5]) == []
+
+
+class TestOPT:
+    def test_new_page_first_delta_prediction(self):
+        vldp = VLDP()
+        # Teach the OPT: pages starting at offset 0 continue with +2.
+        for page in range(2, 8):
+            feed(vldp, page, [0, 2, 4])
+        candidates = feed(vldp, 100, [0])  # brand-new page, first access
+        assert [(c.addr >> 6) & 63 for c in candidates] == [2]
+
+    def test_opt_misprediction_decays(self):
+        vldp = VLDP()
+        for page in range(2, 6):
+            feed(vldp, page, [0, 2])
+        for page in range(6, 12):
+            feed(vldp, page, [0, 5])
+        # After enough contradiction, the OPT entry retrains to +5.
+        candidates = feed(vldp, 100, [0])
+        targets = [(c.addr >> 6) & 63 for c in candidates]
+        assert targets in ([5], [])
+
+
+class TestCapacity:
+    def test_dhb_is_bounded(self):
+        vldp = VLDP(VLDPConfig(dhb_entries=4))
+        for page in range(20):
+            feed(vldp, page, [0, 1])
+        assert len(vldp._dhb) <= 4
+
+    def test_dpt_is_bounded(self):
+        vldp = VLDP(VLDPConfig(dpt_entries=8))
+        import random
+
+        rng = random.Random(0)
+        offsets = [rng.randrange(64) for _ in range(300)]
+        feed(vldp, 1, offsets)
+        assert all(size <= 8 for size in vldp.dpt_sizes())
+
+    def test_registered_in_factory(self):
+        from repro.sim.single_core import make_prefetcher
+
+        assert isinstance(make_prefetcher("vldp"), VLDP)

@@ -1,0 +1,122 @@
+"""Tests for repro.core.weights."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import (
+    WEIGHT_MAX,
+    WEIGHT_MIN,
+    SaturatingCounter,
+    WeightTable,
+    clamp_weight,
+)
+
+
+class TestClamp:
+    def test_in_range_unchanged(self):
+        for value in range(WEIGHT_MIN, WEIGHT_MAX + 1):
+            assert clamp_weight(value) == value
+
+    def test_saturates_both_ends(self):
+        assert clamp_weight(100) == WEIGHT_MAX == 15
+        assert clamp_weight(-100) == WEIGHT_MIN == -16
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert WEIGHT_MIN <= clamp_weight(value) <= WEIGHT_MAX
+
+
+class TestSaturatingCounter:
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(value=WEIGHT_MAX)
+        assert counter.increment() == WEIGHT_MAX
+
+    def test_decrement_saturates(self):
+        counter = SaturatingCounter(value=WEIGHT_MIN)
+        assert counter.decrement() == WEIGHT_MIN
+
+    def test_initial_value_clamped(self):
+        assert SaturatingCounter(value=1000).value == WEIGHT_MAX
+
+    def test_custom_range(self):
+        counter = SaturatingCounter(value=0, minimum=0, maximum=3)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(value=0, minimum=5, maximum=1)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_never_leaves_range(self, steps):
+        counter = SaturatingCounter()
+        for up in steps:
+            counter.increment() if up else counter.decrement()
+            assert WEIGHT_MIN <= counter.value <= WEIGHT_MAX
+
+
+class TestWeightTable:
+    def test_starts_zeroed(self):
+        table = WeightTable(16)
+        assert all(w == 0 for w in table.weights())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            WeightTable(100)
+        with pytest.raises(ValueError):
+            WeightTable(0)
+
+    def test_index_masks_hash(self):
+        table = WeightTable(16)
+        assert table.index_of(0x12345) == 0x12345 & 15
+
+    def test_bump_up_and_down(self):
+        table = WeightTable(8)
+        assert table.bump(3, positive=True) == 1
+        assert table.bump(3, positive=False) == 0
+
+    def test_bump_saturates(self):
+        table = WeightTable(8)
+        for _ in range(100):
+            table.bump(0, positive=True)
+        assert table.read(0) == WEIGHT_MAX
+
+    def test_nonzero_count(self):
+        table = WeightTable(8)
+        table.bump(1, True)
+        table.bump(2, False)
+        assert table.nonzero_count() == 2
+
+    def test_reset(self):
+        table = WeightTable(8)
+        table.bump(1, True)
+        table.reset()
+        assert table.nonzero_count() == 0
+
+    def test_load_validates_length(self):
+        table = WeightTable(4)
+        with pytest.raises(ValueError):
+            table.load([1, 2, 3])
+
+    def test_load_clamps(self):
+        table = WeightTable(2)
+        table.load([100, -100])
+        assert table.weights() == [WEIGHT_MAX, WEIGHT_MIN]
+
+    def test_storage_bits(self):
+        assert WeightTable(4096).storage_bits == 4096 * 5
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), st.booleans()),
+            max_size=200,
+        )
+    )
+    def test_weights_always_in_range(self, updates):
+        table = WeightTable(8)
+        for index, positive in updates:
+            table.bump(index, positive)
+        assert all(WEIGHT_MIN <= w <= WEIGHT_MAX for w in table.weights())

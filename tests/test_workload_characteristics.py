@@ -1,0 +1,98 @@
+"""Characterization tests: workload models behave like their namesakes.
+
+These run small simulations and check that each model's *memory
+behaviour class* matches what the paper (and SPEC lore) says about the
+benchmark it stands in for — the property the substitution argument in
+DESIGN.md rests on.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.spec2017 import (
+    memory_intensive_subset,
+    spec2017_workloads,
+    workload_by_name,
+)
+
+CFG = SimConfig.quick(measure_records=6_000, warmup_records=3_000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CFG)
+
+
+class TestIntensityClasses:
+    def test_intensive_mpki_above_light(self, runner):
+        """Every memory-intensive model out-misses every light model."""
+        intensive_mpki = [
+            runner.single(w, "none").llc_mpki for w in memory_intensive_subset()[:5]
+        ]
+        light = [w for w in spec2017_workloads() if not w.memory_intensive][:5]
+        light_mpki = [runner.single(w, "none").llc_mpki for w in light]
+        assert min(intensive_mpki) > max(light_mpki) * 0.8
+
+    def test_intensive_subset_has_high_mpki(self, runner):
+        for workload in memory_intensive_subset()[:5]:
+            assert runner.single(workload, "none").llc_mpki > 3.0, workload.name
+
+    def test_light_workloads_have_low_mpki(self, runner):
+        # Short test-scale runs keep part of the hot set cold, so the
+        # bound is loose; at bench scale these models sit near MPKI 1.
+        for name in ("648.exchange2_s", "641.leela_s"):
+            result = runner.single(workload_by_name(name), "none")
+            assert result.llc_mpki < 6.0, name
+
+
+class TestBehaviourClasses:
+    def test_mcf_is_prefetch_averse(self, runner):
+        """Pointer chasing: even the best scheme gains little."""
+        workload = workload_by_name("605.mcf_s")
+        base = runner.single(workload, "none")
+        best = max(
+            runner.single(workload, scheme).ipc for scheme in ("spp", "ppf", "bop")
+        )
+        assert best / base.ipc < 1.6
+
+    def test_bwaves_is_prefetch_friendly(self, runner):
+        workload = workload_by_name("603.bwaves_s")
+        base = runner.single(workload, "none")
+        spp = runner.single(workload, "spp")
+        assert spp.ipc / base.ipc > 1.5
+
+    def test_cactu_defeats_page_local_prefetchers(self, runner):
+        """One access per ~1.5 pages: SPP and AMPM stay near baseline."""
+        workload = workload_by_name("607.cactuBSSN_s")
+        base = runner.single(workload, "none")
+        for scheme in ("spp", "da-ampm"):
+            ratio = runner.single(workload, scheme).ipc / base.ipc
+            assert ratio < 1.3, scheme
+
+    def test_xalancbmk_has_exploitable_phases(self, runner):
+        """Phase-varying deltas: prefetchable, but accuracy-sensitive."""
+        workload = workload_by_name("623.xalancbmk_s")
+        base = runner.single(workload, "none")
+        spp = runner.single(workload, "spp")
+        assert spp.ipc / base.ipc > 1.4
+        assert spp.accuracy < 0.9  # phase churn costs accuracy
+
+    def test_streams_prefetch_accurately(self, runner):
+        workload = workload_by_name("649.fotonik3d_s")
+        result = runner.single(workload, "ppf")
+        assert result.accuracy > 0.6
+
+
+class TestDeterminismAcrossSuite:
+    def test_fixed_seed_reproduces_results(self):
+        workload = workload_by_name("619.lbm_s")
+        from repro.sim.single_core import run_single_core
+
+        a = run_single_core(workload, "ppf", CFG, seed=9)
+        b = run_single_core(workload, "ppf", CFG, seed=9)
+        assert (a.cycles, a.prefetches_issued, a.l2_misses) == (
+            b.cycles,
+            b.prefetches_issued,
+            b.l2_misses,
+        )

@@ -1,0 +1,160 @@
+"""Tests for the workload suites and mix builders."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import trace_stats
+from repro.workloads.cloudsuite import cloudsuite_workloads
+from repro.workloads.mixes import (
+    build_mixes,
+    memory_intensive_mixes,
+    random_mixes,
+)
+from repro.workloads.recipes import Recipe, recipe
+from repro.workloads.spec2006 import spec2006_memory_intensive, spec2006_workloads
+from repro.workloads.spec2017 import (
+    memory_intensive_subset,
+    spec2017_workloads,
+    workload_by_name,
+)
+
+
+class TestSpec2017Suite:
+    def test_twenty_workloads(self):
+        assert len(spec2017_workloads()) == 20
+
+    def test_eleven_memory_intensive(self):
+        """§5.3: 11 of 20 SPEC CPU 2017 applications have LLC MPKI > 1."""
+        assert len(memory_intensive_subset()) == 11
+
+    def test_names_are_spec_names(self):
+        names = {w.name for w in spec2017_workloads()}
+        for expected in ("603.bwaves_s", "605.mcf_s", "623.xalancbmk_s", "657.xz_s"):
+            assert expected in names
+
+    def test_no_duplicate_names(self):
+        names = [w.name for w in spec2017_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("605.mcf_s").memory_intensive
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("999.nothing")
+
+    def test_traces_are_deterministic(self):
+        spec = workload_by_name("603.bwaves_s")
+        a = list(spec.trace(200, seed=5))
+        b = list(spec.trace(200, seed=5))
+        assert a == b
+
+    def test_traces_differ_across_seeds(self):
+        spec = workload_by_name("603.bwaves_s")
+        assert list(spec.trace(200, seed=1)) != list(spec.trace(200, seed=2))
+
+    def test_trace_length(self):
+        spec = workload_by_name("619.lbm_s")
+        assert len(list(spec.trace(321))) == 321
+
+    def test_every_workload_generates(self):
+        for spec in spec2017_workloads():
+            records = list(spec.trace(50, seed=3))
+            assert len(records) == 50
+            assert all(r.addr >= 0 and r.pc > 0 for r in records)
+
+    def test_intensive_workloads_are_denser(self):
+        """Memory-intensive models carry more loads per instruction."""
+        dense = trace_stats(workload_by_name("603.bwaves_s").trace(2000))
+        sparse = trace_stats(workload_by_name("648.exchange2_s").trace(2000))
+        assert (
+            dense.loads_per_kilo_instruction > sparse.loads_per_kilo_instruction
+        )
+
+    def test_intensive_footprints_are_larger(self):
+        big = trace_stats(workload_by_name("605.mcf_s").trace(3000))
+        small = trace_stats(workload_by_name("641.leela_s").trace(3000))
+        assert big.unique_blocks > small.unique_blocks
+
+
+class TestSpec2006Suite:
+    def test_twenty_nine_workloads(self):
+        """§5.3: 94 simpoints across all 29 SPEC CPU 2006 applications."""
+        assert len(spec2006_workloads()) == 29
+
+    def test_sixteen_memory_intensive(self):
+        assert len(spec2006_memory_intensive()) == 16
+
+    def test_suite_label(self):
+        assert all(w.suite == "spec2006" for w in spec2006_workloads())
+
+    def test_all_generate(self):
+        for spec in spec2006_workloads():
+            assert len(list(spec.trace(30, seed=1))) == 30
+
+
+class TestCloudSuite:
+    def test_four_applications(self):
+        """§5.3: four 4-core CloudSuite applications from CRC-2."""
+        assert len(cloudsuite_workloads()) == 4
+
+    def test_all_generate(self):
+        for spec in cloudsuite_workloads():
+            assert len(list(spec.trace(30, seed=1))) == 30
+
+
+class TestRecipes:
+    def test_recipe_builds_trace(self):
+        rcp = recipe(("stream", {"span": 4}, 1.0, 3))
+        assert len(list(rcp.build(25, seed=1))) == 25
+
+    def test_unknown_kind_raises(self):
+        rcp = recipe(("warp-drive", {}, 1.0, 3))
+        with pytest.raises(ValueError):
+            list(rcp.build(10, seed=1))
+
+    def test_all_kinds_build(self):
+        kinds = ["stream", "strided", "chase", "phase", "scatter", "hotset", "random"]
+        rcp = Recipe(tuple((k, {}, 1.0, 2) for k in kinds))
+        assert len(list(rcp.build(70, seed=1))) == 70
+
+
+class TestMixes:
+    def test_mix_count_and_cores(self):
+        mixes = memory_intensive_mixes(4, 10, seed=1)
+        assert len(mixes) == 10
+        assert all(m.cores == 4 for m in mixes)
+
+    def test_memory_intensive_mixes_only_contain_intensive(self):
+        intensive = {w.name for w in memory_intensive_subset()}
+        for mix in memory_intensive_mixes(4, 20, seed=2):
+            assert all(w.name in intensive for w in mix.workloads)
+
+    def test_random_mixes_draw_from_full_suite(self):
+        names = set()
+        for mix in random_mixes(4, 30, seed=2):
+            names.update(w.name for w in mix.workloads)
+        all_names = {w.name for w in spec2017_workloads()}
+        assert names <= all_names
+        assert len(names) > 11  # touches beyond the intensive subset
+
+    def test_deterministic(self):
+        a = memory_intensive_mixes(4, 5, seed=9)
+        b = memory_intensive_mixes(4, 5, seed=9)
+        assert [m.workloads for m in a] == [m.workloads for m in b]
+
+    def test_sampling_with_replacement_allowed(self):
+        mixes = build_mixes(memory_intensive_subset()[:2], 8, 5, seed=1)
+        names = [w.name for w in mixes[0].workloads]
+        assert len(set(names)) < len(names)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_mixes(memory_intensive_subset(), 0, 5)
+        with pytest.raises(ValueError):
+            build_mixes([], 4, 5)
+
+    def test_mix_names_unique(self):
+        mixes = memory_intensive_mixes(4, 10, seed=1)
+        assert len({m.name for m in mixes}) == 10
