@@ -30,17 +30,21 @@ from .core import (
 from .cpu import CoreConfig, O3Core, TraceRecord
 from .memory import Cache, DRAMConfig, HierarchyConfig, MemoryHierarchy
 from .prefetchers import AMPM, BOP, DAAMPM, SPP, NullPrefetcher, Prefetcher, SPPConfig
+from .registry import UnknownComponentError, register
 from .sim import (
     ExperimentRunner,
     SimConfig,
+    SuiteRunner,
     geometric_mean,
     run_multi_core,
     run_single_core,
 )
+from .stats import StatGroup, StatsNode
 from .workloads import (
     WorkloadMix,
     WorkloadSpec,
     cloudsuite_workloads,
+    find_workload,
     memory_intensive_mixes,
     memory_intensive_subset,
     random_mixes,
@@ -74,14 +78,20 @@ __all__ = [
     "NullPrefetcher",
     "Prefetcher",
     "SPPConfig",
+    "UnknownComponentError",
+    "register",
+    "StatGroup",
+    "StatsNode",
     "ExperimentRunner",
     "SimConfig",
+    "SuiteRunner",
     "geometric_mean",
     "run_multi_core",
     "run_single_core",
     "WorkloadMix",
     "WorkloadSpec",
     "cloudsuite_workloads",
+    "find_workload",
     "memory_intensive_mixes",
     "memory_intensive_subset",
     "random_mixes",

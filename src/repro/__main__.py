@@ -5,7 +5,12 @@ Subcommands:
 * ``experiments``            — list the registered paper experiments
 * ``run <id> [--records N]`` — regenerate one table/figure
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
+* ``sweep [--jobs N] [--cache-dir D]`` — parallel, cached suite sweep
 * ``workloads``              — list the modelled benchmark suites
+
+Component choices (prefetchers, workloads, suites) come from the
+component registry, so a newly registered prefetcher is immediately
+available to ``bench``/``sweep`` without touching this module.
 """
 
 from __future__ import annotations
@@ -13,13 +18,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import registry
 from .harness.experiments import EXPERIMENTS, run_experiment
+from .registry import UnknownComponentError
 from .harness.validate import report_scorecard, validate
 from .sim.config import SimConfig
-from .sim.single_core import PREFETCHER_FACTORIES, run_single_core
-from .workloads.cloudsuite import cloudsuite_workloads
-from .workloads.spec2006 import spec2006_workloads
-from .workloads.spec2017 import spec2017_workloads, workload_by_name
+from .sim.single_core import run_single_core  # noqa: F401  (registers prefetchers)
+from .sim.suite import SuiteRunner
+from .workloads import find_workload, suite, suites
 
 
 def _cmd_experiments(_args: argparse.Namespace) -> int:
@@ -37,8 +43,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    catalog = spec2017_workloads() + spec2006_workloads() + cloudsuite_workloads()
-    workload = workload_by_name(args.workload, catalog)
+    try:
+        workload = find_workload(args.workload)
+    except UnknownComponentError as err:
+        print(f"repro bench: error: {err}", file=sys.stderr)
+        return 2
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
@@ -52,6 +61,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = SimConfig.quick(
+        measure_records=args.records, warmup_records=args.records // 4
+    )
+    try:
+        if args.workloads:
+            workloads = [find_workload(name) for name in args.workloads]
+        else:
+            workloads = [spec for spec in suite("spec2017") if spec.memory_intensive]
+        runner = SuiteRunner(
+            config, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+        )
+    except (UnknownComponentError, ValueError) as err:
+        print(f"repro sweep: error: {err}", file=sys.stderr)
+        return 2
+    result = runner.sweep(workloads, args.prefetchers)
+    for scheme in args.prefetchers:
+        print(f"{scheme}:")
+        for workload, speedup in sorted(result.speedups(scheme).items()):
+            print(f"  {workload:20s} {speedup:6.3f}")
+        print(f"  {'geomean':20s} {result.geomean_speedup(scheme):6.3f}")
+    print(
+        f"cells: simulated={runner.simulated} "
+        f"memory_hits={runner.memory_hits} disk_hits={runner.disk_hits}"
+    )
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
@@ -61,14 +98,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if scorecard.all_passed else 1
 
 
+#: Display titles for the listing; unlisted suites show their registry name.
+_SUITE_TITLES = {
+    "spec2017": "SPEC CPU 2017",
+    "spec2006": "SPEC CPU 2006",
+    "cloudsuite": "CloudSuite",
+}
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
-    for suite_name, suite in (
-        ("SPEC CPU 2017", spec2017_workloads()),
-        ("SPEC CPU 2006", spec2006_workloads()),
-        ("CloudSuite", cloudsuite_workloads()),
-    ):
-        print(f"{suite_name} ({len(suite)}):")
-        for workload in suite:
+    for suite_name in suites():
+        if suite_name.endswith("-intensive"):
+            continue  # views over their parent suites
+        workloads = suite(suite_name)
+        title = _SUITE_TITLES.get(suite_name, suite_name)
+        print(f"{title} ({len(workloads)}):")
+        for workload in workloads:
             marker = "*" if workload.memory_intensive else " "
             print(f"  {marker} {workload.name:20s} {workload.description}")
     print("\n(* = memory intensive, LLC MPKI > 1)")
@@ -79,6 +124,8 @@ def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    prefetcher_names = registry.names("prefetcher")
+
     sub.add_parser("experiments", help="list paper experiments")
 
     run_parser = sub.add_parser("run", help="regenerate one table/figure")
@@ -87,10 +134,29 @@ def main(argv: list | None = None) -> int:
 
     bench_parser = sub.add_parser("bench", help="one quick workload run")
     bench_parser.add_argument("workload")
-    bench_parser.add_argument(
-        "--prefetcher", default="ppf", choices=sorted(PREFETCHER_FACTORIES)
-    )
+    bench_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
     bench_parser.add_argument("--records", type=int, default=20_000)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="parallel, cached (workload × prefetcher) sweep"
+    )
+    sweep_parser.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        help="workload names (default: memory-intensive SPEC 2017 subset)",
+    )
+    sweep_parser.add_argument(
+        "--prefetchers", nargs="+", default=["spp", "ppf"], choices=prefetcher_names
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+    sweep_parser.add_argument("--records", type=int, default=20_000)
+    sweep_parser.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("workloads", help="list modelled workloads")
 
@@ -105,6 +171,7 @@ def main(argv: list | None = None) -> int:
         "experiments": _cmd_experiments,
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "sweep": _cmd_sweep,
         "workloads": _cmd_workloads,
         "validate": _cmd_validate,
     }

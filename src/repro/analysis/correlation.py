@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.filter import PerceptronFilter

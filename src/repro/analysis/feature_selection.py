@@ -17,7 +17,7 @@ This module re-runs that study on the reproduction's workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.features import Feature, exploration_features
 from ..core.filter import FilterConfig, PerceptronFilter
@@ -26,7 +26,7 @@ from ..prefetchers.spp import SPP, SPPConfig
 from ..sim.config import SimConfig
 from ..sim.single_core import run_single_core
 from ..workloads.spec2017 import WorkloadSpec
-from .correlation import OutcomeTracker, all_feature_pearsons, feature_pearson, pearson
+from .correlation import OutcomeTracker, feature_pearson, pearson
 
 
 @dataclass

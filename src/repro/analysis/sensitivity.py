@@ -12,7 +12,7 @@ reports geomean speedup, accuracy and accept-rate per setting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.filter import FilterConfig
 from ..core.ppf import PPF

@@ -12,10 +12,11 @@ in Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
 
 from ..memory.address import encode_delta
+from ..registry import register
 
 
 @dataclass(frozen=True)
@@ -163,6 +164,7 @@ def _page_xor_depth(ctx: FeatureContext) -> int:
 # -- catalogs --------------------------------------------------------------------
 
 
+@register("features", "production")
 def production_features() -> List[Feature]:
     """The paper's nine features with the Table 3 entry split.
 
@@ -183,6 +185,7 @@ def production_features() -> List[Feature]:
     ]
 
 
+@register("features", "exploration")
 def exploration_features() -> List[Feature]:
     """The wider 23-feature catalog PPF's selection study started from."""
     extras = [
@@ -204,6 +207,7 @@ def exploration_features() -> List[Feature]:
     return production_features() + extras
 
 
+@register("features", "scaled")
 def scaled_production_features(budget_factor: float) -> List[Feature]:
     """The nine features with weight tables scaled to a hardware budget.
 

@@ -17,10 +17,11 @@ shifts (§3.1, "Training").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..stats import StatGroup
 from .features import Feature, FeatureContext, production_features
 from .weights import WeightTable
 
@@ -70,7 +71,11 @@ class FilterConfig:
 
 
 @dataclass
-class FilterStats:
+class FilterStats(StatGroup):
+    """Inference/training counters, including a per-feature histogram."""
+
+    derived = ("accept_rate",)
+
     inferences: int = 0
     accepted_l2: int = 0
     accepted_llc: int = 0
@@ -78,16 +83,15 @@ class FilterStats:
     positive_updates: int = 0
     negative_updates: int = 0
     suppressed_updates: int = 0  # skipped by the theta saturation guards
+    #: Weight movements per feature table (saturated bumps don't count),
+    #: flattened into snapshots as ``per_feature_updates.<feature>``.
+    per_feature_updates: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accept_rate(self) -> float:
         if self.inferences == 0:
             return 0.0
         return (self.accepted_l2 + self.accepted_llc) / self.inferences
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 class PerceptronFilter:
@@ -151,8 +155,11 @@ class PerceptronFilter:
         if not positive and total <= cfg.theta_n:
             self.stats.suppressed_updates += 1
             return False
-        for table, index in zip(self.tables, indices):
-            table.bump(index, positive)
+        updates = self.stats.per_feature_updates
+        for feature, table, index in zip(self.features, self.tables, indices):
+            before = table.read(index)
+            if table.bump(index, positive) != before:
+                updates[feature.name] = updates.get(feature.name, 0) + 1
         if positive:
             self.stats.positive_updates += 1
         else:

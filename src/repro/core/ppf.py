@@ -24,16 +24,45 @@ is how the §5.5 feature-correlation study observes outcomes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..prefetchers.base import PrefetchCandidate, Prefetcher
 from ..prefetchers.spp import SPP, SPPConfig
+from ..registry import register
+from ..stats import GroupAdapter, StatGroup, StatsNode
 from .features import Feature, FeatureContext
 from .filter import Decision, FilterConfig, PerceptronFilter
-from .tables import PrefetchTable, RejectTable
+from .tables import DecisionTable, PrefetchTable, RejectTable
 
 #: Receives (feature_indices, positive_outcome) for each resolved event.
 TrainingRecorder = Callable[[Tuple[int, ...], bool], None]
+
+
+@dataclass
+class PPFStats(StatGroup):
+    """Filter-level outcome counters beyond the shared prefetcher set."""
+
+    #: Demand accesses that hit the Reject Table — false negatives the
+    #: filter recovered from (trained positively) instead of losing.
+    reject_recoveries: int = 0
+    #: Accepted-but-displaced entries trained as useless prefetches.
+    displacement_trainings: int = 0
+
+
+def _table_adapter(table: DecisionTable) -> GroupAdapter:
+    """Mount a decision table's event counters without resetting its
+    recorded entries at the warmup boundary (state outlives stats)."""
+
+    def snapshot():
+        return {
+            "inserts": table.inserts,
+            "hits": table.hits,
+            "conflicts": table.conflicts,
+            "occupancy": table.occupancy(),
+        }
+
+    return GroupAdapter(snapshot, table.reset_counters)
 
 
 class PPF(Prefetcher):
@@ -64,6 +93,7 @@ class PPF(Prefetcher):
         #: same information one table-lifetime earlier (see DESIGN.md).
         self.train_on_displacement = train_on_displacement
         self.recorder = recorder
+        self.ppf_stats = PPFStats()
         self._pcs: Tuple[int, int, int] = (0, 0, 0)
 
     # -- main hook ---------------------------------------------------------------
@@ -102,6 +132,7 @@ class PPF(Prefetcher):
                     and displaced is not None
                     and not displaced.useful
                 ):
+                    self.ppf_stats.displacement_trainings += 1
                     self._apply_training(displaced.feature_indices, positive=False)
                 accepted.append(
                     PrefetchCandidate(
@@ -129,6 +160,7 @@ class PPF(Prefetcher):
             if rejected is not None:
                 # False negative: the filter rejected a prefetch that the
                 # program went on to demand.
+                self.ppf_stats.reject_recoveries += 1
                 self._apply_training(rejected.feature_indices, positive=True)
                 self.reject_table.invalidate(addr)
 
@@ -168,11 +200,23 @@ class PPF(Prefetcher):
     def reset_stats(self) -> None:
         super().reset_stats()
         self.underlying.reset_stats()
+        self.ppf_stats.reset()
         self.filter.stats.reset()
         self.prefetch_table.reset_counters()
         self.reject_table.reset_counters()
 
+    def attach_stats(self, node: StatsNode) -> None:
+        """Mount the filter's whole stats surface: shared prefetcher
+        counters, PPF outcomes, perceptron activity and both tables."""
+        super().attach_stats(node)
+        node.attach("ppf", self.ppf_stats)
+        node.attach("filter", self.filter.stats)
+        node.attach("prefetch_table", _table_adapter(self.prefetch_table))
+        node.attach("reject_table", _table_adapter(self.reject_table))
+        self.underlying.attach_stats(node.child("underlying"))
 
+
+@register("prefetcher", "ppf")
 def make_ppf_spp(
     spp_config: Optional[SPPConfig] = None,
     features: Optional[Sequence[Feature]] = None,

@@ -22,7 +22,21 @@ from dataclasses import dataclass
 from typing import Deque, Iterable, Optional, Tuple
 
 from ..memory.hierarchy import MemoryHierarchy
+from ..stats import StatGroup
 from .trace import TraceRecord
+
+
+@dataclass
+class CoreStats(StatGroup):
+    """Issue-side counters (why the core was not issuing).
+
+    Registered into the hierarchy's stats tree under ``core<i>.cpu``,
+    so per-core stall behaviour shows up in every RunResult snapshot.
+    """
+
+    loads: int = 0
+    rob_stalls: int = 0
+    mlp_stalls: int = 0
 
 
 @dataclass
@@ -68,6 +82,12 @@ class O3Core:
         self.core_id = core_id
         self.hierarchy = hierarchy
         self.config = config or CoreConfig.default()
+        self.stats = CoreStats()
+        # Mount into the hierarchy's stats tree when there is one (test
+        # doubles that only implement access() don't carry a tree).
+        stats_tree = getattr(hierarchy, "stats", None)
+        if stats_tree is not None:
+            stats_tree.child(f"core{core_id}").attach("cpu", self.stats)
         self.cycle = 0
         self.instructions = 0
         self._retire_frac = 0
@@ -93,10 +113,13 @@ class O3Core:
         # ROB limit: cannot issue while the oldest incomplete load is
         # more than rob_size instructions old.
         while self._outstanding and self._outstanding[0][1] <= seq - cfg.rob_size:
+            self.stats.rob_stalls += 1
             self._wait_oldest()
         # MSHR/MLP limit.
         while len(self._outstanding) >= cfg.mlp_limit:
+            self.stats.mlp_stalls += 1
             self._wait_oldest()
+        self.stats.loads += 1
 
         result = self.hierarchy.access(self.core_id, rec.pc, rec.addr, self.cycle)
         if result.ready_cycle > self.cycle:

@@ -11,7 +11,7 @@ All three series are normalized to the depth-7 run, as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..prefetchers.spp import SPP, SPPConfig

@@ -12,7 +12,7 @@ both the memory-intensive subset and the full suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.config import SimConfig
 from ..sim.runner import ExperimentRunner, SuiteResult

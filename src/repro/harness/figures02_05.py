@@ -11,12 +11,11 @@ structural checks and renders them as a table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..core.filter import Decision
 from ..core.ppf import make_ppf_spp
 from ..core.tables import TABLE_ENTRIES
-from ..cpu.trace import TraceRecord
 from ..memory.hierarchy import MemoryHierarchy
 from ..prefetchers.spp import SPP, SPPConfig, update_signature
 from .report import render_table

@@ -21,7 +21,7 @@ from ..analysis.correlation import (
     weight_histogram,
 )
 from ..analysis.feature_selection import FeatureStudy, run_feature_study
-from ..core.features import Feature, exploration_features, feature_by_name
+from ..core.features import Feature, exploration_features
 from ..sim.config import SimConfig
 from ..workloads.spec2017 import WorkloadSpec, memory_intensive_subset
 from .report import render_histogram, render_table

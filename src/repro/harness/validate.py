@@ -9,7 +9,7 @@ as ``python -m repro validate``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from ..analysis.overhead import overhead_report
 from ..sim.config import SimConfig

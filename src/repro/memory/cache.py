@@ -10,9 +10,10 @@ global accuracy counter α.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..stats import StatGroup
 from .address import BLOCK_BITS
 from .replacement import ReplacementPolicy, make_policy
 
@@ -46,8 +47,14 @@ class EvictedLine:
 
 
 @dataclass
-class CacheStats:
-    """Per-cache event counters used by the evaluation metrics."""
+class CacheStats(StatGroup):
+    """Per-cache event counters used by the evaluation metrics.
+
+    A :class:`~repro.stats.StatGroup`: ``snapshot()``/``reset()`` come
+    from the engine and the ``derived`` rate appears in every snapshot.
+    """
+
+    derived = ("demand_hit_rate",)
 
     demand_accesses: int = 0
     demand_hits: int = 0
@@ -68,13 +75,6 @@ class CacheStats:
     @property
     def mpki_numerator(self) -> int:
         return self.demand_misses
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
 class Cache:

@@ -18,8 +18,10 @@ evaluation depends on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
+
+from ..stats import StatGroup
 
 ROW_BITS = 13  # 8 KB DRAM rows
 
@@ -50,7 +52,11 @@ class DRAMConfig:
 
 
 @dataclass
-class DRAMStats:
+class DRAMStats(StatGroup):
+    """DRAM event counters; the derived rates ride along in snapshots."""
+
+    derived = ("row_hit_rate", "mean_queue_delay")
+
     accesses: int = 0
     demand_accesses: int = 0
     prefetch_accesses: int = 0
@@ -69,10 +75,6 @@ class DRAMStats:
         if self.accesses == 0:
             return 0.0
         return self.total_queue_delay / self.accesses
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 class DRAM:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..prefetchers.base import NullPrefetcher, PrefetchCandidate, Prefetcher
+from ..stats import GroupAdapter, StatsNode
 from .cache import Cache, EvictedLine
 from .dram import DRAM, DRAMConfig
 
@@ -107,6 +108,31 @@ class MemoryHierarchy:
         # in-flight prefetches.  When full, further candidates drop.
         self._inflight_prefetches: List[List[int]] = [[] for _ in range(num_cores)]
         self.prefetches_dropped: List[int] = [0] * num_cores
+
+        # The stats tree scopes every component's counters per level and
+        # per core; ``snapshot()`` is what RunResult is built from.
+        self.stats = StatsNode("hierarchy")
+        for i in range(num_cores):
+            scope = self.stats.child(f"core{i}")
+            scope.attach("l1", self.l1[i].stats)
+            scope.attach("l2", self.l2[i].stats)
+            scope.attach("queue", self._queue_adapter(i))
+            self.prefetchers[i].attach_stats(scope.child("prefetcher"))
+        self.stats.attach("llc", self.llc.stats)
+        self.stats.attach("dram", self.dram.stats)
+
+    def _queue_adapter(self, core: int) -> GroupAdapter:
+        def snapshot():
+            return {"prefetches_dropped": self.prefetches_dropped[core]}
+
+        def reset():
+            self.prefetches_dropped[core] = 0
+
+        return GroupAdapter(snapshot, reset)
+
+    def core_snapshot(self, core: int):
+        """Flattened stats for one core's private scope."""
+        return self.stats.child(f"core{core}").snapshot()
 
     # -- demand path ---------------------------------------------------------
 
@@ -217,8 +243,15 @@ class MemoryHierarchy:
     # -- stats -----------------------------------------------------------------
 
     def reset_stats(self) -> None:
-        for cache in (*self.l1, *self.l2, self.llc):
-            cache.reset_stats()
-        self.dram.reset_stats()
+        """Zero every counter in the stats tree (the warmup boundary).
+
+        Component *state* — cache contents, perceptron weights, SPP
+        signatures — is untouched; only statistics reset.
+        """
+        self.stats.reset()
         for prefetcher in self.prefetchers:
-            prefetcher.reset_stats()
+            prefetcher.reset_stats()  # covers counters not mounted in the tree
+
+    def snapshot(self):
+        """Flattened stats for the whole hierarchy."""
+        return self.stats.snapshot()

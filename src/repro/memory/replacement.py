@@ -14,6 +14,8 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Dict, Hashable, List
 
+from ..registry import create, names, register
+
 
 class ReplacementPolicy(ABC):
     """Per-cache replacement state machine.
@@ -39,6 +41,7 @@ class ReplacementPolicy(ABC):
         """Choose the tag to evict from a full set."""
 
 
+@register("replacement", "lru")
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used, the paper's policy at every cache level."""
 
@@ -76,6 +79,7 @@ class LRUPolicy(ReplacementPolicy):
         return list(self._set(set_index))
 
 
+@register("replacement", "fifo")
 class FIFOPolicy(ReplacementPolicy):
     """First-in first-out: hits do not refresh a line's position."""
 
@@ -107,6 +111,7 @@ class FIFOPolicy(ReplacementPolicy):
         return next(iter(order))
 
 
+@register("replacement", "random")
 class RandomPolicy(ReplacementPolicy):
     """Uniform-random victim selection with a seeded generator."""
 
@@ -142,12 +147,15 @@ class RandomPolicy(ReplacementPolicy):
 
 
 def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
-    """Instantiate a policy by name (``lru``, ``fifo`` or ``random``)."""
-    name = name.lower()
-    if name == "lru":
-        return LRUPolicy()
-    if name == "fifo":
-        return FIFOPolicy()
-    if name == "random":
-        return RandomPolicy(seed)
-    raise ValueError(f"unknown replacement policy: {name!r}")
+    """Instantiate a registered replacement policy by name.
+
+    The registry lists the known names; seeded policies (``random``)
+    receive ``seed``, the rest are constructed without arguments.
+    """
+    key = name.lower()
+    if key not in names("replacement"):
+        # UnknownComponentError (a ValueError) with the sorted catalog.
+        return create("replacement", key)
+    if key == "random":
+        return create("replacement", key, seed)
+    return create("replacement", key)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..memory.address import BLOCKS_PER_PAGE, block_in_page, page_number, page_offset_block
 from ..memory.dram import ROW_BITS
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 
@@ -37,6 +38,7 @@ class AMPMConfig:
         return cls()
 
 
+@register("prefetcher", "ampm")
 class AMPM(Prefetcher):
     """Spatial pattern-matching prefetcher over per-page access maps."""
 
@@ -108,6 +110,7 @@ class DAAMPMConfig(AMPMConfig):
         return cls()
 
 
+@register("prefetcher", "da-ampm")
 class DAAMPM(AMPM):
     """DRAM-aware AMPM: batches prefetches by DRAM row before issue."""
 

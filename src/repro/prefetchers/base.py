@@ -20,7 +20,10 @@ confidence, depth, delta …) for its feature vector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
+
+from ..registry import register
+from ..stats import StatGroup, StatsNode
 
 
 @dataclass
@@ -37,8 +40,10 @@ class PrefetchCandidate:
 
 
 @dataclass
-class PrefetcherStats:
+class PrefetcherStats(StatGroup):
     """Issue/outcome counters every prefetcher shares."""
+
+    derived = ("accuracy",)
 
     candidates: int = 0
     issued: int = 0
@@ -53,10 +58,6 @@ class PrefetcherStats:
         if self.issued == 0:
             return 0.0
         return self.useful / self.issued
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 class Prefetcher:
@@ -100,7 +101,16 @@ class Prefetcher:
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    def attach_stats(self, node: StatsNode) -> None:
+        """Mount this prefetcher's counters under a stats scope.
 
+        Subclasses with extra structures (PPF's filter and tables)
+        override this, call ``super()``, and mount their own groups.
+        """
+        node.attach("prefetch", self.stats)
+
+
+@register("prefetcher", "none")
 class NullPrefetcher(Prefetcher):
     """The no-prefetching baseline every speedup is normalized to."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 
@@ -55,6 +56,7 @@ class BOPConfig:
         return cls()
 
 
+@register("prefetcher", "bop")
 class BOP(Prefetcher):
     """Best-Offset prefetcher with RR-table offset scoring."""
 

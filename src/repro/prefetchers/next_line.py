@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..memory.address import same_page
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 
@@ -18,6 +19,7 @@ class NextLineConfig:
         return cls()
 
 
+@register("prefetcher", "next-line")
 class NextLine(Prefetcher):
     """Prefetch the ``degree`` blocks following every demand access."""
 

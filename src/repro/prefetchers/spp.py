@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..memory.address import (
     BLOCKS_PER_PAGE,
@@ -38,6 +38,7 @@ from ..memory.address import (
     page_number,
     page_offset_block,
 )
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 SIGNATURE_MASK = (1 << 12) - 1
@@ -134,6 +135,7 @@ class _GHREntry:
     delta: int
 
 
+@register("prefetcher", "spp")
 class SPP(Prefetcher):
     """Signature Path Prefetcher with confidence-based lookahead."""
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..memory.address import same_page
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 
@@ -38,6 +39,7 @@ class _StrideEntry:
     confidence: int
 
 
+@register("prefetcher", "stride")
 class StridePrefetcher(Prefetcher):
     """Per-PC stride detection with saturating confirmation."""
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..memory.address import BLOCKS_PER_PAGE, block_in_page, page_number, page_offset_block
+from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
 
@@ -59,6 +60,7 @@ class _DPTEntry:
     confidence: int
 
 
+@register("prefetcher", "vldp")
 class VLDP(Prefetcher):
     """Delta-history prefetcher with multi-order prediction tables."""
 

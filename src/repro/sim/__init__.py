@@ -12,14 +12,16 @@ from .metrics import (
     weighted_ipc,
     weighted_speedup,
 )
+from .fingerprint import config_fingerprint, fingerprint_digest
 from .multi_core import CoreOutcome, MultiCoreResult, run_multi_core
-from .runner import ExperimentRunner, SuiteResult
+from .runner import ExperimentRunner
 from .single_core import (
     PREFETCHER_FACTORIES,
     RunResult,
     make_prefetcher,
     run_single_core,
 )
+from .suite import SuiteResult, SuiteRunner
 
 __all__ = [
     "SimConfig",
@@ -35,8 +37,11 @@ __all__ = [
     "CoreOutcome",
     "MultiCoreResult",
     "run_multi_core",
+    "config_fingerprint",
+    "fingerprint_digest",
     "ExperimentRunner",
     "SuiteResult",
+    "SuiteRunner",
     "PREFETCHER_FACTORIES",
     "RunResult",
     "make_prefetcher",

@@ -1,0 +1,56 @@
+"""Complete, auto-derived fingerprints of simulation configurations.
+
+The old ``_config_key`` hand-listed ten of ``SimConfig``'s fields, so
+two configs differing in any *other* field (associativities, latencies,
+prefetch queue size, DRAM row-buffer timing …) silently collided in the
+result cache.  This module walks the dataclass tree instead: every
+field of every nested dataclass contributes, so adding a parameter to
+any config automatically extends the fingerprint.
+
+:func:`config_fingerprint` produces a stable, hashable nested tuple
+(usable as an in-memory cache key); :func:`fingerprint_digest` reduces
+it to a short hex string (usable as an on-disk cache filename).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Tuple
+
+
+def value_fingerprint(value: Any) -> Any:
+    """A stable, hashable token for one config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple(
+            (f.name, value_fingerprint(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (value_fingerprint(k), value_fingerprint(v))
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(value_fingerprint(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value_fingerprint(item) for item in value))
+    if isinstance(value, (bool, int, float, str, bytes)) or value is None:
+        return value
+    if callable(value):
+        # Factories/builders: identity by qualified name, not address.
+        return f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+def config_fingerprint(config: Any) -> Tuple:
+    """Every field of a (nested) dataclass config, as a stable tuple."""
+    if not dataclasses.is_dataclass(config):
+        raise TypeError(f"expected a dataclass config, got {type(config).__name__}")
+    return (type(config).__name__, value_fingerprint(config))
+
+
+def fingerprint_digest(config: Any) -> str:
+    """A short stable hex digest of :func:`config_fingerprint`."""
+    blob = repr(config_fingerprint(config)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]

@@ -16,7 +16,7 @@ counted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from ..cpu.o3core import O3Core
 from ..cpu.trace import TraceRecord
@@ -30,7 +30,12 @@ from .single_core import make_prefetcher
 
 @dataclass
 class CoreOutcome:
-    """Per-core measured numbers within a mix run."""
+    """Per-core measured numbers within a mix run.
+
+    Built from the core's private scope of the hierarchy stats tree
+    (``core<i>.*``), captured at the moment the core finishes its
+    measured records; the full scoped snapshot rides along in ``stats``.
+    """
 
     workload: str
     instructions: int
@@ -38,6 +43,7 @@ class CoreOutcome:
     l2_misses: int
     prefetches_issued: int
     prefetches_useful: int
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -132,13 +138,15 @@ def run_multi_core(
         if outcomes[i] is None and steps[i] >= config.measure_records:
             o3cores[i].drain()
             result = o3cores[i].result()
+            scoped = hierarchy.core_snapshot(i)
             outcomes[i] = CoreOutcome(
                 workload=mix.workloads[i].name,
                 instructions=result.instructions,
                 cycles=result.cycles,
-                l2_misses=hierarchy.l2[i].stats.demand_misses,
-                prefetches_issued=prefetchers[i].stats.issued,
-                prefetches_useful=prefetchers[i].stats.useful,
+                l2_misses=int(scoped["l2.demand_misses"]),
+                prefetches_issued=int(scoped["prefetcher.prefetch.issued"]),
+                prefetches_useful=int(scoped["prefetcher.prefetch.useful"]),
+                stats=scoped,
             )
 
     return MultiCoreResult(

@@ -4,93 +4,48 @@ The figures re-use many runs (every speedup needs the no-prefetch
 baseline; every weighted-IPC needs isolated runs), so the runner caches
 :func:`run_single_core` results by (workload, prefetcher, config
 fingerprint, seed) and exposes the aggregate computations the paper
-reports.
+reports.  Execution and caching live in :class:`~repro.sim.suite.SuiteRunner`:
+pass ``jobs`` to fan sweeps over worker processes and ``cache_dir`` to
+persist results across invocations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..memory.hierarchy import HierarchyConfig
 from ..workloads.mixes import WorkloadMix
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
-from .metrics import geometric_mean, weighted_ipc
-from .multi_core import MultiCoreResult, run_multi_core
-from .single_core import RunResult, run_single_core
-
-
-def _config_key(config: SimConfig) -> Tuple:
-    h, d = config.hierarchy, config.dram
-    return (
-        h.l1_size, h.l2_size, h.llc_size_per_core, h.llc_assoc,
-        d.channels, d.cycles_per_transfer,
-        config.warmup_records, config.measure_records,
-        config.core.rob_size, config.core.mlp_limit,
-    )
-
-
-@dataclass
-class SuiteResult:
-    """All (workload × prefetcher) runs of one suite sweep."""
-
-    runs: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
-
-    def run_for(self, workload: str, prefetcher: str) -> RunResult:
-        return self.runs[(workload, prefetcher)]
-
-    def speedups(self, prefetcher: str, baseline: str = "none") -> Dict[str, float]:
-        """Per-workload IPC speedup of ``prefetcher`` over ``baseline``."""
-        out = {}
-        for (workload, name), result in self.runs.items():
-            if name != prefetcher:
-                continue
-            base = self.runs[(workload, baseline)]
-            if base.ipc > 0:
-                out[workload] = result.ipc / base.ipc
-        return out
-
-    def geomean_speedup(
-        self,
-        prefetcher: str,
-        workloads: Optional[Iterable[str]] = None,
-        baseline: str = "none",
-    ) -> float:
-        per_workload = self.speedups(prefetcher, baseline)
-        if workloads is not None:
-            keep = set(workloads)
-            per_workload = {k: v for k, v in per_workload.items() if k in keep}
-        return geometric_mean(per_workload.values())
-
-    def coverage(self, prefetcher: str, level: str = "l2") -> float:
-        """Suite-aggregate miss coverage vs the no-prefetch baseline."""
-        baseline_misses = 0
-        scheme_misses = 0
-        for (workload, name), result in self.runs.items():
-            if name != prefetcher:
-                continue
-            base = self.runs[(workload, "none")]
-            if level == "l2":
-                baseline_misses += base.l2_misses
-                scheme_misses += result.l2_misses
-            elif level == "llc":
-                baseline_misses += base.llc_misses
-                scheme_misses += result.llc_misses
-            else:
-                raise ValueError(f"unknown level {level!r}")
-        if baseline_misses == 0:
-            return 0.0
-        return (baseline_misses - scheme_misses) / baseline_misses
+from .metrics import weighted_ipc
+from .multi_core import run_multi_core
+from .single_core import RunResult
+from .suite import SuiteResult, SuiteRunner
 
 
 class ExperimentRunner:
-    """Caching front end over the single- and multi-core drivers."""
+    """Caching front end over the single- and multi-core drivers.
 
-    def __init__(self, config: Optional[SimConfig] = None, seed: int = 1) -> None:
+    ``jobs`` (default 1: fully serial, in-process) and ``cache_dir``
+    (default None: in-memory caching only) are forwarded to the
+    underlying :class:`SuiteRunner`, which all single-core execution is
+    routed through — so figure scripts and ad-hoc sweeps share one
+    result cache keyed by the complete config fingerprint.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        seed: int = 1,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
-        self._single_cache: Dict[Tuple, RunResult] = {}
+        self._suite = SuiteRunner(self.config, seed=seed, jobs=jobs, cache_dir=cache_dir)
+        #: Legacy alias; tests and tools may inspect the shared cache.
+        self._single_cache = self._suite.memory_cache
 
     # -- single core ------------------------------------------------------------
 
@@ -100,13 +55,7 @@ class ExperimentRunner:
         prefetcher: str,
         config: Optional[SimConfig] = None,
     ) -> RunResult:
-        config = config or self.config
-        key = (workload.name, prefetcher, _config_key(config), self.seed)
-        cached = self._single_cache.get(key)
-        if cached is None:
-            cached = run_single_core(workload, prefetcher, config, seed=self.seed)
-            self._single_cache[key] = cached
-        return cached
+        return self._suite.single(workload, prefetcher, config or self.config)
 
     def sweep(
         self,
@@ -116,16 +65,9 @@ class ExperimentRunner:
         include_baseline: bool = True,
     ) -> SuiteResult:
         """Run every workload under every scheme (+ the baseline)."""
-        names = list(prefetchers)
-        if include_baseline and "none" not in names:
-            names = ["none"] + names
-        suite = SuiteResult()
-        for workload in workloads:
-            for prefetcher in names:
-                suite.runs[(workload.name, prefetcher)] = self.single(
-                    workload, prefetcher, config
-                )
-        return suite
+        return self._suite.sweep(
+            workloads, prefetchers, config or self.config, include_baseline
+        )
 
     # -- multi core -------------------------------------------------------------
 

@@ -1,60 +1,47 @@
 """Single-core simulation driver (§5.3 single-core methodology).
 
 One run = warmup loads (structures train, stats discarded) followed by
-measured loads.  The result bundles everything the figures need: IPC,
-per-level miss counts, prefetch issue/useful counts and SPP's average
-lookahead depth.
+measured loads.  The result is a typed view over the hierarchy's stats
+snapshot: the named counters every component registered into the stats
+tree are captured wholesale (``RunResult.stats``), and the fields the
+figures use most are lifted into typed attributes.  New metrics added
+anywhere in the stack appear in ``stats`` without touching this module.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Mapping, Optional
 
-from ..core.ppf import make_ppf_spp
+from .. import registry
+from ..core.ppf import make_ppf_spp  # noqa: F401  (registers "ppf")
 from ..cpu.o3core import O3Core
-from ..cpu.trace import TraceRecord
 from ..memory.hierarchy import MemoryHierarchy
-from ..prefetchers.ampm import AMPM, DAAMPM
-from ..prefetchers.base import NullPrefetcher, Prefetcher
-from ..prefetchers.bop import BOP
-from ..prefetchers.next_line import NextLine
-from ..prefetchers.spp import SPP, SPPConfig
-from ..prefetchers.stride import StridePrefetcher
-from ..prefetchers.vldp import VLDP
+from ..prefetchers.base import Prefetcher
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
 
-PrefetcherFactory = Callable[[], Prefetcher]
-
-#: The paper's four evaluated schemes plus baselines (§5.4).
-PREFETCHER_FACTORIES: Dict[str, PrefetcherFactory] = {
-    "none": NullPrefetcher,
-    "next-line": NextLine,
-    "stride": StridePrefetcher,
-    "vldp": VLDP,
-    "ampm": AMPM,
-    "da-ampm": DAAMPM,
-    "bop": BOP,
-    "spp": SPP,
-    "ppf": make_ppf_spp,
-}
+#: Live registry view; kept for backward compatibility with callers
+#: that treated the old hardcoded dict as the catalog of schemes.
+PREFETCHER_FACTORIES = registry.view("prefetcher")
 
 
 def make_prefetcher(name: str) -> Prefetcher:
     """Instantiate a registered prefetcher by name."""
-    try:
-        factory = PREFETCHER_FACTORIES[name]
-    except KeyError:
-        known = ", ".join(sorted(PREFETCHER_FACTORIES))
-        raise KeyError(f"unknown prefetcher {name!r}; known: {known}") from None
-    return factory()
+    return registry.create("prefetcher", name)
 
 
 @dataclass
 class RunResult:
-    """Measured outcome of one (workload, prefetcher) run."""
+    """Measured outcome of one (workload, prefetcher) run.
+
+    A typed view over the hierarchy stats snapshot taken at the end of
+    the measurement window: the lifted fields below are what the paper's
+    figures consume; the full flattened tree (every cache, the DRAM
+    row buffer, the perceptron filter, PPF's tables…) rides along in
+    ``stats`` under dotted paths like ``core0.l2.demand_misses``.
+    """
 
     workload: str
     prefetcher: str
@@ -69,6 +56,37 @@ class RunResult:
     dram_accesses: int
     average_lookahead_depth: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        workload: str,
+        prefetcher: str,
+        instructions: int,
+        cycles: int,
+        snapshot: Mapping[str, float],
+        average_lookahead_depth: float = 0.0,
+        core: int = 0,
+    ) -> "RunResult":
+        """Build the typed view for one core from a stats snapshot."""
+        prefix = f"core{core}"
+        get = snapshot.get
+        return cls(
+            workload=workload,
+            prefetcher=prefetcher,
+            instructions=instructions,
+            cycles=cycles,
+            l2_demand_accesses=int(get(f"{prefix}.l2.demand_accesses", 0)),
+            l2_misses=int(get(f"{prefix}.l2.demand_misses", 0)),
+            llc_misses=int(get("llc.demand_misses", 0)),
+            prefetches_issued=int(get(f"{prefix}.prefetcher.prefetch.issued", 0)),
+            prefetches_useful=int(get(f"{prefix}.prefetcher.prefetch.useful", 0)),
+            prefetch_candidates=int(get(f"{prefix}.prefetcher.prefetch.candidates", 0)),
+            dram_accesses=int(get("dram.accesses", 0)),
+            average_lookahead_depth=average_lookahead_depth,
+            stats=dict(snapshot),
+        )
 
     @property
     def ipc(self) -> float:
@@ -93,6 +111,28 @@ class RunResult:
         if self.instructions == 0:
             return 0.0
         return 1000.0 * self.llc_misses / self.instructions
+
+    # -- one-line views over the snapshot --------------------------------------
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        """DRAM open-row hit rate over the measurement window."""
+        return float(self.stats.get("dram.row_hit_rate", 0.0))
+
+    @property
+    def reject_table_recoveries(self) -> int:
+        """PPF false negatives recovered through the Reject Table."""
+        return int(self.stats.get("core0.prefetcher.ppf.reject_recoveries", 0))
+
+    @property
+    def per_feature_training_updates(self) -> Dict[str, int]:
+        """Effective weight movements per perceptron feature table."""
+        prefix = "core0.prefetcher.filter.per_feature_updates."
+        return {
+            key[len(prefix):]: int(value)
+            for key, value in self.stats.items()
+            if key.startswith(prefix)
+        }
 
 
 def run_single_core(
@@ -123,19 +163,11 @@ def run_single_core(
     core.drain()
 
     result = core.result()
-    l2 = hierarchy.l2[0].stats
-    llc = hierarchy.llc.stats
-    return RunResult(
+    return RunResult.from_snapshot(
         workload=workload.name,
         prefetcher=prefetcher.name,
         instructions=result.instructions,
         cycles=result.cycles,
-        l2_demand_accesses=l2.demand_accesses,
-        l2_misses=l2.demand_misses,
-        llc_misses=llc.demand_misses,
-        prefetches_issued=prefetcher.stats.issued,
-        prefetches_useful=prefetcher.stats.useful,
-        prefetch_candidates=prefetcher.stats.candidates,
-        dram_accesses=hierarchy.dram.stats.accesses,
+        snapshot=hierarchy.snapshot(),
         average_lookahead_depth=getattr(prefetcher, "average_lookahead_depth", 0.0),
     )

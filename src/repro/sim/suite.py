@@ -1,0 +1,294 @@
+"""Parallel, persistently-cached (workload × prefetcher) suite sweeps.
+
+:class:`SuiteRunner` is the execution engine behind
+:class:`repro.sim.runner.ExperimentRunner`:
+
+* **Parallelism** — cache-missing cells fan out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers, default
+  ``os.cpu_count()``).  Every run is an independent, deterministic
+  function of ``(workload, prefetcher, config, seed)``, so parallel and
+  serial sweeps produce bit-identical results (asserted by
+  ``tests/test_determinism.py``).
+* **Persistent caching** — with a ``cache_dir``, results are stored as
+  JSON keyed by a complete, auto-derived fingerprint of ``SimConfig``
+  (see :mod:`repro.sim.fingerprint`), so re-running a figure after
+  touching one prefetcher only re-simulates the affected cells and a
+  clean re-run does zero simulation work.
+
+Workers rehydrate workloads by name through the component registry
+(:func:`repro.workloads.find_workload`); workload specs whose builders
+are picklable are shipped directly, so custom out-of-catalog specs
+parallelize too, and anything else transparently runs in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..workloads.spec2017 import WorkloadSpec
+from .config import SimConfig
+from .fingerprint import config_fingerprint, fingerprint_digest
+from .metrics import geometric_mean
+from .single_core import RunResult, run_single_core
+
+#: Bump when the RunResult schema changes so stale disk entries miss.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """All (workload × prefetcher) runs of one suite sweep."""
+
+    runs: Dict[Tuple[str, str], RunResult] = dataclasses.field(default_factory=dict)
+
+    def run_for(self, workload: str, prefetcher: str) -> RunResult:
+        return self.runs[(workload, prefetcher)]
+
+    def speedups(self, prefetcher: str, baseline: str = "none") -> Dict[str, float]:
+        """Per-workload IPC speedup of ``prefetcher`` over ``baseline``."""
+        out = {}
+        for (workload, name), result in self.runs.items():
+            if name != prefetcher:
+                continue
+            base = self.runs[(workload, baseline)]
+            if base.ipc > 0:
+                out[workload] = result.ipc / base.ipc
+        return out
+
+    def geomean_speedup(
+        self,
+        prefetcher: str,
+        workloads: Optional[Iterable[str]] = None,
+        baseline: str = "none",
+    ) -> float:
+        per_workload = self.speedups(prefetcher, baseline)
+        if workloads is not None:
+            keep = set(workloads)
+            per_workload = {k: v for k, v in per_workload.items() if k in keep}
+        return geometric_mean(per_workload.values())
+
+    def coverage(self, prefetcher: str, level: str = "l2") -> float:
+        """Suite-aggregate miss coverage vs the no-prefetch baseline."""
+        baseline_misses = 0
+        scheme_misses = 0
+        for (workload, name), result in self.runs.items():
+            if name != prefetcher:
+                continue
+            base = self.runs[(workload, "none")]
+            if level == "l2":
+                baseline_misses += base.l2_misses
+                scheme_misses += result.l2_misses
+            elif level == "llc":
+                baseline_misses += base.llc_misses
+                scheme_misses += result.llc_misses
+            else:
+                raise ValueError(f"unknown level {level!r}")
+        if baseline_misses == 0:
+            return 0.0
+        return (baseline_misses - scheme_misses) / baseline_misses
+
+
+def _simulate_cell(
+    payload: Union[str, WorkloadSpec],
+    prefetcher: str,
+    config: SimConfig,
+    seed: int,
+) -> RunResult:
+    """One sweep cell, runnable in a worker process.
+
+    ``payload`` is either a picklable :class:`WorkloadSpec` or a
+    workload name rehydrated through the registry-backed catalog.
+    """
+    if isinstance(payload, str):
+        from ..workloads import find_workload
+
+        spec = find_workload(payload)
+    else:
+        spec = payload
+    return run_single_core(spec, prefetcher, config, seed=seed)
+
+
+def _worker_payload(spec: WorkloadSpec) -> Optional[Union[str, WorkloadSpec]]:
+    """How to ship one workload to a worker (None: not shippable)."""
+    try:
+        pickle.dumps(spec)
+        return spec
+    except Exception:
+        pass
+    try:
+        from ..workloads import find_workload
+
+        find_workload(spec.name)
+        return spec.name
+    except Exception:
+        return None
+
+
+class SuiteRunner:
+    """Parallel sweep executor with in-memory + on-disk result caches."""
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        seed: int = 1,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.config = config or SimConfig.default()
+        self.seed = seed
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.memory_cache: Dict[Tuple, RunResult] = {}
+        # Observability: how each cell of every sweep so far was served.
+        self.simulated = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _memory_key(self, workload: str, prefetcher: str, config: SimConfig) -> Tuple:
+        return (workload, prefetcher, config_fingerprint(config), self.seed)
+
+    def _disk_path(self, workload: str, prefetcher: str, config: SimConfig) -> Path:
+        token = json.dumps(
+            [CACHE_SCHEMA_VERSION, workload, prefetcher, fingerprint_digest(config), self.seed]
+        )
+        digest = hashlib.sha256(token.encode()).hexdigest()[:32]
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{digest}.json"
+
+    def _disk_load(self, workload: str, prefetcher: str, config: SimConfig) -> Optional[RunResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(workload, prefetcher, config)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # unreadable/corrupt entry: treat as a miss
+        return RunResult(**data)
+
+    def _disk_store(
+        self, workload: str, prefetcher: str, config: SimConfig, result: RunResult
+    ) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._disk_path(workload, prefetcher, config)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dataclasses.asdict(result)))
+        tmp.replace(path)  # atomic publish; concurrent writers agree on content
+
+    def _lookup(
+        self, workload: str, prefetcher: str, config: SimConfig
+    ) -> Optional[RunResult]:
+        key = self._memory_key(workload, prefetcher, config)
+        cached = self.memory_cache.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        cached = self._disk_load(workload, prefetcher, config)
+        if cached is not None:
+            self.disk_hits += 1
+            self.memory_cache[key] = cached
+        return cached
+
+    def _record(
+        self, workload: str, prefetcher: str, config: SimConfig, result: RunResult
+    ) -> RunResult:
+        self.memory_cache[self._memory_key(workload, prefetcher, config)] = result
+        self._disk_store(workload, prefetcher, config, result)
+        return result
+
+    # -- execution ---------------------------------------------------------------
+
+    def single(
+        self,
+        workload: WorkloadSpec,
+        prefetcher: str,
+        config: Optional[SimConfig] = None,
+    ) -> RunResult:
+        """One cell: served from cache or simulated in-process."""
+        config = config or self.config
+        cached = self._lookup(workload.name, prefetcher, config)
+        if cached is not None:
+            return cached
+        self.simulated += 1
+        result = run_single_core(workload, prefetcher, config, seed=self.seed)
+        return self._record(workload.name, prefetcher, config, result)
+
+    def sweep(
+        self,
+        workloads: Sequence[WorkloadSpec],
+        prefetchers: Sequence[str],
+        config: Optional[SimConfig] = None,
+        include_baseline: bool = True,
+    ) -> SuiteResult:
+        """Run every workload under every scheme (+ the baseline).
+
+        Cache-missing cells are simulated concurrently when ``jobs > 1``;
+        results are bit-identical to the serial path because each cell is
+        an isolated deterministic simulation.
+        """
+        config = config or self.config
+        names = list(prefetchers)
+        if include_baseline and "none" not in names:
+            names = ["none"] + names
+
+        suite = SuiteResult()
+        pending: List[Tuple[WorkloadSpec, str]] = []
+        for spec in workloads:
+            for scheme in names:
+                cached = self._lookup(spec.name, scheme, config)
+                if cached is not None:
+                    suite.runs[(spec.name, scheme)] = cached
+                else:
+                    pending.append((spec, scheme))
+
+        if len(pending) > 1 and self.jobs > 1:
+            self._run_parallel(pending, config, suite)
+        else:
+            for spec, scheme in pending:
+                suite.runs[(spec.name, scheme)] = self.single(spec, scheme, config)
+        return suite
+
+    def _run_parallel(
+        self,
+        pending: Sequence[Tuple[WorkloadSpec, str]],
+        config: SimConfig,
+        suite: SuiteResult,
+    ) -> None:
+        shippable: List[Tuple[WorkloadSpec, str, Union[str, WorkloadSpec]]] = []
+        local: List[Tuple[WorkloadSpec, str]] = []
+        for spec, scheme in pending:
+            payload = _worker_payload(spec)
+            if payload is None:
+                local.append((spec, scheme))
+            else:
+                shippable.append((spec, scheme, payload))
+
+        if shippable:
+            workers = min(self.jobs, len(shippable))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (spec, scheme, pool.submit(_simulate_cell, payload, scheme, config, self.seed))
+                    for spec, scheme, payload in shippable
+                ]
+                for spec, scheme, future in futures:
+                    result = future.result()
+                    self.simulated += 1
+                    suite.runs[(spec.name, scheme)] = self._record(
+                        spec.name, scheme, config, result
+                    )
+        for spec, scheme in local:
+            suite.runs[(spec.name, scheme)] = self.single(spec, scheme, config)

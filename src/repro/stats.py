@@ -1,0 +1,183 @@
+"""Hierarchical statistics engine shared by every simulated component.
+
+Components keep their counters in small :class:`StatGroup` dataclasses
+(plain attribute increments — the hot paths stay cheap), and mount them
+into a :class:`StatsNode` tree that scopes them by core and by level:
+
+    hierarchy
+    ├── core0
+    │   ├── l1      (CacheStats)
+    │   ├── l2      (CacheStats)
+    │   ├── cpu     (CoreStats)
+    │   └── prefetcher          (PrefetcherStats, + PPF's filter/tables)
+    ├── llc         (CacheStats)
+    └── dram        (DRAMStats)
+
+``snapshot()`` flattens the tree into a ``{"core0.l2.demand_misses": n}``
+mapping — the single artifact :class:`repro.sim.single_core.RunResult`
+is a typed view over — and ``reset()`` zeroes every counter in one call
+(the warmup/measurement boundary).  Adding a new metric anywhere in the
+stack is one field on a group (or one ``derived`` property name): it
+shows up in every snapshot, every cached result and every sweep without
+plumbing through the drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+Number = Union[int, float]
+SnapshotDict = Dict[str, Number]
+
+
+class StatGroup:
+    """Mixin for dataclass counter groups.
+
+    Subclasses are ``@dataclass``es whose int/float fields are counters
+    and whose dict fields are histograms (string key -> count).  The
+    class attribute ``derived`` names properties to include in
+    snapshots (rates, means) without making them resettable state.
+    """
+
+    derived: Tuple[str, ...] = ()
+
+    def reset(self) -> None:
+        for name, f in self.__dataclass_fields__.items():  # type: ignore[attr-defined]
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                value.clear()
+            elif isinstance(value, (int, float)):
+                setattr(self, name, 0)
+
+    def snapshot(self) -> SnapshotDict:
+        out: SnapshotDict = {}
+        for name in self.__dataclass_fields__:  # type: ignore[attr-defined]
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                for key, count in value.items():
+                    out[f"{name}.{key}"] = count
+            elif isinstance(value, (int, float)):
+                out[name] = value
+        for name in self.derived:
+            out[name] = getattr(self, name)
+        return out
+
+
+@dataclass
+class Histogram(StatGroup):
+    """A string-keyed counter map usable standalone or inside a group."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class GroupAdapter:
+    """Mount an arbitrary object with custom snapshot/reset callables.
+
+    Used for structures whose full ``reset()`` would destroy *state*
+    rather than statistics (e.g. PPF's decision tables keep their
+    entries across the warmup boundary but zero their event counters).
+    """
+
+    def __init__(
+        self,
+        snapshot: Callable[[], SnapshotDict],
+        reset: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._snapshot = snapshot
+        self._reset = reset
+
+    def snapshot(self) -> SnapshotDict:
+        return self._snapshot()
+
+    def reset(self) -> None:
+        if self._reset is not None:
+            self._reset()
+
+
+class StatsNode:
+    """One scope in the stats tree: child scopes plus mounted groups."""
+
+    __slots__ = ("name", "_children", "_groups", "_scalars")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._children: Dict[str, StatsNode] = {}
+        self._groups: Dict[str, object] = {}
+        self._scalars: Dict[str, Number] = {}
+
+    # -- structure -----------------------------------------------------------
+
+    def child(self, name: str) -> "StatsNode":
+        """Get or create the child scope ``name``."""
+        node = self._children.get(name)
+        if node is None:
+            node = StatsNode(name)
+            self._children[name] = node
+        return node
+
+    def attach(self, name: str, group) -> object:
+        """Mount a group (anything with ``snapshot()``/``reset()``)."""
+        self._groups[name] = group
+        return group
+
+    # -- ad-hoc scalars -------------------------------------------------------
+
+    def counter(self, name: str, amount: Number = 1) -> None:
+        """Bump a scalar counter owned directly by this node."""
+        self._scalars[name] = self._scalars.get(name, 0) + amount
+
+    def set(self, name: str, value: Number) -> None:
+        """Record a gauge-style scalar (overwrites)."""
+        self._scalars[name] = value
+
+    # -- aggregation ----------------------------------------------------------
+
+    def snapshot(self) -> SnapshotDict:
+        """Flatten this subtree into dotted-path -> value."""
+        out: SnapshotDict = dict(self._scalars)
+        for name, group in self._groups.items():
+            for key, value in group.snapshot().items():
+                out[f"{name}.{key}"] = value
+        for name, node in self._children.items():
+            for key, value in node.snapshot().items():
+                out[f"{name}.{key}"] = value
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter in this subtree (state is untouched)."""
+        for name in self._scalars:
+            self._scalars[name] = 0
+        for group in self._groups.values():
+            group.reset()
+        for node in self._children.values():
+            node.reset()
+
+    def get(self, path: str, default: Number = 0) -> Number:
+        """Read one dotted-path value from a fresh snapshot."""
+        return self.snapshot().get(path, default)
+
+    def children(self) -> Iterable[str]:
+        return self._children.keys()
+
+    def __repr__(self) -> str:
+        return (
+            f"StatsNode({self.name!r}, children={sorted(self._children)}, "
+            f"groups={sorted(self._groups)})"
+        )
+
+
+def scoped(snapshot: SnapshotDict, prefix: str) -> SnapshotDict:
+    """The sub-snapshot under ``prefix`` with the prefix stripped."""
+    cut = len(prefix) + 1
+    return {
+        key[cut:]: value
+        for key, value in snapshot.items()
+        if key.startswith(prefix + ".")
+    }

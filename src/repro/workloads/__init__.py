@@ -1,5 +1,14 @@
-"""Workload models: SPEC CPU 2017/2006- and CloudSuite-like generators."""
+"""Workload models: SPEC CPU 2017/2006- and CloudSuite-like generators.
 
+Suites are registered components: ``suite("spec2017")`` (or any name in
+``suites()``) resolves through :mod:`repro.registry`, and
+:func:`find_workload` looks a benchmark up across every registered
+suite — which is how parallel workers rehydrate workloads by name.
+"""
+
+from typing import List
+
+from .. import registry
 from .cloudsuite import cloudsuite_workloads
 from .mixes import WorkloadMix, build_mixes, memory_intensive_mixes, random_mixes
 from .recipes import Recipe, recipe
@@ -31,7 +40,45 @@ from .synthetic import (
     interleave,
 )
 
+def suite(name: str) -> List[WorkloadSpec]:
+    """Instantiate a registered workload suite by name."""
+    return registry.create("suite", name)
+
+
+def suites() -> List[str]:
+    """Sorted names of every registered workload suite."""
+    return registry.names("suite")
+
+
+def full_catalog() -> List[WorkloadSpec]:
+    """Every workload of every registered suite (intensive subsets,
+    being views over their parent suites, are skipped)."""
+    out: List[WorkloadSpec] = []
+    seen = set()
+    for name in suites():
+        for spec in registry.create("suite", name):
+            if spec.name not in seen:
+                seen.add(spec.name)
+                out.append(spec)
+    return out
+
+
+def find_workload(name: str) -> WorkloadSpec:
+    """Look one benchmark up by name across every registered suite."""
+    for spec in full_catalog():
+        if spec.name == name:
+            return spec
+    known = ", ".join(sorted(spec.name for spec in full_catalog()))
+    raise registry.UnknownComponentError(
+        f"unknown workload {name!r}; known workloads: {known}"
+    )
+
+
 __all__ = [
+    "suite",
+    "suites",
+    "full_catalog",
+    "find_workload",
     "cloudsuite_workloads",
     "WorkloadMix",
     "build_mixes",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..registry import register
 from .recipes import recipe
 from .spec2017 import WorkloadSpec
 
@@ -43,6 +44,7 @@ _RECIPES = {
 }
 
 
+@register("suite", "cloudsuite")
 def cloudsuite_workloads() -> List[WorkloadSpec]:
     """The four CRC-2 CloudSuite application models."""
     return [

@@ -10,7 +10,7 @@ dozens of members stay declarative and auditable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from ..cpu.trace import TraceRecord
 from .synthetic import (

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import List
 
-from .recipes import Recipe, recipe
+from ..registry import register
+from .recipes import recipe
 from .spec2017 import WorkloadSpec
 
 _P = [[1, 2], [3, 1, 1], [2, 4], [1, 1, 1, 5]]
@@ -88,6 +89,7 @@ _RECIPES = {
 }
 
 
+@register("suite", "spec2006")
 def spec2006_workloads() -> List[WorkloadSpec]:
     """All 29 SPEC CPU 2006 models (16 memory intensive, §5.3)."""
     specs = []
@@ -104,6 +106,7 @@ def spec2006_workloads() -> List[WorkloadSpec]:
     return specs
 
 
+@register("suite", "spec2006-intensive")
 def spec2006_memory_intensive() -> List[WorkloadSpec]:
     """The 16 memory-intensive SPEC CPU 2006 models."""
     return [spec for spec in spec2006_workloads() if spec.memory_intensive]

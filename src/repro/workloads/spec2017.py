@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Sequence
 
 from ..cpu.trace import TraceRecord
+from ..registry import register
 from .synthetic import (
     HotsetPattern,
     PatternMix,
@@ -214,6 +215,7 @@ def _compute_bound(hot_blocks: int, jump_every: int, bubble: int) -> TraceBuilde
     return build
 
 
+@register("suite", "spec2017")
 def spec2017_workloads() -> List[WorkloadSpec]:
     """All 20 SPEC CPU 2017 speed-benchmark models."""
 
@@ -259,6 +261,7 @@ def spec2017_workloads() -> List[WorkloadSpec]:
     ]
 
 
+@register("suite", "spec2017-intensive")
 def memory_intensive_subset() -> List[WorkloadSpec]:
     """The 11 SPEC CPU 2017 applications with LLC MPKI > 1 (§5.3)."""
     return [spec for spec in spec2017_workloads() if spec.memory_intensive]

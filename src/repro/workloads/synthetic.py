@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from ..cpu.trace import TraceRecord
 from ..memory.address import BLOCK_BITS, BLOCKS_PER_PAGE, PAGE_BITS

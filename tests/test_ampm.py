@@ -1,6 +1,5 @@
 """Tests for repro.prefetchers.ampm (AMPM and DA-AMPM)."""
 
-import pytest
 
 from repro.memory.dram import ROW_BITS
 from repro.prefetchers.ampm import AMPM, AMPMConfig, DAAMPM, DAAMPMConfig

@@ -1,6 +1,5 @@
 """Tests for repro.prefetchers.bop (Best-Offset Prefetcher)."""
 
-import pytest
 
 from repro.prefetchers.bop import BOP, BOPConfig, default_offset_list
 

@@ -57,6 +57,33 @@ class TestSimulationDeterminism:
         assert a.cycles != b.cycles
 
 
+class TestParallelDeterminism:
+    def test_parallel_sweep_matches_serial(self):
+        """jobs=4 over a 3×3 grid is bit-identical to the serial sweep.
+
+        Every cell is an isolated deterministic simulation, so process
+        fan-out must not change a single counter anywhere in the stats
+        tree (compared via RunResult equality, which includes the full
+        flattened snapshot).
+        """
+        from repro.sim.suite import SuiteRunner
+
+        workloads = [
+            workload_by_name(n) for n in ("605.mcf_s", "619.lbm_s", "623.xalancbmk_s")
+        ]
+        schemes = ["spp", "ppf", "bop"]
+        serial = SuiteRunner(TINY, seed=3, jobs=1).sweep(
+            workloads, schemes, include_baseline=False
+        )
+        parallel = SuiteRunner(TINY, seed=3, jobs=4).sweep(
+            workloads, schemes, include_baseline=False
+        )
+        assert set(serial.runs) == set(parallel.runs)
+        assert len(serial.runs) == 9
+        for cell in serial.runs:
+            assert serial.runs[cell] == parallel.runs[cell], cell
+
+
 class TestSamplingDeterminism:
     def test_mix_builders(self):
         def names(mixes):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.feature_selection import FeatureStudy, run_feature_study
-from repro.core.features import exploration_features, production_features
+from repro.core.features import production_features
 from repro.sim.config import SimConfig
 from repro.workloads.spec2017 import workload_by_name
 

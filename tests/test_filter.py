@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.features import Feature, FeatureContext, production_features
+from repro.core.features import Feature, FeatureContext
 from repro.core.filter import Decision, FilterConfig, PerceptronFilter
 from repro.core.weights import WEIGHT_MAX, WEIGHT_MIN
 

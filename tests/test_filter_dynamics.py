@@ -6,7 +6,6 @@ change, false-negative recovery through the Reject Table, and the role
 of the θ saturation guards in keeping the filter plastic.
 """
 
-import pytest
 
 from repro.core.features import FeatureContext
 from repro.core.filter import Decision, FilterConfig, PerceptronFilter

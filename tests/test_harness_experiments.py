@@ -12,7 +12,6 @@ from repro.harness.figure01 import run_figure1
 from repro.harness.figures02_05 import run_architecture_checks
 from repro.harness.tables import table1_report, table2_report, table3_report
 from repro.sim.config import SimConfig
-from repro.workloads.spec2017 import workload_by_name
 
 MINI = SimConfig.quick(measure_records=3_000, warmup_records=600)
 

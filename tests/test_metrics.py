@@ -1,6 +1,5 @@
 """Tests for repro.sim.metrics."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -1,6 +1,5 @@
 """Tests for repro.cpu.o3core."""
 
-import pytest
 
 from repro.cpu.o3core import CoreConfig, CoreResult, O3Core
 from repro.cpu.trace import TraceRecord

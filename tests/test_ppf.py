@@ -1,8 +1,7 @@
 """Tests for repro.core.ppf (the PPF wrapper, §3–4 data path)."""
 
-import pytest
 
-from repro.core.filter import Decision, FilterConfig
+from repro.core.filter import FilterConfig
 from repro.core.ppf import PPF, make_ppf_spp
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
 from repro.prefetchers.spp import SPP, SPPConfig

@@ -1,6 +1,5 @@
 """Config-variant behaviour tests: the §5.2/§6.3 machine knobs act as claimed."""
 
-import pytest
 
 from repro.memory.dram import DRAM, DRAMConfig
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy

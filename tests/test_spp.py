@@ -1,10 +1,9 @@
 """Tests for repro.prefetchers.spp (Signature Path Prefetcher)."""
 
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.memory.address import BLOCKS_PER_PAGE, encode_delta
+from repro.memory.address import encode_delta
 from repro.prefetchers.base import PrefetchCandidate
 from repro.prefetchers.spp import SIGNATURE_MASK, SPP, SPPConfig, update_signature
 

@@ -5,10 +5,9 @@ guard: any change to signature math, counter updates or lookahead
 ordering shows up here as an exact-value mismatch.
 """
 
-import pytest
 
 from repro.memory.address import encode_delta
-from repro.prefetchers.spp import SPP, SPPConfig, update_signature
+from repro.prefetchers.spp import SPP, update_signature
 
 
 class TestSignatureGolden:

@@ -4,9 +4,7 @@ These pin the `P_d = alpha * C_d * P_{d-1}` compounding behaviour and
 its interaction with the thresholds — the mechanics PPF replaces.
 """
 
-import pytest
 
-from repro.prefetchers.base import PrefetchCandidate
 from repro.prefetchers.spp import SPP, SPPConfig
 
 

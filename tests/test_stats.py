@@ -1,0 +1,234 @@
+"""The hierarchical stats engine (repro.stats) and its wiring.
+
+Covers the primitives (StatGroup / StatsNode / Histogram / GroupAdapter),
+the warmup/measurement reset boundary, per-core scoping in multi-core
+runs, and a golden-value regression proving RunResult round-trips
+identically to the pre-refactor driver.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import SimConfig
+from repro.sim.multi_core import run_multi_core
+from repro.sim.single_core import make_prefetcher, run_single_core
+from repro.stats import GroupAdapter, Histogram, StatGroup, StatsNode, scoped
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.spec2017 import workload_by_name
+
+TINY = SimConfig.quick(measure_records=1_500, warmup_records=400)
+
+
+@dataclass
+class _Group(StatGroup):
+    hits: int = 0
+    misses: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    derived = ("hit_rate",)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TestStatGroup:
+    def test_snapshot_includes_fields_dicts_and_derived(self):
+        g = _Group(hits=3, misses=1)
+        g.by_kind["demand"] = 4
+        assert g.snapshot() == {
+            "hits": 3,
+            "misses": 1,
+            "by_kind.demand": 4,
+            "hit_rate": 0.75,
+        }
+
+    def test_reset_zeroes_fields_and_clears_dicts(self):
+        g = _Group(hits=3, misses=1)
+        g.by_kind["demand"] = 4
+        g.reset()
+        assert g.hits == 0 and g.misses == 0 and g.by_kind == {}
+        assert g.snapshot()["hit_rate"] == 0.0
+
+    def test_histogram(self):
+        h = Histogram()
+        h.add("l2")
+        h.add("l2")
+        h.add("llc", 3)
+        assert h.total() == 5
+        assert h.snapshot() == {"counts.l2": 2, "counts.llc": 3}
+        h.reset()
+        assert h.total() == 0
+
+
+class TestGroupAdapter:
+    def test_custom_snapshot_and_reset(self):
+        state = {"events": 7, "entries": 12}
+
+        def wipe():
+            state["events"] = 0  # entries (state) survive
+
+        adapter = GroupAdapter(lambda: dict(state), wipe)
+        assert adapter.snapshot()["events"] == 7
+        adapter.reset()
+        assert state == {"events": 0, "entries": 12}
+
+    def test_reset_optional(self):
+        GroupAdapter(lambda: {}).reset()  # must not raise
+
+
+class TestStatsNode:
+    def test_dotted_path_snapshot(self):
+        root = StatsNode("root")
+        root.child("core0").attach("l2", _Group(hits=5))
+        root.counter("ticks", 9)
+        snap = root.snapshot()
+        assert snap["core0.l2.hits"] == 5
+        assert snap["ticks"] == 9
+
+    def test_child_is_get_or_create(self):
+        root = StatsNode("root")
+        assert root.child("a") is root.child("a")
+        assert list(root.children()) == ["a"]
+
+    def test_recursive_reset(self):
+        root = StatsNode("root")
+        g = _Group(hits=5)
+        root.child("a").child("b").attach("g", g)
+        root.counter("ticks")
+        root.reset()
+        assert g.hits == 0
+        assert root.snapshot()["ticks"] == 0
+
+    def test_get_and_scoped(self):
+        root = StatsNode("root")
+        root.child("core0").attach("l2", _Group(hits=5, misses=5))
+        assert root.get("core0.l2.hits") == 5
+        assert root.get("nope.nothing", -1) == -1
+        assert scoped(root.snapshot(), "core0")["l2.hits"] == 5
+
+
+class TestWarmupBoundary:
+    """Counters reset between warmup and measurement; state survives."""
+
+    def _warmed_hierarchy(self, scheme):
+        from repro.cpu.o3core import O3Core
+
+        hierarchy = MemoryHierarchy(
+            num_cores=1,
+            config=TINY.hierarchy,
+            dram_config=TINY.dram,
+            prefetchers=[make_prefetcher(scheme)],
+        )
+        core = O3Core(0, hierarchy, TINY.core)
+        for rec in workload_by_name("605.mcf_s").trace(600, seed=1):
+            core.step(rec)
+        return hierarchy
+
+    def test_reset_zeroes_all_counters(self):
+        hierarchy = self._warmed_hierarchy("spp")
+        before = hierarchy.snapshot()
+        assert before["core0.l1.demand_accesses"] > 0
+        assert before["dram.accesses"] > 0
+        hierarchy.reset_stats()
+        after = hierarchy.snapshot()
+        assert after["core0.l1.demand_accesses"] == 0
+        assert after["core0.l2.demand_misses"] == 0
+        assert after["dram.accesses"] == 0
+        assert after["core0.prefetcher.prefetch.issued"] == 0
+
+    def test_reset_preserves_ppf_table_state(self):
+        hierarchy = self._warmed_hierarchy("ppf")
+        before = hierarchy.snapshot()
+        occupancy = before["core0.prefetcher.prefetch_table.occupancy"]
+        assert occupancy > 0
+        assert before["core0.prefetcher.prefetch_table.inserts"] > 0
+        hierarchy.reset_stats()
+        after = hierarchy.snapshot()
+        # Event counters are statistics: zeroed at the boundary.
+        assert after["core0.prefetcher.prefetch_table.inserts"] == 0
+        # Occupancy is state: the trained entries must survive warmup.
+        assert after["core0.prefetcher.prefetch_table.occupancy"] == occupancy
+
+    def test_run_counts_measurement_only(self):
+        # The trace is deterministic per seed, so doubling warmup while
+        # keeping the measurement window must not inflate the counters
+        # (it would if the reset boundary leaked warmup stats).
+        a = SimConfig.quick(measure_records=1_000, warmup_records=200)
+        b = SimConfig.quick(measure_records=1_000, warmup_records=400)
+        wl = workload_by_name("619.lbm_s")
+        ra = run_single_core(wl, "none", a, seed=2)
+        rb = run_single_core(wl, "none", b, seed=2)
+        assert ra.l2_demand_accesses < 1_200
+        assert rb.l2_demand_accesses < 1_200
+
+
+class TestPerCoreScoping:
+    def test_multi_core_outcomes_are_scoped(self):
+        cfg = SimConfig.multicore(2)
+        cfg.warmup_records, cfg.measure_records = 200, 800
+        mix = WorkloadMix(
+            name="t",
+            workloads=(workload_by_name("619.lbm_s"), workload_by_name("657.xz_s")),
+        )
+        result = run_multi_core(mix, "spp", cfg, seed=5)
+        for outcome in result.cores:
+            # The typed fields are views over the core's private scope.
+            assert outcome.l2_misses == int(outcome.stats["l2.demand_misses"])
+            assert outcome.prefetches_issued == int(
+                outcome.stats["prefetcher.prefetch.issued"]
+            )
+            # No cross-core leakage: scoped snapshots carry no core prefix
+            # and no shared-level stats.
+            assert not any(key.startswith("core") for key in outcome.stats)
+            assert "dram.accesses" not in outcome.stats
+        a, b = result.cores
+        assert a.stats["l2.demand_accesses"] != b.stats["l2.demand_accesses"]
+
+
+class TestGoldenRoundTrip:
+    """RunResult built from the stats snapshot reproduces the exact
+    values the pre-refactor driver measured (fixed workload + seed)."""
+
+    GOLDEN = {
+        # scheme: (instructions, cycles, l2_misses, llc_misses, issued,
+        #          useful, candidates, dram_accesses, lookahead_depth)
+        "none": (12960, 78811, 1274, 1274, 0, 0, 0, 1274, 0.0),
+        "spp": (12960, 61707, 623, 503, 1558, 771, 1747, 1459, 1.81048),
+        "ppf": (12960, 60243, 453, 453, 1182, 821, 4561, 1635, 4.349398),
+    }
+
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN))
+    def test_golden_values(self, scheme):
+        r = run_single_core(workload_by_name("623.xalancbmk_s"), scheme, TINY, seed=3)
+        want = self.GOLDEN[scheme]
+        got = (
+            r.instructions,
+            r.cycles,
+            r.l2_misses,
+            r.llc_misses,
+            r.prefetches_issued,
+            r.prefetches_useful,
+            r.prefetch_candidates,
+            r.dram_accesses,
+        )
+        assert got == want[:8]
+        assert r.average_lookahead_depth == pytest.approx(want[8], abs=1e-6)
+
+    def test_snapshot_views(self):
+        r = run_single_core(workload_by_name("623.xalancbmk_s"), "ppf", TINY, seed=3)
+        assert 0.0 < r.row_buffer_hit_rate < 1.0
+        assert r.stats["core0.l2.demand_misses"] == r.l2_misses
+        assert r.reject_table_recoveries >= 0
+        updates = r.per_feature_training_updates
+        assert updates and all(v >= 0 for v in updates.values())
+        # New-metric litmus test: filter/table counters appear in the
+        # flattened snapshot without any driver plumbing.
+        assert "core0.prefetcher.filter.trainings" in r.stats or any(
+            key.startswith("core0.prefetcher.filter.") for key in r.stats
+        )
+        assert any(key.startswith("core0.prefetcher.reject_table.") for key in r.stats)

@@ -1,0 +1,184 @@
+"""SuiteRunner: config fingerprinting, persistent caching, parallelism.
+
+Includes the regression test for the stale-cache bug: the old
+``_config_key`` hand-listed ten fields, so configs differing only in
+e.g. ``prefetch_queue_size`` collided in the result cache.
+"""
+
+import os
+import time
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.fingerprint import config_fingerprint, fingerprint_digest, value_fingerprint
+from repro.sim.runner import ExperimentRunner
+from repro.sim.suite import SuiteRunner
+from repro.workloads.spec2017 import workload_by_name
+
+TINY = SimConfig.quick(measure_records=1_200, warmup_records=300)
+
+
+def _with_queue_size(config: SimConfig, size: int) -> SimConfig:
+    return replace(config, hierarchy=replace(config.hierarchy, prefetch_queue_size=size))
+
+
+class TestFingerprint:
+    def test_identical_configs_agree(self):
+        a = SimConfig.quick(measure_records=1_200, warmup_records=300)
+        assert config_fingerprint(a) == config_fingerprint(TINY)
+        assert fingerprint_digest(a) == fingerprint_digest(TINY)
+
+    def test_every_field_contributes(self):
+        # Walked automatically from the dataclass tree: any changed leaf
+        # — including ones _config_key used to omit — changes the key.
+        base = TINY
+        variants = [
+            replace(base, hierarchy=replace(base.hierarchy, l1_assoc=6)),
+            replace(base, hierarchy=replace(base.hierarchy, l2_assoc=4)),
+            replace(base, hierarchy=replace(base.hierarchy, l2_latency=12)),
+            replace(base, hierarchy=replace(base.hierarchy, max_prefetches_per_trigger=8)),
+            _with_queue_size(base, 16),
+            replace(base, dram=replace(base.dram, row_hit_latency=base.dram.row_hit_latency + 10)),
+            replace(base, dram=replace(base.dram, row_miss_latency=base.dram.row_miss_latency + 10)),
+        ]
+        fingerprints = {config_fingerprint(v) for v in variants}
+        assert config_fingerprint(base) not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_prefetch_queue_size_regression(self):
+        """The headline stale-cache bug: two configs differing only in
+        prefetch_queue_size must get distinct keys AND distinct results."""
+        small = _with_queue_size(TINY, 1)
+        large = _with_queue_size(TINY, 64)
+        assert config_fingerprint(small) != config_fingerprint(large)
+        assert fingerprint_digest(small) != fingerprint_digest(large)
+
+        runner = ExperimentRunner(seed=3)
+        wl = workload_by_name("619.lbm_s")
+        a = runner.single(wl, "spp", small)
+        b = runner.single(wl, "spp", large)
+        # Both results live in the cache under distinct keys...
+        assert len(runner._single_cache) == 2
+        # ...and a 1-deep prefetch queue genuinely throttles prefetching.
+        assert a.prefetches_issued < b.prefetches_issued
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            config_fingerprint({"not": "a dataclass"})
+
+    def test_value_tokens(self):
+        @dataclass
+        class Inner:
+            n: int = 2
+
+        @dataclass
+        class Outer:
+            inner: Inner
+            names: tuple = ("a", "b")
+
+        token = value_fingerprint(Outer(inner=Inner()))
+        assert token == (("inner", (("n", 2),)), ("names", ("a", "b")))
+        assert hash(token) is not None  # usable as a dict key
+        # Callables fingerprint by qualified name, not object address.
+        assert value_fingerprint(workload_by_name) == value_fingerprint(workload_by_name)
+
+
+class TestDiskCache:
+    def test_second_invocation_zero_resimulations(self, tmp_path):
+        workloads = [workload_by_name(n) for n in ("605.mcf_s", "619.lbm_s")]
+        first = SuiteRunner(TINY, seed=2, jobs=1, cache_dir=tmp_path)
+        r1 = first.sweep(workloads, ["spp"])
+        assert first.simulated == 4  # 2 workloads × (none + spp)
+        assert first.disk_hits == 0
+
+        second = SuiteRunner(TINY, seed=2, jobs=1, cache_dir=tmp_path)
+        r2 = second.sweep(workloads, ["spp"])
+        assert second.simulated == 0
+        assert second.disk_hits == 4
+        assert r1.runs == r2.runs
+
+    def test_cache_respects_config_and_seed(self, tmp_path):
+        wl = workload_by_name("619.lbm_s")
+        a = SuiteRunner(TINY, seed=2, cache_dir=tmp_path, jobs=1)
+        a.single(wl, "spp")
+        b = SuiteRunner(_with_queue_size(TINY, 1), seed=2, cache_dir=tmp_path, jobs=1)
+        b.single(wl, "spp")
+        assert b.simulated == 1  # different config: disk entry not reused
+        c = SuiteRunner(TINY, seed=9, cache_dir=tmp_path, jobs=1)
+        c.single(wl, "spp")
+        assert c.simulated == 1  # different seed: disk entry not reused
+        d = SuiteRunner(TINY, seed=2, cache_dir=tmp_path, jobs=1)
+        d.single(wl, "spp")
+        assert d.simulated == 0 and d.disk_hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        wl = workload_by_name("619.lbm_s")
+        a = SuiteRunner(TINY, seed=2, cache_dir=tmp_path, jobs=1)
+        a.single(wl, "spp")
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        b = SuiteRunner(TINY, seed=2, cache_dir=tmp_path, jobs=1)
+        result = b.single(wl, "spp")
+        assert b.simulated == 1
+        assert result == a.single(wl, "spp")
+
+    def test_memory_cache_without_cache_dir(self):
+        runner = SuiteRunner(TINY, seed=2, jobs=1)
+        wl = workload_by_name("619.lbm_s")
+        runner.single(wl, "spp")
+        runner.single(wl, "spp")
+        assert runner.simulated == 1
+        assert runner.memory_hits == 1
+
+
+class TestSuiteRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SuiteRunner(TINY, jobs=0)
+
+    def test_parallel_sweep_uses_and_fills_disk_cache(self, tmp_path):
+        workloads = [workload_by_name(n) for n in ("605.mcf_s", "619.lbm_s")]
+        first = SuiteRunner(TINY, seed=2, jobs=2, cache_dir=tmp_path)
+        r1 = first.sweep(workloads, ["spp"])
+        assert first.simulated == 4
+        second = SuiteRunner(TINY, seed=2, jobs=2, cache_dir=tmp_path)
+        r2 = second.sweep(workloads, ["spp"])
+        assert second.simulated == 0 and second.disk_hits == 4
+        assert r1.runs == r2.runs
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="speedup acceptance needs a 4-core runner"
+    )
+    def test_parallel_speedup_on_multicore_host(self):
+        """Acceptance: a 4×3 sweep with jobs=4 is ≥2× faster than jobs=1
+        and produces identical results."""
+        cfg = SimConfig.quick(measure_records=6_000, warmup_records=1_500)
+        workloads = [
+            workload_by_name(n)
+            for n in ("605.mcf_s", "619.lbm_s", "623.xalancbmk_s", "657.xz_s")
+        ]
+        schemes = ["spp", "ppf", "bop"]
+        start = time.perf_counter()
+        serial = SuiteRunner(cfg, seed=2, jobs=1).sweep(
+            workloads, schemes, include_baseline=False
+        )
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = SuiteRunner(cfg, seed=2, jobs=4).sweep(
+            workloads, schemes, include_baseline=False
+        )
+        parallel_s = time.perf_counter() - start
+        assert serial.runs == parallel.runs
+        assert serial_s / parallel_s >= 2.0
+
+    def test_experiment_runner_delegates(self, tmp_path):
+        runner = ExperimentRunner(TINY, seed=2, jobs=1, cache_dir=tmp_path)
+        workloads = [workload_by_name("619.lbm_s")]
+        suite = runner.sweep(workloads, ["spp"])
+        assert set(suite.runs) == {("619.lbm_s", "none"), ("619.lbm_s", "spp")}
+        # single() and sweep() share one cache through the SuiteRunner.
+        runner.single(workloads[0], "spp")
+        assert runner._suite.simulated == 2
+        assert runner._suite.memory_hits == 1

@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.memory.address import BLOCKS_PER_PAGE, page_number, page_offset_block
 from repro.workloads.synthetic import (

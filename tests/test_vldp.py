@@ -1,6 +1,5 @@
 """Tests for repro.prefetchers.vldp (Variable Length Delta Prefetcher)."""
 
-import pytest
 
 from repro.prefetchers.vldp import VLDP, VLDPConfig
 

@@ -1,6 +1,5 @@
 """Tests for the workload suites and mix builders."""
 
-import itertools
 
 import pytest
 
