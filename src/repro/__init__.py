@@ -32,14 +32,17 @@ from .memory import Cache, DRAMConfig, HierarchyConfig, MemoryHierarchy
 from .prefetchers import AMPM, BOP, DAAMPM, SPP, NullPrefetcher, Prefetcher, SPPConfig
 from .registry import UnknownComponentError, register
 from .sim import (
+    CellPolicy,
+    DegradedSweepError,
     ExperimentRunner,
+    FailureReport,
     SimConfig,
     SuiteRunner,
     geometric_mean,
     run_multi_core,
     run_single_core,
 )
-from .stats import StatGroup, StatsNode
+from .stats import Accumulator, StatGroup, StatsNode
 from .workloads import (
     WorkloadMix,
     WorkloadSpec,
@@ -80,8 +83,12 @@ __all__ = [
     "SPPConfig",
     "UnknownComponentError",
     "register",
+    "Accumulator",
     "StatGroup",
     "StatsNode",
+    "CellPolicy",
+    "DegradedSweepError",
+    "FailureReport",
     "ExperimentRunner",
     "SimConfig",
     "SuiteRunner",

@@ -5,7 +5,9 @@ Subcommands:
 * ``experiments``            — list the registered paper experiments
 * ``run <id> [--records N]`` — regenerate one table/figure
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
-* ``sweep [--jobs N] [--cache-dir D]`` — parallel, cached suite sweep
+* ``sweep [--jobs N] [--cache-dir D] [--timeout S] [--retries N]
+  [--ledger PATH]`` — parallel, cached, fault-tolerant suite sweep
+  (exits non-zero when cells stay unrecovered after retry + fallback)
 * ``workloads``              — list the modelled benchmark suites
 
 Component choices (prefetchers, workloads, suites) come from the
@@ -24,7 +26,7 @@ from .registry import UnknownComponentError
 from .harness.validate import report_scorecard, validate
 from .sim.config import SimConfig
 from .sim.single_core import run_single_core  # noqa: F401  (registers prefetchers)
-from .sim.suite import SuiteRunner
+from .sim.suite import CellPolicy, SuiteRunner
 from .workloads import find_workload, suite, suites
 
 
@@ -71,21 +73,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             workloads = [spec for spec in suite("spec2017") if spec.memory_intensive]
         runner = SuiteRunner(
-            config, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+            config,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            policy=CellPolicy(timeout=args.timeout, retries=args.retries),
+            ledger_path=args.ledger,
         )
     except (UnknownComponentError, ValueError) as err:
         print(f"repro sweep: error: {err}", file=sys.stderr)
         return 2
     result = runner.sweep(workloads, args.prefetchers)
+    report = result.failure_report
     for scheme in args.prefetchers:
         print(f"{scheme}:")
-        for workload, speedup in sorted(result.speedups(scheme).items()):
+        try:
+            per_workload = result.speedups(scheme)
+        except ValueError as err:
+            print(f"  (unavailable: {err})")
+            continue
+        for workload, speedup in sorted(per_workload.items()):
             print(f"  {workload:20s} {speedup:6.3f}")
-        print(f"  {'geomean':20s} {result.geomean_speedup(scheme):6.3f}")
+        if per_workload:
+            print(f"  {'geomean':20s} {result.geomean_speedup(scheme):6.3f}")
     print(
         f"cells: simulated={runner.simulated} "
         f"memory_hits={runner.memory_hits} disk_hits={runner.disk_hits}"
     )
+    if report.failures:
+        print(f"recovery: {report.summary()}")
+    if not report.complete:
+        for failure in report.unrecovered:
+            print(
+                f"repro sweep: unrecovered cell ({failure.workload}, "
+                f"{failure.prefetcher}) after {failure.attempts} attempt(s): "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 
@@ -157,6 +182,24 @@ def main(argv: list | None = None) -> int:
     )
     sweep_parser.add_argument("--records", type=int, default=20_000)
     sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell timeout in seconds (default: unbounded)",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="pool re-executions per failed/hung cell before serial fallback",
+    )
+    sweep_parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append a JSONL run ledger (per-cell status/attempts/provenance)",
+    )
 
     sub.add_parser("workloads", help="list modelled workloads")
 

@@ -56,7 +56,7 @@ def run_constraints(
     runner = ExperimentRunner(base, seed=seed)
     geomeans: Dict[str, Dict[str, float]] = {}
     for constraint, cfg in _constraint_configs(base).items():
-        suite = runner.sweep(workload_list, list(schemes), cfg)
+        suite = runner.sweep(workload_list, list(schemes), cfg).require_complete()
         geomeans[constraint] = {
             scheme: suite.geomean_speedup(scheme) for scheme in schemes
         }

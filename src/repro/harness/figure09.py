@@ -75,7 +75,7 @@ def run_figure9(
 ) -> Figure9Result:
     workload_list = list(workloads) if workloads is not None else spec2017_workloads()
     runner = ExperimentRunner(config or SimConfig.quick(), seed=seed)
-    suite = runner.sweep(workload_list, list(schemes))
+    suite = runner.sweep(workload_list, list(schemes)).require_complete()
     return Figure9Result(suite=suite, workloads=workload_list, schemes=list(schemes))
 
 

@@ -49,7 +49,7 @@ def run_figure10(
     if suite is None:
         workload_list = list(workloads) if workloads is not None else spec2017_workloads()
         runner = ExperimentRunner(config or SimConfig.quick(), seed=seed)
-        suite = runner.sweep(workload_list, list(schemes))
+        suite = runner.sweep(workload_list, list(schemes)).require_complete()
     return Figure10Result(suite=suite, schemes=list(schemes))
 
 

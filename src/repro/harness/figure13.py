@@ -62,8 +62,8 @@ def run_figure13(
         light = [w for w in spec06 if not w.memory_intensive]
         spec06 = (intensive + light)[:spec2006_subset]
     return Figure13Result(
-        cloudsuite=runner.sweep(cloud, list(schemes)),
-        spec2006=runner.sweep(spec06, list(schemes)),
+        cloudsuite=runner.sweep(cloud, list(schemes)).require_complete(),
+        spec2006=runner.sweep(spec06, list(schemes)).require_complete(),
         cloudsuite_workloads=cloud,
         spec2006_workloads=spec06,
         schemes=list(schemes),

@@ -21,9 +21,22 @@ from .single_core import (
     make_prefetcher,
     run_single_core,
 )
-from .suite import SuiteResult, SuiteRunner
+from .suite import (
+    CellFailure,
+    CellPolicy,
+    DegradedSweepError,
+    FailureReport,
+    RunLedger,
+    SuiteResult,
+    SuiteRunner,
+)
 
 __all__ = [
+    "CellFailure",
+    "CellPolicy",
+    "DegradedSweepError",
+    "FailureReport",
+    "RunLedger",
     "SimConfig",
     "accuracy",
     "coverage",

@@ -21,7 +21,7 @@ from .config import SimConfig
 from .metrics import weighted_ipc
 from .multi_core import run_multi_core
 from .single_core import RunResult
-from .suite import SuiteResult, SuiteRunner
+from .suite import CellPolicy, SuiteResult, SuiteRunner
 
 
 class ExperimentRunner:
@@ -31,7 +31,10 @@ class ExperimentRunner:
     (default None: in-memory caching only) are forwarded to the
     underlying :class:`SuiteRunner`, which all single-core execution is
     routed through — so figure scripts and ad-hoc sweeps share one
-    result cache keyed by the complete config fingerprint.
+    result cache keyed by the complete config fingerprint.  ``policy``
+    (a :class:`CellPolicy`) and ``ledger_path`` configure the sweep
+    fault-tolerance layer: per-cell timeout/retry budgets and the JSONL
+    run ledger.
     """
 
     def __init__(
@@ -40,10 +43,22 @@ class ExperimentRunner:
         seed: int = 1,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        policy: Optional[CellPolicy] = None,
+        ledger_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
-        self._suite = SuiteRunner(self.config, seed=seed, jobs=jobs, cache_dir=cache_dir)
+        self._suite = SuiteRunner(
+            self.config,
+            seed=seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            policy=policy,
+            ledger_path=ledger_path,
+        )
+        #: Sweep-execution counters (retries, timeouts, salvages, wall
+        #: times), shared with the underlying SuiteRunner's stats tree.
+        self.stats = self._suite.stats
         #: Legacy alias; tests and tools may inspect the shared cache.
         self._single_cache = self._suite.memory_cache
 

@@ -55,6 +55,7 @@ class RunResult:
     prefetch_candidates: int
     dram_accesses: int
     average_lookahead_depth: float = 0.0
+    core: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
     stats: Dict[str, float] = field(default_factory=dict)
 
@@ -85,6 +86,7 @@ class RunResult:
             prefetch_candidates=int(get(f"{prefix}.prefetcher.prefetch.candidates", 0)),
             dram_accesses=int(get("dram.accesses", 0)),
             average_lookahead_depth=average_lookahead_depth,
+            core=core,
             stats=dict(snapshot),
         )
 
@@ -122,12 +124,12 @@ class RunResult:
     @property
     def reject_table_recoveries(self) -> int:
         """PPF false negatives recovered through the Reject Table."""
-        return int(self.stats.get("core0.prefetcher.ppf.reject_recoveries", 0))
+        return int(self.stats.get(f"core{self.core}.prefetcher.ppf.reject_recoveries", 0))
 
     @property
     def per_feature_training_updates(self) -> Dict[str, int]:
         """Effective weight movements per perceptron feature table."""
-        prefix = "core0.prefetcher.filter.per_feature_updates."
+        prefix = f"core{self.core}.prefetcher.filter.per_feature_updates."
         return {
             key[len(prefix):]: int(value)
             for key, value in self.stats.items()

@@ -1,4 +1,4 @@
-"""Parallel, persistently-cached (workload × prefetcher) suite sweeps.
+"""Parallel, persistently-cached, fault-tolerant (workload × prefetcher) sweeps.
 
 :class:`SuiteRunner` is the execution engine behind
 :class:`repro.sim.runner.ExperimentRunner`:
@@ -14,6 +14,16 @@
   (see :mod:`repro.sim.fingerprint`), so re-running a figure after
   touching one prefetcher only re-simulates the affected cells and a
   clean re-run does zero simulation work.
+* **Fault tolerance** — one crashed or hung worker no longer aborts the
+  sweep.  A :class:`CellPolicy` bounds each cell with a timeout and a
+  retry budget; a cell that exhausts its pool attempts falls back to
+  serial in-process execution; a broken process pool is recovered by
+  salvaging every already-completed future and resubmitting only the
+  lost cells to a fresh pool.  The outcome of every cell is written to
+  an optional JSONL run ledger and summarized in the
+  :class:`FailureReport` attached to each :class:`SuiteResult`, so
+  callers can tell a *complete* sweep from a *degraded* one
+  (:meth:`SuiteResult.require_complete`).
 
 Workers rehydrate workloads by name through the component registry
 (:func:`repro.workloads.find_workload`); workload specs whose builders
@@ -25,13 +35,18 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..stats import Accumulator, StatGroup, StatsNode
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
 from .fingerprint import config_fingerprint, fingerprint_digest
@@ -39,27 +54,171 @@ from .metrics import geometric_mean
 from .single_core import RunResult, run_single_core
 
 #: Bump when the RunResult schema changes so stale disk entries miss.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
+
+#: Distinguishes concurrent writers publishing into one cache_dir.
+_TMP_COUNTER = itertools.count()
+
+
+class DegradedSweepError(RuntimeError):
+    """A sweep lost cells that no recovery path could bring back."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CellPolicy:
+    """Failure-handling budget for each cell of a sweep.
+
+    ``timeout``
+        Seconds to wait for a pool cell's result before declaring it
+        hung (``None``: wait forever).  A timed-out cell's pool is torn
+        down — completed siblings are salvaged, running ones resubmitted
+        to a fresh pool — and the cell itself is retried or falls back.
+    ``retries``
+        How many times a failed/timed-out/lost cell may be re-executed
+        in a worker pool before falling back.
+    ``fallback_serial``
+        Whether a cell that exhausts its pool attempts is re-run
+        serially in-process as a last resort.  When disabled (or when
+        the serial run also fails) the cell is reported as unrecovered
+        and simply missing from ``SuiteResult.runs``.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 1
+    fallback_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+@dataclasses.dataclass
+class CellFailure:
+    """One cell that failed at least once during a sweep."""
+
+    workload: str
+    prefetcher: str
+    attempts: int  # failed execution attempts
+    error: str  # last error observed
+    recovered: bool
+    recovery: Optional[str] = None  # "pool-retry" | "serial-fallback" | None
+
+
+@dataclasses.dataclass
+class FailureReport:
+    """What went wrong (and was recovered) during one sweep."""
+
+    failures: List[CellFailure] = dataclasses.field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    salvaged: int = 0
+    serial_fallbacks: int = 0
+
+    @property
+    def unrecovered(self) -> List[CellFailure]:
+        return [f for f in self.failures if not f.recovered]
+
+    @property
+    def complete(self) -> bool:
+        return not self.unrecovered
+
+    def summary(self) -> str:
+        parts = [
+            f"failures={len(self.failures)}",
+            f"unrecovered={len(self.unrecovered)}",
+            f"retries={self.retries}",
+            f"timeouts={self.timeouts}",
+            f"pool_breaks={self.pool_breaks}",
+            f"salvaged={self.salvaged}",
+            f"serial_fallbacks={self.serial_fallbacks}",
+        ]
+        return " ".join(parts)
+
+
+class RunLedger:
+    """Append-only JSONL record of how every sweep cell was served.
+
+    One object per line: ``{"event": "cell", ...}`` when a cell
+    resolves (status, served-from provenance, attempts, wall time),
+    ``{"event": "attempt", ...}`` for each failed execution attempt,
+    and ``{"event": "sweep", ...}`` summarizing each sweep.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, **fields) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(fields) + "\n")
 
 
 @dataclasses.dataclass
 class SuiteResult:
-    """All (workload × prefetcher) runs of one suite sweep."""
+    """All (workload × prefetcher) runs of one suite sweep.
+
+    ``failure_report`` distinguishes a *complete* sweep from a
+    *degraded* one: cells listed as unrecovered are absent from
+    ``runs`` and every aggregate skips them.
+    """
 
     runs: Dict[Tuple[str, str], RunResult] = dataclasses.field(default_factory=dict)
+    failure_report: FailureReport = dataclasses.field(default_factory=FailureReport)
 
     def run_for(self, workload: str, prefetcher: str) -> RunResult:
-        return self.runs[(workload, prefetcher)]
+        try:
+            return self.runs[(workload, prefetcher)]
+        except KeyError:
+            raise KeyError(
+                f"no run for cell ({workload!r}, {prefetcher!r}); "
+                "the sweep may be degraded — see SuiteResult.failure_report"
+            ) from None
 
-    def speedups(self, prefetcher: str, baseline: str = "none") -> Dict[str, float]:
-        """Per-workload IPC speedup of ``prefetcher`` over ``baseline``."""
-        out = {}
+    def require_complete(self) -> "SuiteResult":
+        """Raise :class:`DegradedSweepError` if any cell was lost."""
+        lost = self.failure_report.unrecovered
+        if lost:
+            cells = ", ".join(f"({f.workload}, {f.prefetcher})" for f in lost)
+            raise DegradedSweepError(
+                f"sweep lost {len(lost)} cell(s): {cells}; "
+                f"last error: {lost[-1].error}"
+            )
+        return self
+
+    def _baselines(
+        self, prefetcher: str, baseline: str
+    ) -> Iterable[Tuple[str, RunResult, Optional[RunResult]]]:
+        """(workload, scheme run, baseline run or None) for each cell."""
         for (workload, name), result in self.runs.items():
             if name != prefetcher:
                 continue
-            base = self.runs[(workload, baseline)]
-            if base.ipc > 0:
+            yield workload, result, self.runs.get((workload, baseline))
+
+    def speedups(self, prefetcher: str, baseline: str = "none") -> Dict[str, float]:
+        """Per-workload IPC speedup of ``prefetcher`` over ``baseline``.
+
+        Workloads whose baseline cell is missing (degraded sweep) are
+        skipped; if *no* baseline run exists at all, raises a
+        ``ValueError`` naming the missing cells instead of leaking a
+        bare ``KeyError``.
+        """
+        out: Dict[str, float] = {}
+        missing: List[str] = []
+        for workload, result, base in self._baselines(prefetcher, baseline):
+            if base is None:
+                missing.append(workload)
+            elif base.ipc > 0:
                 out[workload] = result.ipc / base.ipc
+        if missing and not out:
+            raise ValueError(
+                f"sweep has no {baseline!r} baseline run for "
+                f"{sorted(missing)}; sweep with include_baseline=True "
+                f"or pass baseline=<scheme>"
+            )
         return out
 
     def geomean_speedup(
@@ -74,25 +233,54 @@ class SuiteResult:
             per_workload = {k: v for k, v in per_workload.items() if k in keep}
         return geometric_mean(per_workload.values())
 
-    def coverage(self, prefetcher: str, level: str = "l2") -> float:
-        """Suite-aggregate miss coverage vs the no-prefetch baseline."""
+    def coverage(self, prefetcher: str, level: str = "l2", baseline: str = "none") -> float:
+        """Suite-aggregate miss coverage vs ``baseline``.
+
+        Missing-baseline handling matches :meth:`speedups`: degraded
+        cells are skipped, a fully absent baseline raises ``ValueError``.
+        """
+        if level not in ("l2", "llc"):
+            raise ValueError(f"unknown level {level!r}")
         baseline_misses = 0
         scheme_misses = 0
-        for (workload, name), result in self.runs.items():
-            if name != prefetcher:
+        matched = False
+        missing: List[str] = []
+        for workload, result, base in self._baselines(prefetcher, baseline):
+            if base is None:
+                missing.append(workload)
                 continue
-            base = self.runs[(workload, "none")]
+            matched = True
             if level == "l2":
                 baseline_misses += base.l2_misses
                 scheme_misses += result.l2_misses
-            elif level == "llc":
+            else:
                 baseline_misses += base.llc_misses
                 scheme_misses += result.llc_misses
-            else:
-                raise ValueError(f"unknown level {level!r}")
+        if missing and not matched:
+            raise ValueError(
+                f"sweep has no {baseline!r} baseline run for "
+                f"{sorted(missing)}; sweep with include_baseline=True "
+                f"or pass baseline=<scheme>"
+            )
         if baseline_misses == 0:
             return 0.0
         return (baseline_misses - scheme_misses) / baseline_misses
+
+
+@dataclasses.dataclass
+class SweepStats(StatGroup):
+    """Cumulative sweep-execution counters, mountable in a stats tree."""
+
+    simulated: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_breaks: int = 0
+    salvaged: int = 0
+    serial_fallbacks: int = 0
+    unrecovered: int = 0
 
 
 def _simulate_cell(
@@ -131,8 +319,37 @@ def _worker_payload(spec: WorkloadSpec) -> Optional[Union[str, WorkloadSpec]]:
         return None
 
 
+def _unique_tmp(path: Path) -> Path:
+    """A per-writer temporary sibling of ``path``.
+
+    Concurrent runners sharing one cache_dir must not interleave writes
+    into the same staging file, or the atomic rename publishes a
+    corrupt entry — so the name carries the pid plus a process-local
+    counter.
+    """
+    return path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+
+
+class _Cell:
+    """Mutable execution state of one pending sweep cell."""
+
+    __slots__ = ("spec", "scheme", "payload", "attempts", "errors", "started")
+
+    def __init__(self, spec: WorkloadSpec, scheme: str) -> None:
+        self.spec = spec
+        self.scheme = scheme
+        self.payload: Optional[Union[str, WorkloadSpec]] = None
+        self.attempts = 0  # failed execution attempts so far
+        self.errors: List[str] = []
+        self.started = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.spec.name, self.scheme)
+
+
 class SuiteRunner:
-    """Parallel sweep executor with in-memory + on-disk result caches."""
+    """Parallel sweep executor with caches, retries and a run ledger."""
 
     def __init__(
         self,
@@ -140,6 +357,8 @@ class SuiteRunner:
         seed: int = 1,
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        policy: Optional[CellPolicy] = None,
+        ledger_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
@@ -147,11 +366,33 @@ class SuiteRunner:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.policy = policy or CellPolicy()
+        self.ledger = RunLedger(ledger_path) if ledger_path is not None else None
         self.memory_cache: Dict[Tuple, RunResult] = {}
-        # Observability: how each cell of every sweep so far was served.
-        self.simulated = 0
-        self.memory_hits = 0
-        self.disk_hits = 0
+        # Observability: how every cell of every sweep so far was served,
+        # mounted as a stats tree so callers can fold sweep-execution
+        # counters into larger reports.
+        self.stats = StatsNode("sweep")
+        self._exec: SweepStats = self.stats.attach("cells", SweepStats())
+        self._wall: Accumulator = self.stats.attach("cell_seconds", Accumulator())
+
+    # -- legacy counter views ----------------------------------------------------
+
+    @property
+    def simulated(self) -> int:
+        return self._exec.simulated
+
+    @property
+    def memory_hits(self) -> int:
+        return self._exec.memory_hits
+
+    @property
+    def disk_hits(self) -> int:
+        return self._exec.disk_hits
+
+    def _log(self, **fields) -> None:
+        if self.ledger is not None:
+            self.ledger.record(**fields)
 
     # -- cache plumbing ---------------------------------------------------------
 
@@ -185,23 +426,29 @@ class SuiteRunner:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(workload, prefetcher, config)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(dataclasses.asdict(result)))
-        tmp.replace(path)  # atomic publish; concurrent writers agree on content
+        tmp = _unique_tmp(path)
+        try:
+            tmp.write_text(json.dumps(dataclasses.asdict(result)))
+            tmp.replace(path)  # atomic publish; concurrent writers agree on content
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def _lookup(
         self, workload: str, prefetcher: str, config: SimConfig
-    ) -> Optional[RunResult]:
+    ) -> Optional[Tuple[RunResult, str]]:
+        """Cached result plus its provenance ("memory" | "disk")."""
         key = self._memory_key(workload, prefetcher, config)
         cached = self.memory_cache.get(key)
         if cached is not None:
-            self.memory_hits += 1
-            return cached
+            self._exec.memory_hits += 1
+            return cached, "memory"
         cached = self._disk_load(workload, prefetcher, config)
         if cached is not None:
-            self.disk_hits += 1
+            self._exec.disk_hits += 1
             self.memory_cache[key] = cached
-        return cached
+            return cached, "disk"
+        return None
 
     def _record(
         self, workload: str, prefetcher: str, config: SimConfig, result: RunResult
@@ -218,13 +465,20 @@ class SuiteRunner:
         prefetcher: str,
         config: Optional[SimConfig] = None,
     ) -> RunResult:
-        """One cell: served from cache or simulated in-process."""
+        """One cell: served from cache or simulated in-process.
+
+        Unlike :meth:`sweep`, failures propagate to the caller — a
+        single requested run has no siblings to degrade gracefully
+        against.
+        """
         config = config or self.config
         cached = self._lookup(workload.name, prefetcher, config)
         if cached is not None:
-            return cached
-        self.simulated += 1
+            return cached[0]
+        start = perf_counter()
         result = run_single_core(workload, prefetcher, config, seed=self.seed)
+        self._exec.simulated += 1
+        self._wall.add(perf_counter() - start)
         return self._record(workload.name, prefetcher, config, result)
 
     def sweep(
@@ -238,57 +492,334 @@ class SuiteRunner:
 
         Cache-missing cells are simulated concurrently when ``jobs > 1``;
         results are bit-identical to the serial path because each cell is
-        an isolated deterministic simulation.
+        an isolated deterministic simulation.  Worker crashes, hangs and
+        pool deaths degrade the sweep instead of aborting it — see
+        :class:`CellPolicy` and ``SuiteResult.failure_report``.
         """
         config = config or self.config
         names = list(prefetchers)
         if include_baseline and "none" not in names:
             names = ["none"] + names
 
-        suite = SuiteResult()
-        pending: List[Tuple[WorkloadSpec, str]] = []
+        sweep_start = perf_counter()
+        report = FailureReport()
+        suite = SuiteResult(failure_report=report)
+        served = {"memory": 0, "disk": 0}
+        pending: List[_Cell] = []
         for spec in workloads:
             for scheme in names:
                 cached = self._lookup(spec.name, scheme, config)
                 if cached is not None:
-                    suite.runs[(spec.name, scheme)] = cached
+                    result, source = cached
+                    served[source] += 1
+                    suite.runs[(spec.name, scheme)] = result
+                    self._log(
+                        event="cell",
+                        workload=spec.name,
+                        prefetcher=scheme,
+                        status="ok",
+                        source=source,
+                        attempts=0,
+                        wall_time=0.0,
+                        error=None,
+                    )
                 else:
-                    pending.append((spec, scheme))
+                    pending.append(_Cell(spec, scheme))
 
         if len(pending) > 1 and self.jobs > 1:
-            self._run_parallel(pending, config, suite)
+            self._run_parallel(pending, config, suite, report)
         else:
-            for spec, scheme in pending:
-                suite.runs[(spec.name, scheme)] = self.single(spec, scheme, config)
+            for cell in pending:
+                self._serial_cell(cell, config, suite, report, recovery=None)
+
+        self._log(
+            event="sweep",
+            cells=len(pending) + served["memory"] + served["disk"],
+            ok=len(suite.runs),
+            failed=len(report.unrecovered),
+            memory_hits=served["memory"],
+            disk_hits=served["disk"],
+            retries=report.retries,
+            timeouts=report.timeouts,
+            pool_breaks=report.pool_breaks,
+            salvaged=report.salvaged,
+            serial_fallbacks=report.serial_fallbacks,
+            wall_time=perf_counter() - sweep_start,
+        )
         return suite
+
+    # -- parallel execution with recovery ---------------------------------------
 
     def _run_parallel(
         self,
-        pending: Sequence[Tuple[WorkloadSpec, str]],
+        pending: Sequence[_Cell],
         config: SimConfig,
         suite: SuiteResult,
+        report: FailureReport,
     ) -> None:
-        shippable: List[Tuple[WorkloadSpec, str, Union[str, WorkloadSpec]]] = []
-        local: List[Tuple[WorkloadSpec, str]] = []
-        for spec, scheme in pending:
-            payload = _worker_payload(spec)
-            if payload is None:
-                local.append((spec, scheme))
+        shippable: List[_Cell] = []
+        local: List[_Cell] = []
+        for cell in pending:
+            cell.payload = _worker_payload(cell.spec)
+            if cell.payload is None:
+                local.append(cell)
             else:
-                shippable.append((spec, scheme, payload))
-
+                shippable.append(cell)
         if shippable:
-            workers = min(self.jobs, len(shippable))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    (spec, scheme, pool.submit(_simulate_cell, payload, scheme, config, self.seed))
-                    for spec, scheme, payload in shippable
-                ]
-                for spec, scheme, future in futures:
-                    result = future.result()
-                    self.simulated += 1
-                    suite.runs[(spec.name, scheme)] = self._record(
-                        spec.name, scheme, config, result
-                    )
-        for spec, scheme in local:
-            suite.runs[(spec.name, scheme)] = self.single(spec, scheme, config)
+            self._run_pool(shippable, config, suite, report)
+        for cell in local:
+            self._serial_cell(cell, config, suite, report, recovery=None)
+
+    def _run_pool(
+        self,
+        cells: List[_Cell],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+    ) -> None:
+        """Drive pool execution until every cell is resolved.
+
+        Each iteration of the outer loop owns one pool.  A healthy pool
+        drains its futures in submission order; a hung cell (timeout) or
+        a broken pool tears the pool down, salvages every completed
+        future and requeues the rest for the next pool.  Cells whose
+        retry budget is exhausted collect in ``fallback`` and run
+        serially at the end.
+        """
+        queue = list(cells)
+        fallback: List[_Cell] = []
+        while queue:
+            batch, queue = queue, []
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(batch)))
+            inflight: Dict[_Cell, Future] = {}
+            for cell in batch:
+                cell.started = perf_counter()
+                inflight[cell] = pool.submit(
+                    _simulate_cell, cell.payload, cell.scheme, config, self.seed
+                )
+            alive = True
+            try:
+                while inflight:
+                    cell = next(iter(inflight))
+                    future = inflight.pop(cell)
+                    try:
+                        result = future.result(timeout=self.policy.timeout)
+                    except FuturesTimeout:
+                        if future.done() and future.exception() is None:
+                            # Lost the race with completion: not a hang.
+                            self._complete_pool_cell(cell, future.result(), config, suite, report)
+                            continue
+                        self._attempt_failed(
+                            cell, "timeout", f"no result after {self.policy.timeout:g}s"
+                        )
+                        report.timeouts += 1
+                        self._exec.timeouts += 1
+                        self._dispose(cell, queue, fallback, report)
+                        self._abandon_pool(
+                            pool, inflight, config, suite, report, queue, fallback, blame=False
+                        )
+                        alive = False
+                        break
+                    except BrokenProcessPool as err:
+                        self._attempt_failed(
+                            cell, "pool-broken", str(err) or "process pool died"
+                        )
+                        report.pool_breaks += 1
+                        self._exec.pool_breaks += 1
+                        self._dispose(cell, queue, fallback, report)
+                        self._abandon_pool(
+                            pool, inflight, config, suite, report, queue, fallback, blame=True
+                        )
+                        alive = False
+                        break
+                    except CancelledError:
+                        queue.append(cell)
+                    except Exception as err:  # the worker raised: pool is healthy
+                        self._attempt_failed(cell, "crash", f"{type(err).__name__}: {err}")
+                        self._exec.crashes += 1
+                        self._dispose(cell, queue, fallback, report)
+                    else:
+                        self._complete_pool_cell(cell, result, config, suite, report)
+            finally:
+                if alive:
+                    pool.shutdown(wait=True)
+        for cell in fallback:
+            self._serial_cell(cell, config, suite, report, recovery="serial-fallback")
+
+    def _abandon_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: Dict[_Cell, Future],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+        queue: List[_Cell],
+        fallback: List[_Cell],
+        blame: bool,
+    ) -> None:
+        """Tear one pool down, salvaging every already-completed future.
+
+        Lost (unfinished) cells are requeued for the next pool.  After a
+        pool break the culprit is unknowable, so ``blame=True`` charges
+        every lost cell one attempt — a deterministic crasher therefore
+        exhausts its budget within ``retries + 1`` pool generations.  A
+        timeout kill (``blame=False``) requeues innocents for free.
+        """
+        lost: List[Tuple[_Cell, Future]] = []
+        for cell, future in inflight.items():
+            if future.done() and not future.cancelled() and future.exception() is None:
+                self._complete_pool_cell(
+                    cell, future.result(), config, suite, report, salvaged=True
+                )
+            else:
+                lost.append((cell, future))
+        inflight.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        pool.shutdown(wait=True)
+        for cell, _future in lost:
+            if blame:
+                self._attempt_failed(cell, "lost", "process pool died")
+                self._dispose(cell, queue, fallback, report)
+            else:
+                queue.append(cell)
+
+    def _attempt_failed(self, cell: _Cell, kind: str, error: str) -> None:
+        cell.attempts += 1
+        cell.errors.append(error)
+        self._log(
+            event="attempt",
+            workload=cell.spec.name,
+            prefetcher=cell.scheme,
+            kind=kind,
+            attempt=cell.attempts,
+            error=error,
+        )
+
+    def _dispose(
+        self,
+        cell: _Cell,
+        queue: List[_Cell],
+        fallback: List[_Cell],
+        report: FailureReport,
+    ) -> None:
+        """Route a just-failed cell: pool retry, serial fallback, or give up."""
+        if cell.attempts <= self.policy.retries:
+            report.retries += 1
+            self._exec.retries += 1
+            queue.append(cell)
+        elif self.policy.fallback_serial:
+            fallback.append(cell)
+        else:
+            self._resolve_unrecovered(cell, report)
+
+    def _resolve_unrecovered(self, cell: _Cell, report: FailureReport) -> None:
+        report.failures.append(
+            CellFailure(
+                workload=cell.spec.name,
+                prefetcher=cell.scheme,
+                attempts=cell.attempts,
+                error=cell.errors[-1] if cell.errors else "unknown",
+                recovered=False,
+            )
+        )
+        self._exec.unrecovered += 1
+        self._log(
+            event="cell",
+            workload=cell.spec.name,
+            prefetcher=cell.scheme,
+            status="failed",
+            source=None,
+            attempts=cell.attempts,
+            wall_time=None,
+            error=cell.errors[-1] if cell.errors else "unknown",
+        )
+
+    def _complete_pool_cell(
+        self,
+        cell: _Cell,
+        result: RunResult,
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+        salvaged: bool = False,
+    ) -> None:
+        elapsed = perf_counter() - cell.started
+        self._exec.simulated += 1
+        self._wall.add(elapsed)
+        suite.runs[cell.key] = self._record(cell.spec.name, cell.scheme, config, result)
+        if salvaged:
+            report.salvaged += 1
+            self._exec.salvaged += 1
+        if cell.errors:
+            report.failures.append(
+                CellFailure(
+                    workload=cell.spec.name,
+                    prefetcher=cell.scheme,
+                    attempts=cell.attempts,
+                    error=cell.errors[-1],
+                    recovered=True,
+                    recovery="pool-retry",
+                )
+            )
+        self._log(
+            event="cell",
+            workload=cell.spec.name,
+            prefetcher=cell.scheme,
+            status="ok",
+            source="simulated",
+            salvaged=salvaged,
+            attempts=cell.attempts + 1,
+            wall_time=elapsed,
+            error=cell.errors[-1] if cell.errors else None,
+        )
+
+    def _serial_cell(
+        self,
+        cell: _Cell,
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+        recovery: Optional[str],
+    ) -> None:
+        """Run one cell in-process; failures degrade instead of raising."""
+        start = perf_counter()
+        try:
+            result = run_single_core(cell.spec, cell.scheme, config, seed=self.seed)
+        except Exception as err:
+            self._attempt_failed(cell, "crash", f"{type(err).__name__}: {err}")
+            self._exec.crashes += 1
+            self._resolve_unrecovered(cell, report)
+            return
+        elapsed = perf_counter() - start
+        self._exec.simulated += 1
+        self._wall.add(elapsed)
+        suite.runs[cell.key] = self._record(cell.spec.name, cell.scheme, config, result)
+        if recovery == "serial-fallback":
+            report.serial_fallbacks += 1
+            self._exec.serial_fallbacks += 1
+        if cell.errors:
+            report.failures.append(
+                CellFailure(
+                    workload=cell.spec.name,
+                    prefetcher=cell.scheme,
+                    attempts=cell.attempts,
+                    error=cell.errors[-1],
+                    recovered=True,
+                    recovery=recovery,
+                )
+            )
+        self._log(
+            event="cell",
+            workload=cell.spec.name,
+            prefetcher=cell.scheme,
+            status="ok",
+            source=recovery or "simulated",
+            attempts=cell.attempts + 1,
+            wall_time=elapsed,
+            error=cell.errors[-1] if cell.errors else None,
+        )

@@ -65,6 +65,37 @@ class StatGroup:
 
 
 @dataclass
+class Accumulator(StatGroup):
+    """Streaming count/total/max aggregate with a derived mean.
+
+    For sample streams whose individual values matter less than their
+    volume and extremes (cell wall times, queue depths): ``add()``
+    maintains the running count, total and max, and snapshots include
+    the derived ``mean`` — so a mounted accumulator contributes
+    ``<name>.count``, ``<name>.total``, ``<name>.max`` and
+    ``<name>.mean`` to the flattened tree.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    derived = ("mean",)
+
+    def add(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+@dataclass
 class Histogram(StatGroup):
     """A string-keyed counter map usable standalone or inside a group."""
 

@@ -188,3 +188,48 @@ class TestRunner:
         )
         value = runner.mix_weighted_speedup(mix, "spp", cfg)
         assert value > 0
+
+
+class TestRunResultCoreViews:
+    """Regression: snapshot views must honour the run's core index."""
+
+    def _snapshot(self, core):
+        prefix = f"core{core}"
+        return {
+            f"{prefix}.l2.demand_accesses": 10,
+            f"{prefix}.l2.demand_misses": 4,
+            f"{prefix}.prefetcher.prefetch.issued": 3,
+            f"{prefix}.prefetcher.prefetch.useful": 2,
+            f"{prefix}.prefetcher.prefetch.candidates": 5,
+            f"{prefix}.prefetcher.ppf.reject_recoveries": 7,
+            f"{prefix}.prefetcher.filter.per_feature_updates.PC": 11,
+            f"{prefix}.prefetcher.filter.per_feature_updates.Delta": 13,
+            "llc.demand_misses": 2,
+            "dram.accesses": 6,
+        }
+
+    def test_from_snapshot_reads_the_requested_core(self):
+        from repro.sim.single_core import RunResult
+
+        snapshot = {**self._snapshot(1), **self._snapshot(0)}
+        # Make core 0's counters distinct so a core0 fallback would show.
+        snapshot["core0.prefetcher.ppf.reject_recoveries"] = 999
+        snapshot["core0.prefetcher.filter.per_feature_updates.PC"] = 999
+        result = RunResult.from_snapshot(
+            workload="w", prefetcher="ppf", instructions=100, cycles=50,
+            snapshot=snapshot, core=1,
+        )
+        assert result.core == 1
+        assert result.l2_misses == 4
+        assert result.reject_table_recoveries == 7
+        assert result.per_feature_training_updates == {"PC": 11, "Delta": 13}
+
+    def test_core_defaults_to_zero(self):
+        from repro.sim.single_core import RunResult
+
+        result = RunResult.from_snapshot(
+            workload="w", prefetcher="ppf", instructions=100, cycles=50,
+            snapshot=self._snapshot(0),
+        )
+        assert result.core == 0
+        assert result.reject_table_recoveries == 7

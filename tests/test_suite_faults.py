@@ -1,0 +1,348 @@
+"""Fault-tolerant sweep execution: crashes, hangs, dead pools, ledger.
+
+Every fault is injected through a workload whose trace builder
+misbehaves *only inside a worker process* (detected via
+``multiprocessing.parent_process()``), so the serial in-process run of
+the same spec is healthy — which is exactly what lets the recovery
+paths (pool retry, pool respawn, serial fallback) produce a complete
+``SuiteResult`` bit-identical to a fully serial sweep.
+
+The builders are module-level functions so the specs pickle by
+reference into pool workers.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.suite import CellPolicy, DegradedSweepError, SuiteRunner
+from repro.workloads.spec2017 import WorkloadSpec, workload_by_name
+
+TINY = SimConfig.quick(measure_records=1_200, warmup_records=300)
+_BASE = workload_by_name("619.lbm_s")
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _fault_dir() -> Path:
+    return Path(os.environ["REPRO_FAULT_DIR"])
+
+
+def _good_builder(n, seed):
+    return _BASE.builder(n, seed)
+
+
+def _crashy_builder(n, seed):
+    if _in_worker():
+        raise RuntimeError("injected worker crash")
+    return _BASE.builder(n, seed)
+
+
+def _doomed_builder(n, seed):
+    raise RuntimeError("injected unconditional crash")
+
+
+def _flaky_builder(n, seed):
+    """Crashes on the first worker attempt, succeeds afterwards."""
+    if _in_worker():
+        counter = _fault_dir() / "flaky-attempts"
+        attempts = int(counter.read_text()) if counter.exists() else 0
+        counter.write_text(str(attempts + 1))
+        if attempts < 1:
+            raise RuntimeError("injected flaky crash")
+    return _BASE.builder(n, seed)
+
+
+def _hangy_builder(n, seed):
+    if _in_worker():
+        time.sleep(60)
+    return _BASE.builder(n, seed)
+
+
+def _sentinel_builder(n, seed, sentinel):
+    yield from _BASE.builder(n, seed)
+    (_fault_dir() / sentinel).touch()
+
+
+def _good_a_builder(n, seed):
+    return _sentinel_builder(n, seed, "a.done")
+
+
+def _good_b_builder(n, seed):
+    return _sentinel_builder(n, seed, "b.done")
+
+
+def _pool_killer_builder(n, seed):
+    """Waits until both good cells finished, then kills its worker."""
+    if _in_worker():
+        deadline = time.time() + 20
+        while time.time() < deadline:
+            if (_fault_dir() / "a.done").exists() and (_fault_dir() / "b.done").exists():
+                break
+            time.sleep(0.05)
+        time.sleep(0.75)  # let the siblings' futures settle as done
+        os._exit(13)
+    return _BASE.builder(n, seed)
+
+
+def _spec(name, builder):
+    return WorkloadSpec(
+        name=name,
+        suite="fault-injection",
+        memory_intensive=True,
+        description=f"fault-injection probe {name}",
+        builder=builder,
+    )
+
+
+GOOD = _spec("fault-good", _good_builder)
+CRASHY = _spec("fault-crashy", _crashy_builder)
+DOOMED = _spec("fault-doomed", _doomed_builder)
+FLAKY = _spec("fault-flaky", _flaky_builder)
+HANGY = _spec("fault-hangy", _hangy_builder)
+GOOD_A = _spec("fault-good-a", _good_a_builder)
+GOOD_B = _spec("fault-good-b", _good_b_builder)
+POOL_KILLER = _spec("fault-pool-killer", _pool_killer_builder)
+
+
+def _serial_reference(specs):
+    return SuiteRunner(TINY, seed=2, jobs=1).sweep(specs, ["none"], include_baseline=False)
+
+
+@pytest.mark.timeout(120)
+class TestCrashingWorker:
+    def test_falls_back_to_serial_and_matches_serial_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=2,
+            policy=CellPolicy(retries=0),
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        result = runner.sweep([GOOD, CRASHY], ["none"], include_baseline=False)
+        report = result.failure_report
+
+        assert result.runs == _serial_reference([GOOD, CRASHY]).runs
+        assert report.complete
+        assert report.serial_fallbacks == 1
+        assert report.timeouts == 0
+        [failure] = report.failures
+        assert failure.workload == "fault-crashy"
+        assert failure.recovered and failure.recovery == "serial-fallback"
+        assert "injected worker crash" in failure.error
+        snapshot = runner.stats.snapshot()
+        assert snapshot["cells.serial_fallbacks"] == 1
+        assert snapshot["cells.crashes"] == 1
+        assert snapshot["cells.simulated"] == 2
+
+    def test_ledger_records_attempts_cells_and_sweep(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        ledger_path = tmp_path / "ledger.jsonl"
+        runner = SuiteRunner(
+            TINY, seed=2, jobs=2, policy=CellPolicy(retries=0), ledger_path=ledger_path
+        )
+        runner.sweep([GOOD, CRASHY], ["none"], include_baseline=False)
+
+        events = [json.loads(line) for line in ledger_path.read_text().splitlines()]
+        by_event = {}
+        for event in events:
+            by_event.setdefault(event["event"], []).append(event)
+
+        attempts = by_event["attempt"]
+        assert any(
+            e["workload"] == "fault-crashy" and e["kind"] == "crash" for e in attempts
+        )
+        cells = by_event["cell"]
+        assert all(e["status"] == "ok" for e in cells)
+        crashy_cell = next(e for e in cells if e["workload"] == "fault-crashy")
+        assert crashy_cell["source"] == "serial-fallback"
+        assert crashy_cell["attempts"] == 2  # 1 failed pool attempt + 1 serial
+        good_cell = next(e for e in cells if e["workload"] == "fault-good")
+        assert good_cell["source"] == "simulated"
+        assert good_cell["wall_time"] > 0
+        [sweep_event] = by_event["sweep"]
+        assert sweep_event["failed"] == 0
+        assert sweep_event["serial_fallbacks"] == 1
+
+    def test_retry_budget_recovers_flaky_cell_in_pool(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(TINY, seed=2, jobs=2, policy=CellPolicy(retries=1))
+        result = runner.sweep([GOOD, FLAKY], ["none"], include_baseline=False)
+        report = result.failure_report
+
+        assert result.runs == _serial_reference([GOOD, FLAKY]).runs
+        assert report.complete
+        assert report.retries == 1
+        assert report.serial_fallbacks == 0
+        [failure] = report.failures
+        assert failure.recovered and failure.recovery == "pool-retry"
+
+
+@pytest.mark.timeout(120)
+class TestHangingWorker:
+    def test_timeout_kills_worker_and_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(
+            TINY, seed=2, jobs=2, policy=CellPolicy(timeout=5.0, retries=0)
+        )
+        start = time.perf_counter()
+        result = runner.sweep([GOOD, HANGY], ["none"], include_baseline=False)
+        elapsed = time.perf_counter() - start
+        report = result.failure_report
+
+        assert elapsed < 45  # nowhere near the injected 60s sleep
+        assert result.runs == _serial_reference([GOOD, HANGY]).runs
+        assert report.complete
+        assert report.timeouts == 1
+        assert report.serial_fallbacks == 1
+        [failure] = report.failures
+        assert failure.workload == "fault-hangy"
+        assert failure.recovery == "serial-fallback"
+        assert "no result after" in failure.error
+
+
+@pytest.mark.timeout(120)
+class TestKilledPool:
+    def test_salvages_completed_cells_and_resubmits_lost_ones(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        specs = [POOL_KILLER, GOOD_A, GOOD_B]
+        runner = SuiteRunner(TINY, seed=2, jobs=2, policy=CellPolicy(retries=0))
+        result = runner.sweep(specs, ["none"], include_baseline=False)
+        report = result.failure_report
+
+        assert result.runs == _serial_reference(specs).runs
+        assert report.complete
+        assert report.pool_breaks == 1
+        # The two good cells completed before the pool died and were
+        # salvaged — nothing was re-simulated besides the killer's
+        # serial fallback run.
+        assert report.salvaged == 2
+        assert runner.simulated == 3
+        [failure] = report.failures
+        assert failure.workload == "fault-pool-killer"
+        assert failure.recovery == "serial-fallback"
+
+
+@pytest.mark.timeout(120)
+class TestUnrecoveredCells:
+    def test_degraded_sweep_reports_and_skips_lost_cell(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(TINY, seed=2, jobs=2, policy=CellPolicy(retries=0))
+        result = runner.sweep([GOOD, DOOMED], ["none"], include_baseline=False)
+        report = result.failure_report
+
+        assert ("fault-good", "none") in result.runs
+        assert ("fault-doomed", "none") not in result.runs
+        assert not report.complete
+        [failure] = report.unrecovered
+        assert failure.workload == "fault-doomed"
+        assert failure.attempts == 2  # pool attempt + failed serial fallback
+        with pytest.raises(DegradedSweepError) as excinfo:
+            result.require_complete()
+        assert "fault-doomed" in str(excinfo.value)
+        with pytest.raises(KeyError) as keyinfo:
+            result.run_for("fault-doomed", "none")
+        assert "degraded" in str(keyinfo.value)
+
+    def test_no_fallback_policy_gives_up_after_retries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=2,
+            policy=CellPolicy(retries=0, fallback_serial=False),
+        )
+        result = runner.sweep([GOOD, CRASHY], ["none"], include_baseline=False)
+        report = result.failure_report
+
+        assert ("fault-crashy", "none") not in result.runs
+        [failure] = report.unrecovered
+        assert failure.attempts == 1
+        assert report.serial_fallbacks == 0
+
+    def test_serial_sweep_degrades_instead_of_raising(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(TINY, seed=2, jobs=1)
+        result = runner.sweep([GOOD, DOOMED], ["none"], include_baseline=False)
+
+        assert ("fault-good", "none") in result.runs
+        [failure] = result.failure_report.unrecovered
+        assert failure.workload == "fault-doomed"
+
+
+class TestCellPolicyValidation:
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            CellPolicy(timeout=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            CellPolicy(retries=-1)
+
+
+@pytest.mark.timeout(120)
+class TestCLIFaultSurface:
+    def test_sweep_flags_and_ledger(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        ledger = tmp_path / "cli-ledger.jsonl"
+        rc = main(
+            [
+                "sweep",
+                "--workloads",
+                "641.leela_s",
+                "--prefetchers",
+                "spp",
+                "--records",
+                "1500",
+                "--jobs",
+                "1",
+                "--timeout",
+                "120",
+                "--retries",
+                "2",
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        assert rc == 0
+        assert "geomean" in capsys.readouterr().out
+        events = [json.loads(line) for line in ledger.read_text().splitlines()]
+        assert any(e["event"] == "sweep" and e["failed"] == 0 for e in events)
+
+    def test_sweep_exits_nonzero_on_unrecovered_cells(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.__main__ as cli
+
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        monkeypatch.setattr(cli, "find_workload", lambda name: DOOMED)
+        rc = cli.main(
+            [
+                "sweep",
+                "--workloads",
+                "fault-doomed",
+                "--prefetchers",
+                "spp",
+                "--records",
+                "1500",
+                "--jobs",
+                "2",
+                "--retries",
+                "0",
+            ]
+        )
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "unrecovered cell" in captured.err
+        assert "fault-doomed" in captured.err

@@ -182,3 +182,103 @@ class TestSuiteRunner:
         runner.single(workloads[0], "spp")
         assert runner._suite.simulated == 2
         assert runner._suite.memory_hits == 1
+
+
+def _stub_result(workload, prefetcher, cycles=100, l2_misses=10, llc_misses=5):
+    from repro.sim.single_core import RunResult
+
+    return RunResult(
+        workload=workload,
+        prefetcher=prefetcher,
+        instructions=1_000,
+        cycles=cycles,
+        l2_demand_accesses=100,
+        l2_misses=l2_misses,
+        llc_misses=llc_misses,
+        prefetches_issued=0,
+        prefetches_useful=0,
+        prefetch_candidates=0,
+        dram_accesses=0,
+    )
+
+
+class TestResultsLayerBaselines:
+    """Regression: missing baselines must not leak bare KeyErrors."""
+
+    def _suite(self, cells):
+        from repro.sim.suite import SuiteResult
+
+        return SuiteResult(runs={key: _stub_result(*key, **kw) for key, kw in cells.items()})
+
+    def test_speedups_raises_clear_error_without_baseline(self):
+        suite = self._suite({("w1", "spp"): {}, ("w2", "spp"): {}})
+        with pytest.raises(ValueError) as excinfo:
+            suite.speedups("spp")
+        assert "'none'" in str(excinfo.value)
+        assert "w1" in str(excinfo.value)
+
+    def test_geomean_speedup_raises_clear_error_without_baseline(self):
+        suite = self._suite({("w1", "spp"): {}})
+        with pytest.raises(ValueError):
+            suite.geomean_speedup("spp")
+
+    def test_speedups_skips_workloads_missing_baseline(self):
+        suite = self._suite(
+            {
+                ("w1", "spp"): {"cycles": 50},
+                ("w1", "none"): {"cycles": 100},
+                ("w2", "spp"): {},  # degraded sweep: w2's baseline lost
+            }
+        )
+        assert suite.speedups("spp") == {"w1": pytest.approx(2.0)}
+
+    def test_speedups_against_alternate_baseline(self):
+        suite = self._suite(
+            {("w1", "ppf"): {"cycles": 50}, ("w1", "spp"): {"cycles": 75}}
+        )
+        assert suite.speedups("ppf", baseline="spp") == {"w1": pytest.approx(1.5)}
+
+    def test_coverage_accepts_baseline_parameter(self):
+        suite = self._suite(
+            {
+                ("w1", "ppf"): {"l2_misses": 20},
+                ("w1", "spp"): {"l2_misses": 80},
+            }
+        )
+        assert suite.coverage("ppf", "l2", baseline="spp") == pytest.approx(0.75)
+
+    def test_coverage_raises_clear_error_without_baseline(self):
+        suite = self._suite({("w1", "spp"): {}})
+        with pytest.raises(ValueError) as excinfo:
+            suite.coverage("spp")
+        assert "baseline" in str(excinfo.value)
+
+    def test_coverage_still_rejects_unknown_level(self):
+        suite = self._suite({("w1", "spp"): {}, ("w1", "none"): {}})
+        with pytest.raises(ValueError):
+            suite.coverage("spp", "l4")
+
+
+class TestDiskCacheAtomicity:
+    """Regression: concurrent writers must never share a staging file."""
+
+    def test_tmp_names_are_unique_per_call(self, tmp_path):
+        from repro.sim.suite import _unique_tmp
+
+        target = tmp_path / "entry.json"
+        first, second = _unique_tmp(target), _unique_tmp(target)
+        assert first != second
+        assert str(os.getpid()) in first.name
+        assert first.suffix == ".tmp" and second.suffix == ".tmp"
+        assert first.parent == target.parent
+
+    def test_store_publishes_entry_and_leaves_no_staging_files(self, tmp_path):
+        wl = workload_by_name("619.lbm_s")
+        runner = SuiteRunner(TINY, seed=2, cache_dir=tmp_path, jobs=1)
+        result = runner.single(wl, "spp")
+        runner._disk_store(wl.name, "spp", TINY, result)  # overwrite in place
+        assert list(tmp_path.glob("*.tmp")) == []
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        reloaded = runner._disk_load(wl.name, "spp", TINY)
+        assert reloaded == result
