@@ -3,11 +3,15 @@
 Subcommands:
 
 * ``experiments``            — list the registered paper experiments
-* ``run <id> [--records N]`` — regenerate one table/figure
+* ``run <id> [--records N] [--profile PATH]`` — regenerate one
+  table/figure (optionally under cProfile, dumping pstats)
+* ``bench``                  — run the performance microbenchmark suite
+  and write the schema-versioned ``BENCH_sim.json`` report
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
 * ``sweep [--jobs N] [--cache-dir D] [--timeout S] [--retries N]
-  [--ledger PATH]`` — parallel, cached, fault-tolerant suite sweep
-  (exits non-zero when cells stay unrecovered after retry + fallback)
+  [--ledger PATH] [--profile PATH]`` — parallel, cached, fault-tolerant
+  suite sweep (exits non-zero when cells stay unrecovered after retry +
+  fallback)
 * ``workloads``              — list the modelled benchmark suites
 
 Component choices (prefetchers, workloads, suites) come from the
@@ -18,6 +22,8 @@ available to ``bench``/``sweep`` without touching this module.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 
 from . import registry
@@ -36,15 +42,46 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled(profile_path: str | None, work):
+    """Run ``work()``, optionally under cProfile dumping pstats.
+
+    Returns whatever ``work`` returns.  The profile is written even when
+    ``work`` raises, so hung-then-interrupted sweeps still leave data.
+    """
+    if not profile_path:
+        return work()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        outcome = work()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(f"profile written to {profile_path}", file=sys.stderr)
+    return outcome
+
+
+def _profiled_sweep(args: argparse.Namespace, runner, workloads):
+    return _profiled(args.profile, lambda: runner.sweep(workloads, args.prefetchers))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
-    print(run_experiment(args.id, config))
-    return 0
+
+    def work() -> int:
+        print(run_experiment(args.id, config))
+        return 0
+
+    return _profiled(args.profile, work)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.workload is None:
+        return _cmd_bench_suite(args)
     try:
         workload = find_workload(args.workload)
     except UnknownComponentError as err:
@@ -60,6 +97,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"ipc={result.ipc:.3f} speedup={result.ipc / baseline.ipc:.3f} "
         f"accuracy={result.accuracy:.2f} l2mpki={result.l2_mpki:.2f}"
     )
+    return 0
+
+
+def _cmd_bench_suite(args: argparse.Namespace) -> int:
+    from .bench import (
+        build_report,
+        format_report,
+        load_baseline,
+        run_benchmarks,
+        write_report,
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    scale = 0.1 if args.smoke else 1.0
+    repeats = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
+    try:
+        results = run_benchmarks(names=args.only, scale=scale, repeats=repeats)
+    except ValueError as err:
+        print(f"repro bench: error: {err}", file=sys.stderr)
+        return 2
+    baseline = None if args.rebaseline else load_baseline(args.baseline)
+    report = build_report(results, mode=mode, scale=scale, baseline=baseline)
+    if args.rebaseline:
+        from .bench.report import default_baseline_path
+
+        path = write_report(report, default_baseline_path())
+        print(f"baseline written to {path}")
+    else:
+        path = write_report(report, args.output)
+        print(format_report(report))
+        print(f"report written to {path}")
     return 0
 
 
@@ -83,7 +151,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (UnknownComponentError, ValueError) as err:
         print(f"repro sweep: error: {err}", file=sys.stderr)
         return 2
-    result = runner.sweep(workloads, args.prefetchers)
+    result = _profiled_sweep(args, runner, workloads)
     report = result.failure_report
     for scheme in args.prefetchers:
         print(f"{scheme}:")
@@ -156,11 +224,46 @@ def main(argv: list | None = None) -> int:
     run_parser = sub.add_parser("run", help="regenerate one table/figure")
     run_parser.add_argument("id", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--records", type=int, default=20_000)
+    run_parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run under cProfile and dump pstats to PATH",
+    )
 
-    bench_parser = sub.add_parser("bench", help="one quick workload run")
-    bench_parser.add_argument("workload")
+    bench_parser = sub.add_parser(
+        "bench",
+        help="performance microbenchmarks (or one quick workload run)",
+    )
+    bench_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload name for a quick simulation run; omit to run the "
+        "microbenchmark suite and write BENCH_sim.json",
+    )
     bench_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
     bench_parser.add_argument("--records", type=int, default=20_000)
+    bench_parser.add_argument(
+        "--smoke", action="store_true", help="reduced op counts (CI smoke job)"
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=None, help="repeats per benchmark (best kept)"
+    )
+    bench_parser.add_argument(
+        "--only", nargs="+", metavar="NAME", default=None, help="benchmark subset"
+    )
+    bench_parser.add_argument(
+        "--output", default=None, metavar="PATH", help="report path (default BENCH_sim.json)"
+    )
+    bench_parser.add_argument(
+        "--baseline", default=None, metavar="PATH", help="baseline report to compare against"
+    )
+    bench_parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="record this run as benchmarks/baseline_pre_pr.json instead",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep", help="parallel, cached (workload × prefetcher) sweep"
@@ -199,6 +302,12 @@ def main(argv: list | None = None) -> int:
         default=None,
         metavar="PATH",
         help="append a JSONL run ledger (per-cell status/attempts/provenance)",
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the sweep (parent process) and dump pstats to PATH",
     )
 
     sub.add_parser("workloads", help="list modelled workloads")

@@ -1,0 +1,43 @@
+"""Performance microbenchmarks for the simulator hot path.
+
+The sweeps behind every figure push thousands of per-access events
+through ``O3Core.step -> MemoryHierarchy.access -> Cache -> SPP ->
+PerceptronFilter``, so simulator throughput directly bounds how much of
+the paper's config space a PR can explore.  This package measures that
+throughput per layer and records the trajectory in a schema-versioned
+``BENCH_sim.json`` (see :mod:`repro.bench.report` for the schema and
+``docs/performance.md`` for the hot-path invariants the numbers guard).
+
+* :mod:`repro.bench.micro` — the benchmark definitions: synthetic trace
+  generation, cache lookup/fill, SPP training, perceptron inference and
+  training, and full single-core runs.
+* :mod:`repro.bench.report` — result schema, baseline comparison and the
+  ``BENCH_sim.json`` writer.
+
+Run ``python -m repro bench`` for the full suite or ``--smoke`` for the
+reduced CI variant.
+"""
+
+from .micro import BENCHMARKS, BenchResult, run_benchmarks
+from .report import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    default_baseline_path,
+    format_report,
+    load_baseline,
+    write_report,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "run_benchmarks",
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "build_report",
+    "default_baseline_path",
+    "format_report",
+    "load_baseline",
+    "write_report",
+]

@@ -1,0 +1,300 @@
+"""Microbenchmark definitions, one per hot-path layer.
+
+Every benchmark precomputes its inputs *outside* the timed region, runs
+a fixed deterministic operation count, and reports wall time over that
+count.  Fixed counts (rather than adaptive iteration) keep the measured
+work identical across code versions, so ``BENCH_sim.json`` ratios are
+meaningful; ``scale`` shrinks the counts uniformly for the CI smoke job.
+
+The operation each layer counts:
+
+* ``trace_gen``            — synthetic trace records produced (streaming)
+* ``trace_gen_batch``      — records produced by the numpy batch generator
+* ``cache_lookup_fill``    — cache demand lookups (misses also fill)
+* ``spp_train``            — SPP training events (L2 demand accesses)
+* ``filter_inference``     — perceptron inferences
+* ``filter_training``      — perceptron training updates
+* ``end_to_end_single_core`` — trace records through a full PPF run
+* ``end_to_end_no_prefetch`` — trace records through a no-prefetch run
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: name -> (builder, full-scale op count).  The builder receives the op
+#: count and returns a zero-argument callable that performs the timed
+#: work; input setup happens inside the builder, outside the timing.
+BENCHMARKS: Dict[str, Tuple[Callable[[int], Callable[[], int]], int]] = {}
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurement."""
+
+    name: str
+    ops: int
+    best_wall_s: float
+    mean_wall_s: float
+    repeats: int
+
+    @property
+    def ops_per_sec(self) -> float:
+        if self.best_wall_s <= 0.0:
+            return 0.0
+        return self.ops / self.best_wall_s
+
+    @property
+    def ns_per_op(self) -> float:
+        if self.ops == 0:
+            return 0.0
+        return 1e9 * self.best_wall_s / self.ops
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "ops": self.ops,
+            "best_wall_s": self.best_wall_s,
+            "mean_wall_s": self.mean_wall_s,
+            "repeats": self.repeats,
+            "ops_per_sec": self.ops_per_sec,
+            "ns_per_op": self.ns_per_op,
+        }
+
+
+def _benchmark(name: str, ops: int):
+    def decorate(builder: Callable[[int], Callable[[], int]]):
+        BENCHMARKS[name] = (builder, ops)
+        return builder
+
+    return decorate
+
+
+# -- layer 0: trace generation --------------------------------------------------
+
+
+@_benchmark("trace_gen", ops=150_000)
+def _bench_trace_gen(ops: int) -> Callable[[], int]:
+    from ..workloads.spec2017 import workload_by_name
+
+    workload = workload_by_name("605.mcf_s")
+
+    def run() -> int:
+        count = 0
+        for _ in workload.trace(ops, seed=1):
+            count += 1
+        return count
+
+    return run
+
+
+@_benchmark("trace_gen_batch", ops=150_000)
+def _bench_trace_gen_batch(ops: int) -> Callable[[], int]:
+    from ..workloads.batch import batch_trace
+
+    def run() -> int:
+        count = 0
+        for _ in batch_trace("605.mcf_s", ops, seed=1):
+            count += 1
+        return count
+
+    return run
+
+
+# -- layer 1: cache -------------------------------------------------------------
+
+
+@_benchmark("cache_lookup_fill", ops=200_000)
+def _bench_cache(ops: int) -> Callable[[], int]:
+    from ..memory.cache import Cache
+
+    rng = random.Random(7)
+    addrs: List[int] = []
+    base = 0
+    for i in range(ops):
+        if i % 4 == 3:  # every fourth access is a far jump (mostly misses)
+            addrs.append(rng.randrange(1 << 22) << 6)
+        else:  # strided stream with heavy reuse (mostly hits)
+            base = (base + 64) % (1 << 18)
+            addrs.append(base)
+
+    def run() -> int:
+        cache = Cache("bench-l2", 512 * 1024, 8, latency=10)
+        lookup = cache.lookup
+        fill = cache.fill
+        for addr in addrs:
+            if lookup(addr) is None:
+                fill(addr, is_prefetch=False, cycle=0)
+        return len(addrs)
+
+    return run
+
+
+# -- layer 2: SPP ---------------------------------------------------------------
+
+
+@_benchmark("spp_train", ops=60_000)
+def _bench_spp(ops: int) -> Callable[[], int]:
+    from ..prefetchers.spp import SPP, SPPConfig
+    from ..workloads.spec2017 import workload_by_name
+
+    stream = [
+        (rec.pc, rec.addr)
+        for rec in workload_by_name("623.xalancbmk_s").trace(ops, seed=2)
+    ]
+
+    def run() -> int:
+        spp = SPP(SPPConfig.aggressive())
+        train = spp.train
+        cycle = 0
+        for pc, addr in stream:
+            train(addr, pc, False, cycle)
+            cycle += 10
+        return len(stream)
+
+    return run
+
+
+# -- layer 3: perceptron filter -------------------------------------------------
+
+
+def _synthetic_contexts(count: int, seed: int = 3):
+    from ..core.features import FeatureContext
+
+    rng = random.Random(seed)
+    contexts = []
+    for _ in range(count):
+        trigger = rng.randrange(1 << 30) & ~0x3F
+        delta = rng.randrange(-32, 33) or 1
+        contexts.append(
+            FeatureContext(
+                candidate_addr=(trigger + delta * 64) & ~0x3F,
+                trigger_addr=trigger,
+                pc=0x400000 + rng.randrange(64) * 4,
+                pcs=(
+                    0x400000 + rng.randrange(64) * 4,
+                    0x400000 + rng.randrange(64) * 4,
+                    0x400000 + rng.randrange(64) * 4,
+                ),
+                delta=delta,
+                depth=rng.randrange(1, 12),
+                signature=rng.randrange(1 << 12),
+                last_signature=rng.randrange(1 << 12),
+                confidence=rng.randrange(101),
+            )
+        )
+    return contexts
+
+
+@_benchmark("filter_inference", ops=150_000)
+def _bench_filter_inference(ops: int) -> Callable[[], int]:
+    from ..core.filter import PerceptronFilter
+
+    contexts = _synthetic_contexts(4_096)
+    n_ctx = len(contexts)
+
+    def run() -> int:
+        filt = PerceptronFilter()
+        infer = filt.infer
+        for i in range(ops):
+            infer(contexts[i % n_ctx])
+        return ops
+
+    return run
+
+
+@_benchmark("filter_training", ops=100_000)
+def _bench_filter_training(ops: int) -> Callable[[], int]:
+    from ..core.filter import PerceptronFilter
+
+    contexts = _synthetic_contexts(4_096)
+    setup = PerceptronFilter()
+    index_sets = [setup.feature_indices(ctx) for ctx in contexts]
+    n_idx = len(index_sets)
+
+    def run() -> int:
+        filt = PerceptronFilter()
+        train = filt.train
+        for i in range(ops):
+            train(index_sets[i % n_idx], positive=(i & 3) != 0)
+        return ops
+
+    return run
+
+
+# -- layer 4: full single-core runs ---------------------------------------------
+
+
+def _end_to_end(prefetcher: str, ops: int) -> Callable[[], int]:
+    from ..sim.config import SimConfig
+    from ..sim.single_core import run_single_core
+    from ..workloads.spec2017 import workload_by_name
+
+    warmup = ops // 5
+    config = SimConfig.quick(measure_records=ops - warmup, warmup_records=warmup)
+    workload = workload_by_name("623.xalancbmk_s")
+
+    def run() -> int:
+        run_single_core(workload, prefetcher, config, seed=1)
+        return ops
+
+    return run
+
+
+@_benchmark("end_to_end_single_core", ops=10_000)
+def _bench_end_to_end_ppf(ops: int) -> Callable[[], int]:
+    return _end_to_end("ppf", ops)
+
+
+@_benchmark("end_to_end_no_prefetch", ops=10_000)
+def _bench_end_to_end_none(ops: int) -> Callable[[], int]:
+    return _end_to_end("none", ops)
+
+
+# -- driver ---------------------------------------------------------------------
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    repeats: int = 3,
+    timer: Callable[[], float] = time.perf_counter,
+) -> List[BenchResult]:
+    """Run the selected benchmarks and return their measurements.
+
+    ``scale`` shrinks every operation count (the smoke mode); ``repeats``
+    re-runs each benchmark and keeps the best wall time (the least
+    noise-disturbed run) alongside the mean.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    selected = list(BENCHMARKS) if names is None else list(names)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; available: {sorted(BENCHMARKS)}"
+        )
+    results = []
+    for name in selected:
+        builder, full_ops = BENCHMARKS[name]
+        ops = max(1_000, int(full_ops * scale))
+        run = builder(ops)
+        walls = []
+        for _ in range(repeats):
+            start = timer()
+            run()
+            walls.append(timer() - start)
+        results.append(
+            BenchResult(
+                name=name,
+                ops=ops,
+                best_wall_s=min(walls),
+                mean_wall_s=sum(walls) / len(walls),
+                repeats=repeats,
+            )
+        )
+    return results

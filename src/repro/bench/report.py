@@ -1,0 +1,137 @@
+"""``BENCH_sim.json`` schema, baseline comparison and writer.
+
+The report is schema-versioned so downstream tooling (the CI artifact
+trail, future regression gates) can evolve without guessing::
+
+    {
+      "schema": "repro.bench/v1",
+      "schema_version": 1,
+      "created_unix": 1700000000.0,
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "mode": "full" | "smoke",
+      "scale": 1.0,
+      "results": {
+        "<benchmark>": {
+          "ops": 10000,            # operations performed
+          "best_wall_s": 0.42,     # fastest repeat (wall time per layer)
+          "mean_wall_s": 0.44,
+          "repeats": 3,
+          "ops_per_sec": 23809.5,  # ops / best_wall_s
+          "ns_per_op": 42000.0     # per-access ns
+        }, ...
+      },
+      "baseline": {                # or null when no baseline is found
+        "source": "benchmarks/baseline_pre_pr.json",
+        "results": { same shape as "results" }
+      },
+      "speedup_vs_baseline": {     # current / baseline ops_per_sec
+        "<benchmark>": 1.63, ...
+      }
+    }
+
+The committed ``benchmarks/baseline_pre_pr.json`` pins the throughput of
+the tree *before* the hot-path optimization PR, measured with this very
+harness; every later ``python -m repro bench`` reports its speedup
+against that floor.  Baselines are machine-dependent — regenerate with
+``python -m repro bench --rebaseline`` when moving to new hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from .micro import BenchResult
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA = f"repro.bench/v{BENCH_SCHEMA_VERSION}"
+
+#: Default report location: the current working directory, which for
+#: ``python -m repro bench`` invocations is the repo root.
+DEFAULT_REPORT_NAME = "BENCH_sim.json"
+
+
+def default_baseline_path() -> Path:
+    """The committed pre-PR baseline, resolved relative to the repo.
+
+    Falls back to the working directory when the package is installed
+    outside a source checkout (the baseline is then simply absent).
+    """
+    in_tree = Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_pre_pr.json"
+    if in_tree.is_file():
+        return in_tree
+    return Path("benchmarks") / "baseline_pre_pr.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """Load a baseline report; None when missing or unreadable."""
+    path = Path(path) if path is not None else default_baseline_path()
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "results" not in data:
+        return None
+    return {"source": str(path), "results": data["results"]}
+
+
+def build_report(
+    results: Sequence[BenchResult],
+    mode: str = "full",
+    scale: float = 1.0,
+    baseline: Optional[Mapping] = None,
+) -> Dict:
+    """Assemble the schema-versioned report dictionary."""
+    result_map = {result.name: result.to_dict() for result in results}
+    speedups: Dict[str, float] = {}
+    if baseline:
+        for name, current in result_map.items():
+            recorded = baseline["results"].get(name)
+            if recorded and recorded.get("ops_per_sec"):
+                speedups[name] = current["ops_per_sec"] / recorded["ops_per_sec"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[1:],
+        "mode": mode,
+        "scale": scale,
+        "results": result_map,
+        "baseline": dict(baseline) if baseline else None,
+        "speedup_vs_baseline": speedups,
+    }
+
+
+def write_report(report: Mapping, path: Optional[Path] = None) -> Path:
+    """Write the report as JSON; returns the path written."""
+    path = Path(path) if path is not None else Path(DEFAULT_REPORT_NAME)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_report(report: Mapping) -> str:
+    """Human-readable table for the CLI."""
+    lines = [f"{'benchmark':26s} {'ops':>9s} {'wall_s':>8s} {'ops/sec':>12s} {'ns/op':>10s} {'vs base':>8s}"]
+    speedups = report.get("speedup_vs_baseline", {})
+    for name, r in report["results"].items():
+        versus = f"{speedups[name]:.2f}x" if name in speedups else "-"
+        lines.append(
+            f"{name:26s} {r['ops']:9d} {r['best_wall_s']:8.3f} "
+            f"{r['ops_per_sec']:12,.0f} {r['ns_per_op']:10,.0f} {versus:>8s}"
+        )
+    baseline = report.get("baseline")
+    if baseline:
+        lines.append(f"baseline: {baseline['source']}")
+    else:
+        lines.append("baseline: none found (speedups omitted)")
+    return "\n".join(lines)

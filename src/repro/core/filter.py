@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..stats import StatGroup
 from .features import Feature, FeatureContext, production_features
-from .weights import WeightTable
+from .weights import WEIGHT_MAX, WEIGHT_MIN, WeightTable
 
 
 class Decision(Enum):
@@ -36,6 +36,57 @@ class Decision(Enum):
     @property
     def accepted(self) -> bool:
         return self is not Decision.REJECT
+
+
+#: Integer spellings of the three decisions for the inference fast path
+#: (:meth:`PerceptronFilter.decide`): enum identity checks and property
+#: lookups are measurable at millions of inferences per run.  Accepted
+#: codes are truthy; ``DECISION_BY_CODE[code]`` recovers the enum.
+REJECT_CODE = 0
+PREFETCH_LLC_CODE = 1
+PREFETCH_L2_CODE = 2
+DECISION_BY_CODE = (Decision.REJECT, Decision.PREFETCH_LLC, Decision.PREFETCH_L2)
+
+
+def _production_indices(ctx) -> Tuple[int, ...]:
+    """All nine production feature indices in one call.
+
+    Hand-fused version of the generic per-feature extract/mask walk,
+    used only when the filter's feature set *is* the production catalog
+    (same extractors, same table sizes — see ``_PRODUCTION_LANES``).
+    Must stay index-for-index identical with
+    :func:`repro.core.features.production_features`;
+    ``tests/test_filter.py`` cross-checks the two paths.
+    """
+    cand = ctx.candidate_addr
+    pc = ctx.pc
+    pc1, pc2, pc3 = ctx.pcs
+    delta = ctx.delta
+    confidence = ctx.confidence
+    # encode_delta, inlined: sign bit 6, magnitude saturating at 63.
+    magnitude = delta if delta >= 0 else -delta
+    if magnitude > 63:
+        magnitude = 63
+    encoded = (64 | magnitude) if delta < 0 else magnitude
+    return (
+        (cand >> 6) & 4095,  # phys_address
+        (cand >> 12) & 4095,  # cache_line
+        (cand >> 18) & 4095,  # page_address
+        ((ctx.trigger_addr >> 12) ^ confidence) & 4095,  # page_xor_confidence
+        (pc1 ^ (pc2 >> 1) ^ (pc3 >> 2)) & 2047,  # pc_path_hash
+        (ctx.signature ^ encoded) & 2047,  # signature_xor_delta
+        (pc ^ ctx.depth) & 1023,  # pc_xor_depth
+        (pc ^ encoded) & 1023,  # pc_xor_delta
+        confidence & 127,  # confidence
+    )
+
+
+#: (extract, entries) per production feature — the fused path engages
+#: only on an exact match, so renamed/rescaled variants fall back to
+#: the generic walk.
+_PRODUCTION_LANES = tuple(
+    (feature.extract, feature.table_entries) for feature in production_features()
+)
 
 
 @dataclass
@@ -112,31 +163,71 @@ class PerceptronFilter:
             WeightTable(feature.table_entries) for feature in self.features
         ]
         self.stats = FilterStats()
+        # Hot-path caches.  The weight lists are direct references into
+        # the tables (WeightTable.reset()/load() mutate in place, so
+        # they never go stale); the lane tuples drop the per-candidate
+        # Feature.index() method dispatch.
+        self._lanes: List[Tuple] = [
+            (feature.extract, feature.table_entries - 1) for feature in self.features
+        ]
+        self._feature_names: List[str] = [feature.name for feature in self.features]
+        self._weight_lists: List[List[int]] = [table._weights for table in self.tables]
+        self._fused_indices = (
+            _production_indices
+            if tuple(
+                (feature.extract, feature.table_entries) for feature in self.features
+            )
+            == _PRODUCTION_LANES
+            else None
+        )
 
     # -- inference ---------------------------------------------------------------
 
     def feature_indices(self, ctx: FeatureContext) -> Tuple[int, ...]:
         """Compute each feature's table index for one candidate."""
-        return tuple(feature.index(ctx) for feature in self.features)
+        fused = self._fused_indices
+        if fused is not None:
+            return fused(ctx)
+        return tuple(extract(ctx) & mask for extract, mask in self._lanes)
 
     def weight_sum(self, indices: Sequence[int]) -> int:
         """The perceptron sum for previously computed indices."""
-        return sum(table.read(index) for table, index in zip(self.tables, indices))
+        total = 0
+        for weights, index in zip(self._weight_lists, indices):
+            total += weights[index]
+        return total
+
+    def decide(self, ctx: FeatureContext) -> Tuple[int, int, Tuple[int, ...]]:
+        """Decide one candidate; returns (decision code, sum, indices).
+
+        The integer-code twin of :meth:`infer` — PPF's per-candidate
+        loop calls this to skip the enum wrapping; ``DECISION_BY_CODE``
+        maps the code back when the enum is wanted.
+        """
+        fused = self._fused_indices
+        if fused is not None:
+            indices = fused(ctx)
+        else:
+            indices = tuple(extract(ctx) & mask for extract, mask in self._lanes)
+        total = 0
+        for weights, index in zip(self._weight_lists, indices):
+            total += weights[index]
+        cfg = self.config
+        stats = self.stats
+        stats.inferences += 1
+        if total >= cfg.tau_hi:
+            stats.accepted_l2 += 1
+            return PREFETCH_L2_CODE, total, indices
+        if total >= cfg.tau_lo:
+            stats.accepted_llc += 1
+            return PREFETCH_LLC_CODE, total, indices
+        stats.rejected += 1
+        return REJECT_CODE, total, indices
 
     def infer(self, ctx: FeatureContext) -> Tuple[Decision, int, Tuple[int, ...]]:
         """Decide one candidate; returns (decision, sum, indices)."""
-        indices = self.feature_indices(ctx)
-        total = self.weight_sum(indices)
-        cfg = self.config
-        self.stats.inferences += 1
-        if total >= cfg.tau_hi:
-            self.stats.accepted_l2 += 1
-            return Decision.PREFETCH_L2, total, indices
-        if total >= cfg.tau_lo:
-            self.stats.accepted_llc += 1
-            return Decision.PREFETCH_LLC, total, indices
-        self.stats.rejected += 1
-        return Decision.REJECT, total, indices
+        code, total, indices = self.decide(ctx)
+        return DECISION_BY_CODE[code], total, indices
 
     # -- training ----------------------------------------------------------------
 
@@ -147,23 +238,34 @@ class PerceptronFilter:
         have moved since inference), matching §3.1: "If the sum falls
         below a specific threshold, training occurs".
         """
-        total = self.weight_sum(indices)
+        weight_lists = self._weight_lists
+        total = 0
+        for weights, index in zip(weight_lists, indices):
+            total += weights[index]
         cfg = self.config
-        if positive and total >= cfg.theta_p:
-            self.stats.suppressed_updates += 1
-            return False
-        if not positive and total <= cfg.theta_n:
-            self.stats.suppressed_updates += 1
-            return False
-        updates = self.stats.per_feature_updates
-        for feature, table, index in zip(self.features, self.tables, indices):
-            before = table.read(index)
-            if table.bump(index, positive) != before:
-                updates[feature.name] = updates.get(feature.name, 0) + 1
+        stats = self.stats
         if positive:
-            self.stats.positive_updates += 1
+            if total >= cfg.theta_p:
+                stats.suppressed_updates += 1
+                return False
+        elif total <= cfg.theta_n:
+            stats.suppressed_updates += 1
+            return False
+        updates = stats.per_feature_updates
+        if positive:
+            for name, weights, index in zip(self._feature_names, weight_lists, indices):
+                value = weights[index]
+                if value < WEIGHT_MAX:
+                    weights[index] = value + 1
+                    updates[name] = updates.get(name, 0) + 1
+            stats.positive_updates += 1
         else:
-            self.stats.negative_updates += 1
+            for name, weights, index in zip(self._feature_names, weight_lists, indices):
+                value = weights[index]
+                if value > WEIGHT_MIN:
+                    weights[index] = value - 1
+                    updates[name] = updates.get(name, 0) + 1
+            stats.negative_updates += 1
         return True
 
     # -- introspection ------------------------------------------------------------

@@ -31,8 +31,8 @@ from ..prefetchers.base import PrefetchCandidate, Prefetcher
 from ..prefetchers.spp import SPP, SPPConfig
 from ..registry import register
 from ..stats import GroupAdapter, StatGroup, StatsNode
-from .features import Feature, FeatureContext
-from .filter import Decision, FilterConfig, PerceptronFilter
+from .features import Feature
+from .filter import PREFETCH_L2_CODE, FilterConfig, PerceptronFilter
 from .tables import DecisionTable, PrefetchTable, RejectTable
 
 #: Receives (feature_indices, positive_outcome) for each resolved event.
@@ -48,6 +48,38 @@ class PPFStats(StatGroup):
     reject_recoveries: int = 0
     #: Accepted-but-displaced entries trained as useless prefetches.
     displacement_trainings: int = 0
+
+
+class _CandidateContext:
+    """Mutable stand-in for :class:`~repro.core.features.FeatureContext`.
+
+    Feature extractors only *read* attributes, so the per-candidate loop
+    reuses one of these instead of constructing a frozen dataclass per
+    candidate (aggressive SPP emits several candidates per access).
+    """
+
+    __slots__ = (
+        "candidate_addr",
+        "trigger_addr",
+        "pc",
+        "pcs",
+        "delta",
+        "depth",
+        "signature",
+        "last_signature",
+        "confidence",
+    )
+
+    def __init__(self) -> None:
+        self.candidate_addr = 0
+        self.trigger_addr = 0
+        self.pc = 0
+        self.pcs = (0, 0, 0)
+        self.delta = 0
+        self.depth = 1
+        self.signature = 0
+        self.last_signature = 0
+        self.confidence = 0
 
 
 def _table_adapter(table: DecisionTable) -> GroupAdapter:
@@ -95,6 +127,7 @@ class PPF(Prefetcher):
         self.recorder = recorder
         self.ppf_stats = PPFStats()
         self._pcs: Tuple[int, int, int] = (0, 0, 0)
+        self._ctx = _CandidateContext()  # reused across candidates
 
     # -- main hook ---------------------------------------------------------------
 
@@ -104,45 +137,49 @@ class PPF(Prefetcher):
         # Step 3/4 first: consume feedback for this address before the
         # demand access triggers the next set of prefetches (§3.1).
         self._train_on_demand(addr)
-        self._pcs = (pc, self._pcs[0], self._pcs[1])
+        pcs = (pc, self._pcs[0], self._pcs[1])
+        self._pcs = pcs
 
         candidates = self.underlying.train(addr, pc, cache_hit, cycle)
-        if candidates:
-            self.underlying.note_candidates(len(candidates))
+        if not candidates:
+            return candidates
+        self.underlying.note_candidates(len(candidates))
         accepted: List[PrefetchCandidate] = []
-        last_signature = getattr(self.underlying, "last_signature", 0)
+        append = accepted.append
+        ctx = self._ctx
+        ctx.trigger_addr = addr
+        ctx.pcs = pcs
+        ctx.last_signature = getattr(self.underlying, "last_signature", 0)
+        decide = self.filter.decide
+        prefetch_insert = self.prefetch_table.insert
+        use_reject = self.use_reject_table
+        reject_insert = self.reject_table.insert if use_reject else None
+        train_on_displacement = self.train_on_displacement
         for candidate in candidates:
             meta = candidate.meta
-            ctx = FeatureContext(
-                candidate_addr=candidate.addr,
-                trigger_addr=addr,
-                pc=meta.get("pc", pc),
-                pcs=self._pcs,
-                delta=meta.get("delta", 0),
-                depth=meta.get("depth", 1),
-                signature=meta.get("signature", 0),
-                last_signature=last_signature,
-                confidence=meta.get("confidence", 0),
-            )
-            decision, total, indices = self.filter.infer(ctx)
-            if decision.accepted:
-                displaced = self.prefetch_table.insert(candidate.addr, indices, True, total)
+            meta_get = meta.get
+            candidate_addr = candidate.addr
+            ctx.candidate_addr = candidate_addr
+            ctx.pc = meta_get("pc", pc)
+            ctx.delta = meta_get("delta", 0)
+            ctx.depth = meta_get("depth", 1)
+            ctx.signature = meta_get("signature", 0)
+            ctx.confidence = meta_get("confidence", 0)
+            code, total, indices = decide(ctx)
+            if code:  # accepted (L2 or LLC fill)
+                displaced = prefetch_insert(candidate_addr, indices, True, total)
                 if (
-                    self.train_on_displacement
+                    train_on_displacement
                     and displaced is not None
                     and not displaced.useful
                 ):
                     self.ppf_stats.displacement_trainings += 1
                     self._apply_training(displaced.feature_indices, positive=False)
-                accepted.append(
-                    PrefetchCandidate(
-                        addr=candidate.addr,
-                        fill_l2=decision is Decision.PREFETCH_L2,
-                        meta=meta,
-                    )
-                )
-            elif self.use_reject_table:
-                self.reject_table.insert(candidate.addr, indices, False, total)
+                # The filter, not SPP, owns the fill level from here on.
+                candidate.fill_l2 = code == PREFETCH_L2_CODE
+                append(candidate)
+            elif use_reject:
+                reject_insert(candidate_addr, indices, False, total)
         return accepted
 
     # -- feedback ----------------------------------------------------------------

@@ -78,8 +78,11 @@ class DecisionTable:
         a block it already suggested) is a refresh, not a displacement,
         and returns ``None``.
         """
-        index, tag = self._locate(addr)
-        displaced = self._slots[index]
+        block = addr >> 6
+        index = block & self._index_mask
+        tag = (block >> INDEX_BITS) & 63
+        slots = self._slots
+        displaced = slots[index]
         if displaced is not None and displaced.valid:
             if displaced.tag == tag:
                 displaced = None  # same block: refresh in place
@@ -87,31 +90,24 @@ class DecisionTable:
                 self.conflicts += 1
         else:
             displaced = None
-        self._slots[index] = TableEntry(
-            valid=True,
-            tag=tag,
-            useful=False,
-            perc_decision=perc_decision,
-            feature_indices=feature_indices,
-            perc_sum=perc_sum,
-        )
+        slots[index] = TableEntry(True, tag, False, perc_decision, feature_indices, perc_sum)
         self.inserts += 1
         return displaced
 
     def lookup(self, addr: int) -> Optional[TableEntry]:
         """Return the valid, tag-matching entry for ``addr`` (or None)."""
-        index, tag = self._locate(addr)
-        entry = self._slots[index]
-        if entry is not None and entry.valid and entry.tag == tag:
+        block = addr >> 6
+        entry = self._slots[block & self._index_mask]
+        if entry is not None and entry.valid and entry.tag == (block >> INDEX_BITS) & 63:
             self.hits += 1
             return entry
         return None
 
     def invalidate(self, addr: int) -> bool:
         """Drop the entry for ``addr`` after its feedback is consumed."""
-        index, tag = self._locate(addr)
-        entry = self._slots[index]
-        if entry is not None and entry.valid and entry.tag == tag:
+        block = addr >> 6
+        entry = self._slots[block & self._index_mask]
+        if entry is not None and entry.valid and entry.tag == (block >> INDEX_BITS) & 63:
             entry.valid = False
             return True
         return False

@@ -86,14 +86,16 @@ class WeightTable:
         return sum(1 for w in self._weights if w != 0)
 
     def reset(self) -> None:
-        self._weights = [0] * self.entries
+        # In place: PerceptronFilter caches direct references to the
+        # weight lists, so the list object must survive a reset.
+        self._weights[:] = [0] * self.entries
 
     def load(self, values: Iterable[int]) -> None:
         """Overwrite the table (tests / analysis replay); values clamped."""
         values = [clamp_weight(v) for v in values]
         if len(values) != self.entries:
             raise ValueError(f"expected {self.entries} weights, got {len(values)}")
-        self._weights = values
+        self._weights[:] = values
 
     @property
     def storage_bits(self) -> int:

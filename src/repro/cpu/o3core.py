@@ -101,30 +101,46 @@ class O3Core:
     def step(self, rec: TraceRecord) -> None:
         """Retire one trace record: its bubble then its load."""
         cfg = self.config
+        bubble = rec.bubble
         # Retire the non-memory bubble at full width.
-        self._retire_frac += rec.bubble
-        self.cycle += self._retire_frac // cfg.width
-        self._retire_frac %= cfg.width
-        self.instructions += rec.bubble
+        retire = self._retire_frac + bubble
+        width = cfg.width
+        cycle = self.cycle + retire // width
+        self._retire_frac = retire % width
 
-        self._seq += 1
-        seq = self._seq
-        self._drain_completed()
+        seq = self._seq + 1
+        self._seq = seq
+        outstanding = self._outstanding
+        popleft = outstanding.popleft
+        while outstanding and outstanding[0][0] <= cycle:
+            popleft()
+        stats = self.stats
         # ROB limit: cannot issue while the oldest incomplete load is
         # more than rob_size instructions old.
-        while self._outstanding and self._outstanding[0][1] <= seq - cfg.rob_size:
-            self.stats.rob_stalls += 1
-            self._wait_oldest()
+        rob_horizon = seq - cfg.rob_size
+        while outstanding and outstanding[0][1] <= rob_horizon:
+            stats.rob_stalls += 1
+            completion = popleft()[0]
+            if completion > cycle:
+                cycle = completion
+            while outstanding and outstanding[0][0] <= cycle:
+                popleft()
         # MSHR/MLP limit.
-        while len(self._outstanding) >= cfg.mlp_limit:
-            self.stats.mlp_stalls += 1
-            self._wait_oldest()
-        self.stats.loads += 1
+        mlp_limit = cfg.mlp_limit
+        while len(outstanding) >= mlp_limit:
+            stats.mlp_stalls += 1
+            completion = popleft()[0]
+            if completion > cycle:
+                cycle = completion
+            while outstanding and outstanding[0][0] <= cycle:
+                popleft()
+        stats.loads += 1
+        self.cycle = cycle
 
-        result = self.hierarchy.access(self.core_id, rec.pc, rec.addr, self.cycle)
-        if result.ready_cycle > self.cycle:
-            self._outstanding.append((result.ready_cycle, seq))
-        self.instructions += 1
+        ready = self.hierarchy.access(self.core_id, rec.pc, rec.addr, cycle).ready_cycle
+        if ready > cycle:
+            outstanding.append((ready, seq))
+        self.instructions += bubble + 1
 
     def drain(self) -> None:
         """Advance the clock past every outstanding load."""

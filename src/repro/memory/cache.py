@@ -109,18 +109,30 @@ class Cache:
         self.associativity = associativity
         self.latency = latency
         self.num_sets = num_blocks // associativity
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(
+                f"{name}: {self.num_sets} sets is not a power of two; set "
+                f"indexing uses a bitmask, so size/associativity must yield "
+                f"a power-of-two set count"
+            )
+        self._set_mask = self.num_sets - 1
         self.stats = CacheStats()
         self._policy: ReplacementPolicy = make_policy(replacement, replacement_seed)
+        # Bound-method aliases shave an attribute hop off every access.
+        self._policy_touch = self._policy.on_touch
+        self._policy_insert = self._policy.on_insert
+        self._policy_evict = self._policy.on_evict
+        self._policy_victim = self._policy.victim
         self._sets: Dict[int, Dict[int, CacheLine]] = {}
 
     # -- indexing ----------------------------------------------------------
 
     def set_index(self, addr: int) -> int:
         """Map a byte address to its set."""
-        return (addr >> BLOCK_BITS) % self.num_sets
+        return (addr >> BLOCK_BITS) & self._set_mask
 
     def _set_for(self, addr: int) -> Dict[int, CacheLine]:
-        index = self.set_index(addr)
+        index = (addr >> BLOCK_BITS) & self._set_mask
         lines = self._sets.get(index)
         if lines is None:
             lines = {}
@@ -132,13 +144,13 @@ class Cache:
     def contains(self, addr: int) -> bool:
         """Side-effect-free residency check."""
         block = addr >> BLOCK_BITS
-        lines = self._sets.get(block % self.num_sets)
+        lines = self._sets.get(block & self._set_mask)
         return bool(lines) and block in lines
 
     def probe(self, addr: int) -> Optional[CacheLine]:
         """Side-effect-free line inspection (no stats, no LRU update)."""
         block = addr >> BLOCK_BITS
-        lines = self._sets.get(block % self.num_sets)
+        lines = self._sets.get(block & self._set_mask)
         if not lines:
             return None
         return lines.get(block)
@@ -155,20 +167,21 @@ class Cache:
         lines alive.
         """
         block = addr >> BLOCK_BITS
-        set_index = block % self.num_sets
+        set_index = block & self._set_mask
         lines = self._sets.get(set_index)
         line = lines.get(block) if lines else None
         if not is_demand:
             return line
-        self.stats.demand_accesses += 1
+        stats = self.stats
+        stats.demand_accesses += 1
         if line is None:
-            self.stats.demand_misses += 1
+            stats.demand_misses += 1
             return None
-        self.stats.demand_hits += 1
+        stats.demand_hits += 1
         if line.is_prefetch and not line.used:
-            self.stats.useful_prefetches += 1
+            stats.useful_prefetches += 1
         line.used = True
-        self._policy.on_touch(set_index, block)
+        self._policy_touch(set_index, block)
         return line
 
     def fill(
@@ -185,45 +198,45 @@ class Cache:
         prefetch bit; a prefetch fill over a demand line is a no-op).
         """
         block = addr >> BLOCK_BITS
-        set_index = block % self.num_sets
-        lines = self._set_for(addr)
+        set_index = block & self._set_mask
+        lines = self._sets.get(set_index)
+        if lines is None:
+            lines = {}
+            self._sets[set_index] = lines
         existing = lines.get(block)
         if existing is not None:
             if not is_prefetch:
                 existing.is_prefetch = False
-            self._policy.on_touch(set_index, block)
+            self._policy_touch(set_index, block)
             return None
         evicted: Optional[EvictedLine] = None
+        stats = self.stats
         if len(lines) >= self.associativity:
-            victim = self._policy.victim(set_index)
+            victim = self._policy_victim(set_index)
             victim_line = lines.pop(victim)
-            self._policy.on_evict(set_index, victim)
-            self.stats.evictions += 1
+            self._policy_evict(set_index, victim)
+            stats.evictions += 1
             if victim_line.is_prefetch and not victim_line.used:
-                self.stats.useless_prefetch_evictions += 1
+                stats.useless_prefetch_evictions += 1
             evicted = EvictedLine(
-                block=victim_line.block,
-                is_prefetch=victim_line.is_prefetch,
-                used=victim_line.used,
+                victim_line.block, victim_line.is_prefetch, victim_line.used
             )
-        lines[block] = CacheLine(
-            block=block, is_prefetch=is_prefetch, used=False, fill_cycle=cycle
-        )
-        self._policy.on_insert(set_index, block)
-        self.stats.fills += 1
+        lines[block] = CacheLine(block, is_prefetch, False, cycle)
+        self._policy_insert(set_index, block)
+        stats.fills += 1
         if is_prefetch:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         return evicted
 
     def invalidate(self, addr: int) -> bool:
         """Drop the block containing ``addr``; True when it was resident."""
         block = addr >> BLOCK_BITS
-        set_index = block % self.num_sets
+        set_index = block & self._set_mask
         lines = self._sets.get(set_index)
         if not lines or block not in lines:
             return False
         del lines[block]
-        self._policy.on_evict(set_index, block)
+        self._policy_evict(set_index, block)
         return True
 
     def resident_blocks(self) -> int:

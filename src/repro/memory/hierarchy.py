@@ -22,7 +22,7 @@ captures fully).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..prefetchers.base import NullPrefetcher, PrefetchCandidate, Prefetcher
 from ..stats import GroupAdapter, StatsNode
@@ -149,47 +149,45 @@ class MemoryHierarchy:
         prefetcher = self.prefetchers[core]
         line = l2.lookup(addr)
         hit = line is not None
-        if hit and line.fill_cycle > cycle:
-            # Late prefetch: data still in flight, pay the residual.
-            ready = line.fill_cycle + l2.latency
-        elif hit:
-            ready = cycle + l2.latency
-        else:
-            ready = 0  # filled in below
-        if hit and line.is_prefetch:
-            line.is_prefetch = False  # count each prefetch useful once
-            prefetcher.on_useful_prefetch(addr)
-
-        if not hit:
-            result = self._llc_demand(core, addr, cycle + l2.latency)
-            ready = result.ready_cycle
-            level = result.level
-            self._fill_l2(core, addr, is_prefetch=False, data_cycle=ready)
-        else:
+        if hit:
             level = "l2"
+            fill_cycle = line.fill_cycle
+            if fill_cycle > cycle:
+                # Late prefetch: data still in flight, pay the residual.
+                ready = fill_cycle + l2.latency
+            else:
+                ready = cycle + l2.latency
+            if line.is_prefetch:
+                line.is_prefetch = False  # count each prefetch useful once
+                prefetcher.on_useful_prefetch(addr)
+        else:
+            ready, level = self._llc_demand(core, addr, cycle + l2.latency)
+            self._fill_l2(core, addr, is_prefetch=False, data_cycle=ready)
 
         # Prefetcher observes every L2 demand access, then candidates issue.
         candidates = prefetcher.train(addr, pc, hit, cycle)
         if candidates:
             prefetcher.note_candidates(len(candidates))
+            issue = self._issue_prefetch
             for candidate in candidates[: self.config.max_prefetches_per_trigger]:
-                self._issue_prefetch(core, candidate, cycle)
+                issue(core, candidate, cycle)
         self.l1[core].fill(addr, is_prefetch=False, cycle=ready)
         return AccessResult(ready, level)
 
-    def _llc_demand(self, core: int, addr: int, cycle: int) -> AccessResult:
+    def _llc_demand(self, core: int, addr: int, cycle: int) -> Tuple[int, str]:
         llc = self.llc
         line = llc.lookup(addr)
         if line is not None:
             if line.is_prefetch:
                 line.is_prefetch = False
                 self.prefetchers[core].on_useful_prefetch(addr)
-            if line.fill_cycle > cycle:
-                return AccessResult(line.fill_cycle + llc.latency, "llc")
-            return AccessResult(cycle + llc.latency, "llc")
+            fill_cycle = line.fill_cycle
+            if fill_cycle > cycle:
+                return fill_cycle + llc.latency, "llc"
+            return cycle + llc.latency, "llc"
         ready = self.dram.access(addr, cycle + llc.latency, is_prefetch=False)
         self._fill_llc(addr, is_prefetch=False, data_cycle=ready)
-        return AccessResult(ready, "dram")
+        return ready, "dram"
 
     # -- prefetch path ---------------------------------------------------------
 

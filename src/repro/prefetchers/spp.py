@@ -31,13 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..memory.address import (
-    BLOCKS_PER_PAGE,
-    block_in_page,
-    encode_delta,
-    page_number,
-    page_offset_block,
-)
+from ..memory.address import BLOCKS_PER_PAGE, encode_delta
 from ..registry import register
 from .base import PrefetchCandidate, Prefetcher
 
@@ -181,19 +175,21 @@ class SPP(Prefetcher):
     def train(
         self, addr: int, pc: int, cache_hit: bool, cycle: int
     ) -> List[PrefetchCandidate]:
-        page = page_number(addr)
-        offset = page_offset_block(addr)
-        entry = self._signature_table.get(page)
+        page = addr >> 12  # page_number, inlined (PAGE_BITS)
+        offset = (addr >> 6) & 63  # page_offset_block, inlined
+        table = self._signature_table
+        entry = table.get(page)
         if entry is not None:
-            self._signature_table.move_to_end(page)
-            self.last_signature = entry.signature
+            table.move_to_end(page)
+            signature = entry.signature
+            self.last_signature = signature
             delta = offset - entry.last_offset
             if delta == 0:
-                return self._lookahead(page, offset, entry.signature, pc)
-            self._update_pattern(entry.signature, delta)
-            entry.signature = update_signature(entry.signature, delta)
+                return self._lookahead(page, offset, signature, pc)
+            self._update_pattern(signature, delta)
+            signature = update_signature(signature, delta)
+            entry.signature = signature
             entry.last_offset = offset
-            signature = entry.signature
         else:
             self.last_signature = 0
             signature = self._bootstrap_from_ghr(offset)
@@ -253,21 +249,32 @@ class SPP(Prefetcher):
         self, page: int, offset: int, signature: int, pc: int
     ) -> List[PrefetchCandidate]:
         cfg = self.config
+        max_depth = cfg.max_depth
+        table_entries = cfg.pattern_table_entries
+        compound = cfg.compound_confidence
+        emit_all = cfg.emit_all_candidates
+        prefetch_threshold = cfg.prefetch_threshold
+        fill_threshold = cfg.fill_threshold
+        lookahead_threshold = cfg.lookahead_threshold
+        pattern_get = self._pattern_table.get
+        page_base = page << 12  # block_in_page, inlined (PAGE_BITS)
         candidates: List[PrefetchCandidate] = []
+        append = candidates.append
         path_confidence = 100
         current_offset = offset
         current_signature = signature
         alpha = self.alpha_percent
         depth = 1
-        while depth <= cfg.max_depth:
-            entry = self._pattern_table.get(current_signature % cfg.pattern_table_entries)
+        while depth <= max_depth:
+            entry = pattern_get(current_signature % table_entries)
             if entry is None or entry.c_sig == 0 or not entry.deltas:
                 break
+            c_sig = entry.c_sig
             best_delta = None
             best_confidence = -1
             for delta, c_delta in entry.deltas.items():
-                conf = (100 * c_delta) // entry.c_sig
-                if cfg.compound_confidence:
+                conf = (100 * c_delta) // c_sig
+                if compound:
                     if depth > 1:
                         conf = (conf * alpha) // 100
                     p_d = (path_confidence * conf) // 100
@@ -276,20 +283,19 @@ class SPP(Prefetcher):
                 if p_d > best_confidence:
                     best_confidence = p_d
                     best_delta = delta
-                emit = cfg.emit_all_candidates or p_d >= cfg.prefetch_threshold
-                if not emit:
+                if not (emit_all or p_d >= prefetch_threshold):
                     continue
                 target = current_offset + delta
-                if 0 <= target < BLOCKS_PER_PAGE:
-                    candidates.append(
+                if 0 <= target < 64:  # BLOCKS_PER_PAGE
+                    append(
                         PrefetchCandidate(
-                            addr=block_in_page(page, target),
-                            fill_l2=p_d >= cfg.fill_threshold,
-                            meta={
+                            page_base | (target << 6),
+                            p_d >= fill_threshold,
+                            {
                                 "pc": pc,
                                 "delta": delta,
                                 "signature": current_signature,
-                                "confidence": max(0, min(100, p_d)),
+                                "confidence": 0 if p_d < 0 else (100 if p_d > 100 else p_d),
                                 "depth": depth,
                             },
                         )
@@ -298,13 +304,18 @@ class SPP(Prefetcher):
                     self._record_ghr(
                         current_signature, p_d, current_offset, delta
                     )
-            if best_delta is None or best_confidence < cfg.lookahead_threshold:
+            if best_delta is None or best_confidence < lookahead_threshold:
                 break
             next_offset = current_offset + best_delta
-            if not 0 <= next_offset < BLOCKS_PER_PAGE:
+            if not 0 <= next_offset < 64:
                 break
             current_offset = next_offset
-            current_signature = update_signature(current_signature, best_delta)
+            # update_signature, inlined with encode_delta
+            magnitude = best_delta if best_delta >= 0 else -best_delta
+            if magnitude > 63:
+                magnitude = 63
+            encoded = (64 | magnitude) if best_delta < 0 else magnitude
+            current_signature = ((current_signature << 3) ^ encoded) & 0xFFF
             path_confidence = best_confidence
             depth += 1
         if depth > 1:

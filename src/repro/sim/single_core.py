@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Mapping, Optional
 
 from .. import registry
@@ -126,9 +127,14 @@ class RunResult:
         """PPF false negatives recovered through the Reject Table."""
         return int(self.stats.get(f"core{self.core}.prefetcher.ppf.reject_recoveries", 0))
 
-    @property
+    @cached_property
     def per_feature_training_updates(self) -> Dict[str, int]:
-        """Effective weight movements per perceptron feature table."""
+        """Effective weight movements per perceptron feature table.
+
+        Cached on the instance: the snapshot is immutable once the run
+        ends, and callers (plots, ablation reports) read this per
+        feature, so rescanning the full stats dict each time is waste.
+        """
         prefix = f"core{self.core}.prefetcher.filter.per_feature_updates."
         return {
             key[len(prefix):]: int(value)

@@ -1,0 +1,189 @@
+"""Numpy-batched synthetic trace generation (the throughput fast path).
+
+:func:`repro.workloads.synthetic.interleave` draws every record through
+``random.Random`` one call at a time; that stream is the repo's
+*bit-identical contract* (the golden tests pin simulations on it), so it
+can never be re-ordered into vectorized draws.  For workloads where the
+contract does not matter — microbenchmarks, capacity planning, soak
+traffic — this module generates records in numpy chunks instead: one
+vectorized draw per chunk for the mix choice, the bubbles and every
+pattern's addresses, so record production stops dominating short runs.
+
+The stream is fully deterministic (``numpy.random.PCG64`` seeded from
+``seed``; the chunk size participates in rng consumption order, so it
+is part of the stream identity too) but deliberately **not**
+bit-identical with ``interleave``: treat it as a different workload
+family, not a faster spelling of the same trace.  ``python -m repro
+bench`` measures both generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from ..cpu.trace import TraceRecord
+from ..memory.address import BLOCK_BITS, BLOCKS_PER_PAGE
+
+_PC_BASE = 0x400000
+_PC_STRIDE = 0x40
+
+#: Records generated per vectorized draw.
+DEFAULT_CHUNK = 16_384
+
+
+@dataclass
+class BatchMix:
+    """One vectorizable pattern plus its interleave weight.
+
+    ``kind`` selects the address formula:
+
+    * ``stream``  — ``stride``-block runs over a ``span`` region that
+      hops by ``hop`` blocks when exhausted (sequential/strided sweeps)
+    * ``chase``   — a fixed random permutation ring of ``blocks`` blocks
+    * ``hotset``  — skewed reuse over ``blocks`` hot blocks
+    * ``random``  — uniform blocks over a ``blocks``-block footprint
+    """
+
+    kind: str
+    weight: float = 1.0
+    bubble_mean: int = 4
+    pc_pool: int = 4
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stream", "chase", "hotset", "random"):
+            raise ValueError(f"unknown batch pattern kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError("pattern weight must be positive")
+        if self.bubble_mean < 0:
+            raise ValueError("bubble mean must be non-negative")
+        if self.pc_pool < 1:
+            raise ValueError("need at least one PC per pattern")
+
+
+class _LaneState:
+    """Per-mix vectorized generator state."""
+
+    __slots__ = ("mix", "base_block", "position", "pc_base", "ring", "stride", "span", "hop")
+
+    def __init__(self, slot: int, mix: BatchMix, rng: np.random.Generator) -> None:
+        self.mix = mix
+        self.position = 0
+        self.pc_base = _PC_BASE + 0x10000 * slot
+        # Disjoint 16 Mi-page regions per lane, as the scalar recipes use.
+        self.base_block = (1 + slot * (1 << 24)) * BLOCKS_PER_PAGE
+        params = mix.params
+        self.stride = int(params.get("stride", 1))
+        self.span = int(params.get("span", 128)) * BLOCKS_PER_PAGE
+        self.hop = int(params.get("hop", 1024)) * BLOCKS_PER_PAGE
+        if mix.kind == "chase":
+            blocks = int(params.get("blocks", 1 << 15))
+            self.ring = rng.permutation(blocks)
+        else:
+            self.ring = None
+
+    def addresses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        mix = self.mix
+        base = self.base_block
+        positions = self.position + np.arange(count, dtype=np.int64)
+        self.position += count
+        if mix.kind == "stream":
+            offsets = positions * self.stride
+            blocks = base + (offsets % self.span) + (offsets // self.span) * self.hop
+        elif mix.kind == "chase":
+            blocks = base + self.ring[positions % len(self.ring)]
+        elif mix.kind == "hotset":
+            hot = int(mix.params.get("blocks", 2048))
+            draws = rng.integers(0, hot, size=(2, count))
+            blocks = base + np.minimum(draws[0], draws[1])
+        else:  # random
+            footprint = int(mix.params.get("blocks", 1 << 16))
+            blocks = base + rng.integers(0, footprint, size=count)
+        return blocks << BLOCK_BITS
+
+    def pcs(self, count: int) -> np.ndarray:
+        mix = self.mix
+        start = self.position - count  # position already advanced
+        indices = (start + np.arange(count, dtype=np.int64)) % mix.pc_pool
+        return self.pc_base + indices * _PC_STRIDE
+
+
+def batch_interleave(
+    mixes: Sequence[BatchMix],
+    n_records: int,
+    seed: int = 1,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[TraceRecord]:
+    """Weave batch mixes into one deterministic trace, chunk by chunk."""
+    if not mixes:
+        raise ValueError("need at least one pattern")
+    if n_records < 0:
+        raise ValueError("record count must be non-negative")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    lanes = [_LaneState(slot, mix, rng) for slot, mix in enumerate(mixes)]
+    weights = np.array([mix.weight for mix in mixes], dtype=np.float64)
+    cum = np.cumsum(weights)
+    cum /= cum[-1]
+    spans = np.array([2 * mix.bubble_mean + 1 for mix in mixes], dtype=np.int64)
+    remaining = n_records
+    while remaining > 0:
+        k = min(chunk, remaining)
+        remaining -= k
+        picks = np.searchsorted(cum, rng.random(k), side="right")
+        bubbles = (rng.random(k) * spans[picks]).astype(np.int64)
+        addrs = np.empty(k, dtype=np.int64)
+        pcs = np.empty(k, dtype=np.int64)
+        for index, lane in enumerate(lanes):
+            mask = picks == index
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            addrs[mask] = lane.addresses(count, rng)
+            pcs[mask] = lane.pcs(count)
+        for pc, addr, bubble in zip(pcs.tolist(), addrs.tolist(), bubbles.tolist()):
+            yield TraceRecord(pc, addr, bubble)
+
+
+#: Batch-mix approximations of a few reference workloads, for benchmarks
+#: and load generation.  These mirror the *shape* of the scalar recipes
+#: (weights, working sets), not their exact address streams.
+_BATCH_RECIPES: Dict[str, List[BatchMix]] = {
+    "605.mcf_s": [
+        BatchMix("chase", 3.0, 6, params={"blocks": 1 << 16}),
+        BatchMix("chase", 1.5, 6, params={"blocks": 1 << 14}),
+        BatchMix("stream", 2.0, 6, params={"stride": 7, "span": 256}),
+        BatchMix("stream", 1.0, 7, params={"stride": 1, "span": 64}),
+        BatchMix("hotset", 4.0, 8, params={"blocks": 1024}),
+    ],
+    "623.xalancbmk_s": [
+        BatchMix("stream", 2.0, 6, params={"stride": 3, "span": 192}),
+        BatchMix("stream", 2.0, 6, params={"stride": 5, "span": 192}),
+        BatchMix("random", 1.0, 7, params={"blocks": 1 << 16}),
+        BatchMix("hotset", 4.0, 8, params={"blocks": 1024}),
+    ],
+    "603.bwaves_s": [
+        BatchMix("stream", 2.0, 6, params={"stride": 1, "span": 256}),
+        BatchMix("stream", 2.0, 6, params={"stride": 2, "span": 256}),
+        BatchMix("hotset", 4.0, 8, params={"blocks": 1024}),
+    ],
+}
+
+_DEFAULT_RECIPE = [
+    BatchMix("stream", 2.0, 6, params={"stride": 1, "span": 128}),
+    BatchMix("chase", 2.0, 6, params={"blocks": 1 << 15}),
+    BatchMix("hotset", 3.0, 8, params={"blocks": 2048}),
+    BatchMix("random", 1.0, 7, params={"blocks": 1 << 16}),
+]
+
+
+def batch_trace(
+    workload: str, n_records: int, seed: int = 1, chunk: int = DEFAULT_CHUNK
+) -> Iterator[TraceRecord]:
+    """A batched trace shaped like ``workload`` (generic when unknown)."""
+    mixes = _BATCH_RECIPES.get(workload, _DEFAULT_RECIPE)
+    return batch_interleave(mixes, n_records, seed=seed, chunk=chunk)

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Iterator, Sequence
 
 from ..cpu.trace import TraceRecord
@@ -275,19 +277,32 @@ def interleave(
     if n_records < 0:
         raise ValueError("record count must be non-negative")
     rng = random.Random(seed)
-    weights = [mix.weight for mix in mixes]
+    # The pattern draw replicates ``rng.choices(...)[0]`` inline — one
+    # bisect over precomputed cumulative weights, one ``random()`` call —
+    # so the RNG stream (and every downstream golden stat) is unchanged
+    # while the per-record cum-weight rebuild disappears.
+    cum_weights = list(accumulate(mix.weight for mix in mixes))
+    total = cum_weights[-1] + 0.0
+    hi = len(mixes) - 1
+    random_draw = rng.random
+    randrange = rng.randrange
+    next_addresses = [mix.pattern.next_address for mix in mixes]
+    pc_pools = [mix.pc_pool for mix in mixes]
+    # A span of 0 marks a zero-mean bubble, which must not consume rng.
+    bubble_spans = [2 * mix.bubble_mean + 1 if mix.bubble_mean else 0 for mix in mixes]
     pc_bases = [_PC_BASE + 0x10000 * i for i in range(len(mixes))]
     pc_counters = [0] * len(mixes)
-    choices = list(range(len(mixes)))
     for _ in range(n_records):
-        which = rng.choices(choices, weights=weights)[0]
-        mix = mixes[which]
-        addr = mix.pattern.next_address(rng)
-        pc_index = pc_counters[which] % mix.pc_pool
+        which = bisect(cum_weights, random_draw() * total, 0, hi)
+        addr = next_addresses[which](rng)
+        pc_index = pc_counters[which] % pc_pools[which]
         pc_counters[which] += 1
-        pc = pc_bases[which] + pc_index * _PC_STRIDE
-        bubble = _geometric_bubble(rng, mix.bubble_mean)
-        yield TraceRecord(pc=pc, addr=addr, bubble=bubble)
+        span = bubble_spans[which]
+        yield TraceRecord(
+            pc_bases[which] + pc_index * _PC_STRIDE,
+            addr,
+            randrange(span) if span else 0,
+        )
 
 
 def _geometric_bubble(rng: random.Random, mean: int) -> int:

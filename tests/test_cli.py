@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -29,6 +31,53 @@ class TestCLI:
     def test_bench_accepts_cross_suite_workloads(self, capsys):
         assert main(["bench", "429.mcf", "--prefetcher", "none", "--records", "1500"]) == 0
         assert "429.mcf" in capsys.readouterr().out
+
+    def test_bench_suite_writes_report(self, capsys, tmp_path):
+        report_path = tmp_path / "BENCH_sim.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--smoke",
+                    "--only",
+                    "cache_lookup_fill",
+                    "--output",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache_lookup_fill" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.bench/v1"
+        assert report["mode"] == "smoke"
+        assert "cache_lookup_fill" in report["results"]
+
+    def test_bench_suite_rejects_unknown_benchmark(self, capsys):
+        assert main(["bench", "--only", "warp_drive"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_with_profile_dumps_pstats(self, capsys, tmp_path):
+        profile_path = tmp_path / "run.pstats"
+        assert (
+            main(
+                [
+                    "run",
+                    "tab2-3",
+                    "--records",
+                    "1000",
+                    "--profile",
+                    str(profile_path),
+                ]
+            )
+            == 0
+        )
+        assert profile_path.exists()
+        import pstats
+
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
 
     def test_run_cheap_experiment(self, capsys):
         assert main(["run", "tab2-3", "--records", "1000"]) == 0

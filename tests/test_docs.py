@@ -53,6 +53,18 @@ class TestTopLevelDocs:
         assert "MLP" in architecture
         assert "data path" in architecture.lower()
 
+    def test_performance_guide_covers_contract_bench_and_schema(self):
+        performance = read("docs/performance.md")
+        for anchor in (
+            "bit-identical",
+            "python -m repro bench",
+            "BENCH_sim.json",
+            "repro.bench/v1",
+            "baseline_pre_pr.json",
+            "speedup_vs_baseline",
+        ):
+            assert anchor in performance
+
     def test_examples_readme_lists_every_script(self):
         listing = read("examples/README.md")
         for script in sorted((ROOT / "examples").glob("*.py")):

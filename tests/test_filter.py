@@ -4,8 +4,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.features import Feature, FeatureContext
-from repro.core.filter import Decision, FilterConfig, PerceptronFilter
+from repro.core.features import Feature, FeatureContext, scaled_production_features
+from repro.core.filter import (
+    DECISION_BY_CODE,
+    PREFETCH_L2_CODE,
+    PREFETCH_LLC_CODE,
+    REJECT_CODE,
+    Decision,
+    FilterConfig,
+    PerceptronFilter,
+)
 from repro.core.weights import WEIGHT_MAX, WEIGHT_MIN
 
 
@@ -192,3 +200,86 @@ class TestLearnability:
 
     def test_total_weight_bits(self):
         assert PerceptronFilter().total_weight_bits() == 113_280
+
+
+class TestFastPath:
+    """The fused production index path and the int-code decide() twin."""
+
+    def test_production_set_engages_fused_path(self):
+        assert PerceptronFilter()._fused_indices is not None
+
+    def test_custom_features_fall_back_to_generic(self):
+        assert tiny_filter()._fused_indices is None
+
+    def test_rescaled_tables_fall_back_to_generic(self):
+        filt = PerceptronFilter(features=scaled_production_features(2.0))
+        assert filt._fused_indices is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        candidate_addr=st.integers(min_value=0, max_value=2**42 - 1),
+        trigger_addr=st.integers(min_value=0, max_value=2**42 - 1),
+        pc=st.integers(min_value=0, max_value=2**48 - 1),
+        pcs=st.tuples(
+            st.integers(min_value=0, max_value=2**48 - 1),
+            st.integers(min_value=0, max_value=2**48 - 1),
+            st.integers(min_value=0, max_value=2**48 - 1),
+        ),
+        delta=st.integers(min_value=-200, max_value=200),
+        depth=st.integers(min_value=1, max_value=64),
+        signature=st.integers(min_value=0, max_value=0xFFF),
+        confidence=st.integers(min_value=0, max_value=100),
+    )
+    def test_fused_indices_match_generic_feature_walk(
+        self, candidate_addr, trigger_addr, pc, pcs, delta, depth, signature, confidence
+    ):
+        filt = PerceptronFilter()
+        ctx = make_ctx(
+            candidate_addr=candidate_addr,
+            trigger_addr=trigger_addr,
+            pc=pc,
+            pcs=pcs,
+            delta=delta,
+            depth=depth,
+            signature=signature,
+            confidence=confidence,
+        )
+        fused = filt.feature_indices(ctx)
+        generic = tuple(feature.index(ctx) for feature in filt.features)
+        assert fused == generic
+
+    def test_decide_codes_mirror_infer_decisions(self):
+        filt = tiny_filter(tau_hi=4, tau_lo=-4)
+        indices = filt.feature_indices(make_ctx())
+        for _ in range(3):
+            filt.train(indices, positive=True)
+        for expected_code, expected_decision in (
+            (PREFETCH_L2_CODE, Decision.PREFETCH_L2),
+            (PREFETCH_LLC_CODE, Decision.PREFETCH_LLC),
+            (REJECT_CODE, Decision.REJECT),
+        ):
+            code, total, code_indices = filt.decide(make_ctx())
+            decision, infer_total, infer_indices = filt.infer(make_ctx())
+            assert code == expected_code
+            assert decision is expected_decision
+            assert DECISION_BY_CODE[code] is decision
+            assert total == infer_total
+            assert code_indices == infer_indices
+            for _ in range(4):
+                filt.train(indices, positive=False)
+
+    def test_accepted_codes_are_truthy(self):
+        assert PREFETCH_L2_CODE and PREFETCH_LLC_CODE
+        assert not REJECT_CODE
+
+    def test_weight_lists_survive_reset_and_load(self):
+        """The cached weight references must track in-place mutation."""
+        filt = tiny_filter()
+        indices = filt.feature_indices(make_ctx())
+        filt.train(indices, positive=True)
+        assert filt.weight_sum(indices) == len(filt.features)
+        filt.reset()
+        assert filt.weight_sum(indices) == 0
+        table = filt.tables[0]
+        table.load([3] * table.entries)
+        assert filt.weight_sum(indices) == 3

@@ -1,0 +1,93 @@
+"""End-to-end golden stats: the hot path must stay bit-identical.
+
+``tests/golden/single_core_stats.json`` captures full single-core runs
+(every counter in the stats snapshot, instructions, cycles, lookahead
+depth) for two workloads under no prefetching, stock-ish SPP and PPF,
+recorded before the hot-path optimization pass.  Any optimization that
+changes RNG consumption order, arithmetic, or event ordering anywhere in
+``O3Core.step -> MemoryHierarchy.access -> Cache -> SPP ->
+PerceptronFilter`` shows up here as an exact-value mismatch.
+
+Regenerate (only for a deliberate semantic change, with review):
+
+    PYTHONPATH=src python tests/test_golden_stats.py --regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.single_core import run_single_core
+from repro.workloads import find_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "single_core_stats.json"
+
+#: The exact recording configuration; changing any of these invalidates
+#: the golden file.
+MEASURE_RECORDS = 2_000
+WARMUP_RECORDS = 500
+SEED = 3
+
+
+def _run_cell(workload_name: str, scheme: str):
+    config = SimConfig.quick(
+        measure_records=MEASURE_RECORDS, warmup_records=WARMUP_RECORDS
+    )
+    return run_single_core(find_workload(workload_name), scheme, config, seed=SEED)
+
+
+def _load_golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("cell", sorted(_load_golden()))
+def test_run_matches_golden(cell):
+    workload_name, scheme = cell.split("/")
+    expect = _load_golden()[cell]
+    result = _run_cell(workload_name, scheme)
+    assert result.instructions == expect["instructions"]
+    assert result.cycles == expect["cycles"]
+    assert result.average_lookahead_depth == pytest.approx(
+        expect["average_lookahead_depth"], abs=0
+    )
+    mismatched = {
+        stat: (result.stats.get(stat), value)
+        for stat, value in expect["stats"].items()
+        if result.stats.get(stat) != value
+    }
+    assert not mismatched, f"{cell}: {len(mismatched)} stat(s) diverged: {mismatched}"
+
+
+def test_golden_covers_all_schemes():
+    """The contract spans the whole pipeline: none, spp and ppf cells."""
+    golden = _load_golden()
+    schemes = {cell.split("/")[1] for cell in golden}
+    assert {"none", "spp", "ppf"} <= schemes
+    workloads = {cell.split("/")[0] for cell in golden}
+    assert len(workloads) >= 2
+
+
+def _regenerate():
+    golden = {}
+    for workload_name in ("605.mcf_s", "623.xalancbmk_s"):
+        for scheme in ("none", "spp", "ppf"):
+            result = _run_cell(workload_name, scheme)
+            golden[f"{workload_name}/{scheme}"] = {
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "average_lookahead_depth": result.average_lookahead_depth,
+                "stats": result.stats,
+            }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden)} cells)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
