@@ -1,0 +1,103 @@
+"""CI resume-equivalence smoke (bench-smoke job).
+
+Runs the checkpoint subsystem's acceptance loop at smoke scale and
+writes ``SNAPSHOT_cache.json``:
+
+1. sweep without snapshots (reference),
+2. cold sweep with a snapshot dir (publishes warmup snapshots),
+3. warm sweep in a fresh runner (restores them),
+4. ledger resume in a fresh runner (adopts completed cells),
+5. the cold/warm benchmark pair (measured warmup-reuse speedup).
+
+Exits non-zero on any stats mismatch or on a warm sweep that failed to
+hit the snapshot store, so a silent reuse regression fails the job
+instead of shipping as a perf cliff.
+"""
+
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.micro import run_benchmarks  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.suite import SuiteRunner  # noqa: E402
+from repro.workloads import find_workload  # noqa: E402
+
+CONFIG = SimConfig.quick(measure_records=2_000, warmup_records=500)
+SEED = 3
+WORKLOADS = ["605.mcf_s", "623.xalancbmk_s"]
+SCHEMES = ["spp", "ppf"]
+
+
+def suite_stats(suite):
+    return json.dumps(
+        {f"{w}/{s}": dataclasses.asdict(r) for (w, s), r in sorted(suite.runs.items())},
+        sort_keys=True,
+    )
+
+
+def main() -> int:
+    workloads = [find_workload(name) for name in WORKLOADS]
+    reference = suite_stats(
+        SuiteRunner(CONFIG, seed=SEED, jobs=1).sweep(workloads, SCHEMES)
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as td:
+        root = Path(td)
+        cold = SuiteRunner(CONFIG, seed=SEED, jobs=1, snapshot_dir=root / "snaps")
+        cold_stats = suite_stats(cold.sweep(workloads, SCHEMES))
+        warm = SuiteRunner(CONFIG, seed=SEED, jobs=1, snapshot_dir=root / "snaps")
+        warm_stats = suite_stats(warm.sweep(workloads, SCHEMES))
+
+        ledger = root / "ledger.jsonl"
+        first = SuiteRunner(
+            CONFIG, seed=SEED, jobs=1, cache_dir=root / "cache", ledger_path=ledger
+        )
+        first_stats = suite_stats(first.sweep(workloads, SCHEMES))
+        resumed = SuiteRunner(CONFIG, seed=SEED, jobs=1)
+        adopted = resumed.preload_from_ledger(ledger)
+        resumed_stats = suite_stats(resumed.sweep(workloads, SCHEMES))
+
+    bench = {
+        r.name: r.ops_per_sec
+        for r in run_benchmarks(
+            names=["sweep_warmup_cold", "sweep_warmup_reuse"], scale=0.1, repeats=2
+        )
+    }
+    speedup = bench["sweep_warmup_reuse"] / bench["sweep_warmup_cold"]
+
+    checks = {
+        "cold_sweep_byte_identical": cold_stats == reference,
+        "warm_sweep_byte_identical": warm_stats == reference,
+        "resumed_sweep_byte_identical": resumed_stats == first_stats,
+        "warm_sweep_all_snapshot_hits": warm._exec.snapshot_hits == len(warm.memory_cache),
+        "resume_adopted_every_cell": adopted == len(WORKLOADS) * (len(SCHEMES) + 1),
+        "resume_simulated_nothing": resumed._exec.simulated == 0,
+        "warmup_reuse_speedup_at_least_1.3x": speedup >= 1.3,
+    }
+    report = {
+        "snapshot_hits": warm._exec.snapshot_hits,
+        "snapshot_misses": warm._exec.snapshot_misses,
+        "snapshot_hit_rate": warm._exec.snapshot_hits
+        / max(1, warm._exec.snapshot_hits + warm._exec.snapshot_misses),
+        "resumed_cells": adopted,
+        "warmup_reuse_speedup": round(speedup, 3),
+        "checks": checks,
+        "equal": all(checks.values()),
+    }
+    Path("SNAPSHOT_cache.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["equal"]:
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"resume smoke FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("resume smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

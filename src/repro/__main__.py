@@ -9,9 +9,17 @@ Subcommands:
   and write the schema-versioned ``BENCH_sim.json`` report
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
 * ``sweep [--jobs N] [--cache-dir D] [--timeout S] [--retries N]
-  [--ledger PATH] [--profile PATH]`` — parallel, cached, fault-tolerant
-  suite sweep (exits non-zero when cells stay unrecovered after retry +
-  fallback)
+  [--ledger PATH] [--snapshot-dir D] [--checkpoint-every N]
+  [--resume LEDGER] [--profile PATH]`` — parallel, cached,
+  fault-tolerant suite sweep (exits non-zero when cells stay
+  unrecovered after retry + fallback); ``--snapshot-dir`` reuses warmup
+  snapshots across cells and runs, ``--resume`` adopts completed cells
+  from a crashed run's ledger
+* ``checkpoint save PATH --workload W`` — warm one cell up and write
+  its warmup-boundary snapshot
+* ``checkpoint inspect PATH``— schema/kind/section summary of a snapshot
+* ``checkpoint diff A B``    — leaf-level comparison of two snapshots
+  (exit 1 when they differ)
 * ``workloads``              — list the modelled benchmark suites
 
 Component choices (prefetchers, workloads, suites) come from the
@@ -23,8 +31,11 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
+import os
 import pstats
 import sys
+from pathlib import Path
 
 from . import registry
 from .harness.experiments import EXPERIMENTS, run_experiment
@@ -147,10 +158,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             policy=CellPolicy(timeout=args.timeout, retries=args.retries),
             ledger_path=args.ledger,
+            snapshot_dir=args.snapshot_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     except (UnknownComponentError, ValueError) as err:
         print(f"repro sweep: error: {err}", file=sys.stderr)
         return 2
+    if args.resume:
+        adopted = runner.preload_from_ledger(args.resume)
+        print(f"resume: adopted {adopted} completed cell(s) from {args.resume}")
     result = _profiled_sweep(args, runner, workloads)
     report = result.failure_report
     for scheme in args.prefetchers:
@@ -168,6 +184,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"cells: simulated={runner.simulated} "
         f"memory_hits={runner.memory_hits} disk_hits={runner.disk_hits}"
     )
+    if runner.snapshot_store is not None:
+        print(
+            f"snapshots: warmup_hits={runner._exec.snapshot_hits} "
+            f"warmup_misses={runner._exec.snapshot_misses} "
+            f"resumed={runner._exec.resumed}"
+        )
     if report.failures:
         print(f"recovery: {report.summary()}")
     if not report.complete:
@@ -180,6 +202,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         return 3
     return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .checkpoint import SnapshotError, load_snapshot, save_snapshot
+    from .checkpoint.inspect import diff_snapshots, summarize
+
+    if args.action == "save":
+        from .sim.single_core import SingleCoreSim
+
+        config = SimConfig.quick(
+            measure_records=args.records, warmup_records=args.records // 4
+        )
+        try:
+            workload = find_workload(args.workload)
+        except UnknownComponentError as err:
+            print(f"repro checkpoint: error: {err}", file=sys.stderr)
+            return 2
+        sim = SingleCoreSim(workload, args.prefetcher, config, seed=args.seed)
+        sim.warmup()
+        save_snapshot(Path(args.path), sim.snapshot("warmup"))
+        print(
+            f"warmup snapshot ({workload.name} / {args.prefetcher}, "
+            f"{sim.consumed} records) written to {args.path}"
+        )
+        return 0
+
+    try:
+        first = load_snapshot(Path(args.path))
+    except (OSError, SnapshotError) as err:
+        print(f"repro checkpoint: error: {args.path}: {err}", file=sys.stderr)
+        return 2
+    if args.action == "inspect":
+        print(json.dumps(summarize(first), indent=2))
+        return 0
+    try:
+        other = load_snapshot(Path(args.other))
+    except (OSError, SnapshotError) as err:
+        print(f"repro checkpoint: error: {args.other}: {err}", file=sys.stderr)
+        return 2
+    outcome = diff_snapshots(first, other, limit=args.limit)
+    print(json.dumps(outcome, indent=2))
+    return 0 if outcome["equal"] else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -304,10 +368,55 @@ def main(argv: list | None = None) -> int:
         help="append a JSONL run ledger (per-cell status/attempts/provenance)",
     )
     sweep_parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="warmup snapshot store (reused across cells and runs)",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --snapshot-dir: periodic mid-measure checkpoint every "
+        "N records (crash-resume granularity)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="LEDGER",
+        help="adopt completed cells recorded in a prior run's ledger",
+    )
+    sweep_parser.add_argument(
         "--profile",
         metavar="PATH",
         default=None,
         help="profile the sweep (parent process) and dump pstats to PATH",
+    )
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint", help="save / inspect / diff simulation snapshots"
+    )
+    checkpoint_sub = checkpoint_parser.add_subparsers(dest="action", required=True)
+    save_parser = checkpoint_sub.add_parser(
+        "save", help="warm one cell up and write its warmup snapshot"
+    )
+    save_parser.add_argument("path", help="snapshot file to write")
+    save_parser.add_argument("--workload", required=True)
+    save_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
+    save_parser.add_argument("--records", type=int, default=20_000)
+    save_parser.add_argument("--seed", type=int, default=1)
+    inspect_parser = checkpoint_sub.add_parser(
+        "inspect", help="summarize one snapshot (schema, kind, sections)"
+    )
+    inspect_parser.add_argument("path")
+    diff_parser = checkpoint_sub.add_parser(
+        "diff", help="compare two snapshots leaf by leaf (exit 1 if different)"
+    )
+    diff_parser.add_argument("path")
+    diff_parser.add_argument("other")
+    diff_parser.add_argument(
+        "--limit", type=int, default=40, help="max differing leaves to report"
     )
 
     sub.add_parser("workloads", help="list modelled workloads")
@@ -324,10 +433,19 @@ def main(argv: list | None = None) -> int:
         "run": _cmd_run,
         "bench": _cmd_bench,
         "sweep": _cmd_sweep,
+        "checkpoint": _cmd_checkpoint,
         "workloads": _cmd_workloads,
         "validate": _cmd_validate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly with the
+        # conventional SIGPIPE status instead of a traceback.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

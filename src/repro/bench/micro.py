@@ -16,6 +16,9 @@ The operation each layer counts:
 * ``filter_training``      — perceptron training updates
 * ``end_to_end_single_core`` — trace records through a full PPF run
 * ``end_to_end_no_prefetch`` — trace records through a no-prefetch run
+* ``sweep_warmup_cold``    — records through one warmup-heavy sweep cell
+* ``sweep_warmup_reuse``   — same cell served from a warmup snapshot
+  (the ops_per_sec ratio of the pair is the warmup-reuse speedup)
 """
 
 from __future__ import annotations
@@ -251,6 +254,56 @@ def _bench_end_to_end_ppf(ops: int) -> Callable[[], int]:
 @_benchmark("end_to_end_no_prefetch", ops=10_000)
 def _bench_end_to_end_none(ops: int) -> Callable[[], int]:
     return _end_to_end("none", ops)
+
+
+# -- layer 5: sweep warmup reuse -------------------------------------------------
+
+
+def _sweep_cell(ops: int, snapshot_dir: Optional[str] = None) -> Callable[[], int]:
+    """One warmup-heavy sweep cell; 90% of its records are warmup.
+
+    The skew mirrors real sweep economics (statistically meaningful
+    warmup dwarfs each cell's measured region) and is what makes the
+    cold/warm pair a meaningful speedup probe: reuse can at best
+    eliminate the warmup fraction.
+    """
+    from ..sim.config import SimConfig
+    from ..sim.suite import SuiteRunner
+    from ..workloads.spec2017 import workload_by_name
+
+    measure = max(1, ops // 10)
+    config = SimConfig.quick(measure_records=measure, warmup_records=ops - measure)
+    workload = workload_by_name("605.mcf_s")
+
+    def run() -> int:
+        # A fresh runner per repeat: no memory/result cache — only the
+        # snapshot store (when given) carries work across runs.
+        runner = SuiteRunner(config, seed=1, jobs=1, snapshot_dir=snapshot_dir)
+        runner.sweep([workload], ["spp"], include_baseline=False)
+        return ops
+
+    return run
+
+
+@_benchmark("sweep_warmup_cold", ops=20_000)
+def _bench_sweep_cold(ops: int) -> Callable[[], int]:
+    return _sweep_cell(ops)
+
+
+@_benchmark("sweep_warmup_reuse", ops=20_000)
+def _bench_sweep_warm(ops: int) -> Callable[[], int]:
+    import tempfile
+
+    store = tempfile.TemporaryDirectory(prefix="repro-bench-snap-")
+    run = _sweep_cell(ops, snapshot_dir=store.name)
+    run()  # untimed: publish the warmup snapshot the timed repeats reuse
+
+    def timed() -> int:
+        count = run()
+        _ = store  # closure keeps the snapshot directory alive across repeats
+        return count
+
+    return timed
 
 
 # -- driver ---------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""repro.checkpoint — versioned simulation state snapshots.
+
+Every stateful component in the stack implements an explicit
+``state_dict() -> dict`` / ``load_state(dict)`` pair whose payload is
+compact-JSON-safe (pair lists for ordered/int-keyed maps, encoded RNG
+words — see :mod:`repro.checkpoint.state`).  The sim drivers compose
+those into whole-simulation :class:`Snapshot` objects; this package owns
+the serialization (:mod:`snapshot`), the content-addressed warmup cache
+(:mod:`store`), debugging views (:mod:`inspect`) and the fresh-process
+restore entry points the bit-identity tests drive (:mod:`replay`).
+
+Restore is bit-identical by contract: warmup -> snapshot -> restore in a
+fresh process -> measure reproduces a straight run's golden stats
+exactly.
+"""
+
+from .inspect import diff_snapshots, flatten, summarize
+from .schema import CHECKPOINT_SCHEMA_VERSION, KIND_MULTI_CORE, KIND_SINGLE_CORE
+from .snapshot import (
+    Snapshot,
+    SnapshotError,
+    SnapshotSchemaError,
+    load_snapshot,
+    save_snapshot,
+)
+from .state import decode_rng, encode_rng, group_state, int_keyed, load_group, pairs
+from .store import SnapshotStore
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "KIND_MULTI_CORE",
+    "KIND_SINGLE_CORE",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotSchemaError",
+    "SnapshotStore",
+    "decode_rng",
+    "diff_snapshots",
+    "encode_rng",
+    "flatten",
+    "group_state",
+    "int_keyed",
+    "load_group",
+    "load_snapshot",
+    "pairs",
+    "save_snapshot",
+    "summarize",
+]

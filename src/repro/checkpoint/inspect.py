@@ -1,0 +1,80 @@
+"""Snapshot introspection: flatten, summarize, diff.
+
+Debugging state divergence means answering "which of the ~10^4 values in
+these two snapshots differ, and where" without reading raw JSON.  The
+flattener turns a payload tree into dotted-path leaves (list elements
+address by index, so pair lists read like ``...sets.3.1.0``), which
+makes both the summary and the diff one dict comprehension each.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from .snapshot import Snapshot
+
+#: Leaves reported per diff by default; real divergences usually cascade
+#: into thousands of differing counters, and the first few localize it.
+DEFAULT_DIFF_LIMIT = 40
+
+
+def flatten(payload: Any, prefix: str = "") -> Dict[str, Any]:
+    """Payload tree -> ``{dotted.path: scalar}`` (dicts and lists walked)."""
+    leaves: Dict[str, Any] = {}
+    stack: List[Tuple[str, Any]] = [(prefix, payload)]
+    while stack:
+        path, node = stack.pop()
+        if isinstance(node, dict):
+            items: Iterator[Tuple[Any, Any]] = iter(node.items())
+        elif isinstance(node, (list, tuple)):
+            items = iter(enumerate(node))
+        else:
+            leaves[path or "."] = node
+            continue
+        for key, value in items:
+            stack.append((f"{path}.{key}" if path else str(key), value))
+    return leaves
+
+
+def summarize(snapshot: Snapshot) -> Dict[str, Any]:
+    """Human-oriented overview: identity, meta, per-section leaf counts."""
+    sections: Dict[str, int] = {}
+    for path in flatten(snapshot.payload):
+        sections[path.split(".", 1)[0]] = sections.get(path.split(".", 1)[0], 0) + 1
+    return {
+        "schema_version": snapshot.schema_version,
+        "kind": snapshot.kind,
+        "meta": dict(snapshot.meta),
+        "sections": dict(sorted(sections.items())),
+        "total_leaves": sum(sections.values()),
+    }
+
+
+def diff_snapshots(
+    a: Snapshot, b: Snapshot, limit: int = DEFAULT_DIFF_LIMIT
+) -> Dict[str, Any]:
+    """Structured diff of two snapshots' payloads.
+
+    Returns ``{"equal": bool, "differing": int, "entries": [...]}`` where
+    each entry is ``[path, value_a, value_b]`` (missing side rendered as
+    the string ``"<absent>"``), truncated to ``limit`` entries.
+    """
+    flat_a = flatten(a.payload)
+    flat_b = flatten(b.payload)
+    absent = "<absent>"
+    entries: List[List[Any]] = []
+    differing = 0
+    for path in sorted(flat_a.keys() | flat_b.keys()):
+        left = flat_a.get(path, absent)
+        right = flat_b.get(path, absent)
+        if left == right:
+            continue
+        differing += 1
+        if len(entries) < limit:
+            entries.append([path, left, right])
+    return {
+        "equal": differing == 0 and a.kind == b.kind,
+        "kind": [a.kind, b.kind],
+        "differing": differing,
+        "entries": entries,
+    }

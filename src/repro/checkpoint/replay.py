@@ -1,0 +1,82 @@
+"""Fresh-process restore entry points.
+
+The bit-identity contract is only meaningful across process boundaries:
+restoring in the process that wrote the snapshot can lean on leftover
+object state by accident.  These module-level functions are importable
+by ``multiprocessing`` spawn workers (and by the tests that prove the
+contract), so a child process can rebuild a workload trace or a whole
+single-core simulation from nothing but names, a config and a payload.
+
+``repro`` imports happen inside the functions (and this module is kept
+out of the package ``__init__``): low layers import the package for its
+helpers, so module-level imports of workloads/sim here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def resume_trace(workload_name: str, n_records: int, seed: int, state: Dict[str, Any]):
+    """Rebuild ``workload.trace(n_records, seed)`` and restore ``state``."""
+    from ..workloads import find_workload
+
+    trace = find_workload(workload_name).trace(n_records, seed=seed)
+    trace.load_state(state)
+    return trace
+
+
+def remaining_records(
+    workload_name: str, n_records: int, seed: int, state: Dict[str, Any]
+) -> List[Tuple[int, int, int]]:
+    """The rest of a snapshotted trace as ``(pc, addr, bubble)`` tuples.
+
+    Plain tuples so the result crosses a process boundary without the
+    child needing to pickle ``TraceRecord`` instances.
+    """
+    trace = resume_trace(workload_name, n_records, seed, state)
+    return [(rec.pc, rec.addr, rec.bubble) for rec in trace]
+
+
+def replay_batch(
+    jobs: List[Tuple[str, int, int, Dict[str, Any]]],
+) -> List[List[Tuple[int, int, int]]]:
+    """:func:`remaining_records` over many jobs in one child process.
+
+    Spawn startup (fresh interpreter + imports) dwarfs per-trace work,
+    so the determinism tests ship the whole workload catalog across in
+    a single call.
+    """
+    return [remaining_records(*job) for job in jobs]
+
+
+def complete_single_core(
+    workload_name: str,
+    prefetcher_name: str,
+    config: Any,
+    seed: int,
+    payload: Dict[str, Any],
+) -> Optional[Any]:
+    """Restore a single-core snapshot and run it to completion.
+
+    Returns the :class:`repro.sim.single_core.RunResult`; the golden
+    resume tests call this in a spawn-context worker and compare every
+    stat against a straight run.
+    """
+    from ..sim.single_core import SingleCoreSim
+
+    sim = SingleCoreSim(
+        find_workload_by_name(workload_name), prefetcher_name, config, seed
+    )
+    sim.load_state(payload)
+    if not sim.measuring:
+        sim.warmup()
+        sim.begin_measurement()
+    sim.measure()
+    return sim.result()
+
+
+def find_workload_by_name(name: str):
+    from ..workloads import find_workload
+
+    return find_workload(name)

@@ -1,0 +1,26 @@
+"""Checkpoint schema identity.
+
+Kept free of any intra-package (or wider ``repro``) imports so that low
+layers — ``sim.fingerprint`` folds the schema token into every config
+fingerprint — can import it without touching the rest of the checkpoint
+machinery.
+
+The version stamps every snapshot written to disk.  Bump it whenever the
+*meaning* of any component's ``state_dict()`` payload changes (a renamed
+key, a reordered pair list, a new mandatory section): old snapshots are
+then rejected on load instead of silently restoring skewed state, and —
+because the token participates in ``config_fingerprint`` — all result
+caches and warmup stores keyed on the old schema invalidate with it.
+"""
+
+from __future__ import annotations
+
+#: Version of the on-disk snapshot payload layout.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: ``Snapshot.kind`` for whole single-core simulations (both warmup-
+#: boundary snapshots and mid-measurement periodic checkpoints).
+KIND_SINGLE_CORE = "single_core"
+
+#: ``Snapshot.kind`` for whole multi-core simulations.
+KIND_MULTI_CORE = "multi_core"

@@ -1,0 +1,110 @@
+"""Snapshot container and atomic on-disk serialization.
+
+A snapshot is compact JSON (no whitespace, keys as written by the
+component — *not* sorted, since pair-list order is semantic) compressed
+with zlib.  Writes go through a pid+counter-unique temp file followed by
+``Path.replace``, the same publish idiom as the suite runner's result
+cache, so concurrent sweep workers can race on the same key and readers
+only ever observe complete files.
+
+Loading is strict by default: a truncated/garbled file raises
+:class:`SnapshotError`, a payload written by a different
+``CHECKPOINT_SCHEMA_VERSION`` raises :class:`SnapshotSchemaError`.
+Callers that treat snapshots as a cache (the warmup store) catch both
+and fall back to simulating.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict
+
+from .schema import CHECKPOINT_SCHEMA_VERSION
+
+_TMP_COUNTER = itertools.count()
+
+
+class SnapshotError(Exception):
+    """A snapshot file or payload could not be decoded or applied."""
+
+
+class SnapshotSchemaError(SnapshotError):
+    """A snapshot was written under an incompatible schema version."""
+
+
+@dataclass
+class Snapshot:
+    """One serialized simulation (or component) state.
+
+    ``payload`` is the composed ``state_dict()`` tree; ``meta`` carries
+    provenance for humans and the ``checkpoint inspect`` CLI (workload,
+    scheme, seed, phase, record counts) and is never consulted by the
+    restore path itself.
+    """
+
+    kind: str
+    payload: Dict[str, Any]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+
+def dumps(snapshot: Snapshot) -> bytes:
+    """Serialize to compressed compact JSON."""
+    document = {
+        "schema_version": snapshot.schema_version,
+        "kind": snapshot.kind,
+        "meta": snapshot.meta,
+        "payload": snapshot.payload,
+    }
+    text = json.dumps(document, separators=(",", ":"), allow_nan=False)
+    return zlib.compress(text.encode("utf-8"), level=6)
+
+
+def loads(blob: bytes) -> Snapshot:
+    """Inverse of :func:`dumps`; strict about corruption and schema."""
+    try:
+        text = zlib.decompress(blob).decode("utf-8")
+        document = json.loads(text)
+    except (zlib.error, UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotError(f"corrupt snapshot: {exc}") from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise SnapshotError("corrupt snapshot: missing payload")
+    version = document.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"snapshot schema {version!r} != supported {CHECKPOINT_SCHEMA_VERSION}"
+        )
+    return Snapshot(
+        kind=str(document.get("kind", "")),
+        payload=document["payload"],
+        meta=document.get("meta", {}),
+        schema_version=int(version),
+    )
+
+
+def save_snapshot(path: Path | str, snapshot: Snapshot) -> Path:
+    """Atomically publish ``snapshot`` at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+    try:
+        tmp.write_bytes(dumps(snapshot))
+        tmp.replace(path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def load_snapshot(path: Path | str) -> Snapshot:
+    """Load a snapshot file, raising :class:`SnapshotError` variants."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    return loads(blob)

@@ -1,0 +1,79 @@
+"""Shared helpers for component ``state_dict()`` / ``load_state()`` pairs.
+
+Everything in a snapshot payload must survive a compact-JSON round trip,
+which rules out three things Python state leans on heavily:
+
+* **non-string dict keys** — cache sets, signature tables and delta maps
+  are keyed by ints (or tuples, for VLDP);
+* **insertion order as semantics** — ``OrderedDict`` eviction order and
+  plain-dict iteration order are part of the bit-identical contract;
+* **tuples** — ``random.Random.getstate()`` and feature-index vectors.
+
+The convention used throughout is therefore *pair lists*: an ordered
+mapping serializes as ``[[key, value], ...]``, preserving both key types
+(ints stay ints as JSON numbers) and order.  These helpers cover the
+recurring cases; components keep their own field layout explicit so the
+payload doubles as documentation of what state a component owns.
+
+Only the standard library is imported here: component modules at every
+layer (workloads, memory, prefetchers, cpu) pull these helpers in, so
+this module must never import back into them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def encode_rng(state: Tuple[Any, ...]) -> List[Any]:
+    """``random.Random.getstate()`` tuple -> JSON-serializable list."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def decode_rng(data: Iterable[Any]) -> Tuple[Any, ...]:
+    """Inverse of :func:`encode_rng` (``setstate`` demands tuples)."""
+    version, internal, gauss = data
+    return (version, tuple(int(word) for word in internal), gauss)
+
+
+def pairs(mapping: Dict[Any, Any]) -> List[List[Any]]:
+    """An ordered mapping as a ``[[key, value], ...]`` pair list."""
+    return [[key, value] for key, value in mapping.items()]
+
+
+def int_keyed(items: Iterable[Iterable[Any]]) -> Dict[int, Any]:
+    """Pair list -> insertion-ordered dict with int keys restored."""
+    return {int(key): value for key, value in items}
+
+
+def group_state(group: Any) -> Dict[str, Any]:
+    """Serializable copy of a :class:`repro.stats.StatGroup`'s fields.
+
+    Dict-valued fields (e.g. ``FilterStats.per_feature_updates``) are
+    shallow-copied so the snapshot does not alias live counters.
+    """
+    state: Dict[str, Any] = {}
+    for name in group.__dataclass_fields__:
+        value = getattr(group, name)
+        state[name] = dict(value) if isinstance(value, dict) else value
+    return state
+
+
+def load_group(group: Any, state: Dict[str, Any]) -> None:
+    """Restore a :class:`StatGroup` from :func:`group_state` output.
+
+    Dict-valued fields are cleared and refilled *in place*: stats
+    adapters and snapshot closures hold references to the original
+    containers, so rebinding would silently disconnect them.
+    """
+    for name in group.__dataclass_fields__:
+        if name not in state:
+            continue
+        current = getattr(group, name)
+        value = state[name]
+        if isinstance(current, dict):
+            current.clear()
+            current.update({str(key): val for key, val in value.items()})
+        else:
+            setattr(group, name, type(current)(value))

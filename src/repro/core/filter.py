@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..checkpoint.state import group_state, load_group
 from ..stats import StatGroup
 from .features import Feature, FeatureContext, production_features
 from .weights import WEIGHT_MAX, WEIGHT_MIN, WeightTable
@@ -296,3 +297,23 @@ class PerceptronFilter:
         for table in self.tables:
             table.reset()
         self.stats.reset()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "tables": [table.state_dict() for table in self.tables],
+            "stats": group_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        tables = state["tables"]
+        if len(tables) != len(self.tables):
+            raise ValueError(
+                f"snapshot has {len(tables)} weight tables, filter has {len(self.tables)}"
+            )
+        # Each table restores in place, so ``_weight_lists`` (direct
+        # references into the tables) stays valid.
+        for table, table_state in zip(self.tables, tables):
+            table.load_state(table_state)
+        load_group(self.stats, state["stats"])

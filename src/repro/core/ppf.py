@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..checkpoint.state import group_state, load_group
 from ..prefetchers.base import PrefetchCandidate, Prefetcher
 from ..prefetchers.spp import SPP, SPPConfig
 from ..registry import register
@@ -241,6 +242,34 @@ class PPF(Prefetcher):
         self.filter.stats.reset()
         self.prefetch_table.reset_counters()
         self.reject_table.reset_counters()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        """Compose the whole mechanism: SPP, perceptron, both tables.
+
+        ``_ctx`` is deliberately absent — it is a scratch buffer fully
+        rewritten before each candidate decision.
+        """
+        state = super().state_dict()
+        state.update(
+            underlying=self.underlying.state_dict(),
+            filter=self.filter.state_dict(),
+            prefetch_table=self.prefetch_table.state_dict(),
+            reject_table=self.reject_table.state_dict(),
+            pcs=list(self._pcs),
+            ppf_stats=group_state(self.ppf_stats),
+        )
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.underlying.load_state(state["underlying"])
+        self.filter.load_state(state["filter"])
+        self.prefetch_table.load_state(state["prefetch_table"])
+        self.reject_table.load_state(state["reject_table"])
+        self._pcs = tuple(int(pc) for pc in state["pcs"])
+        load_group(self.ppf_stats, state["ppf_stats"])
 
     def attach_stats(self, node: StatsNode) -> None:
         """Mount the filter's whole stats surface: shared prefetcher

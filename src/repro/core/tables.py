@@ -125,6 +125,39 @@ class DecisionTable:
         self.hits = 0
         self.conflicts = 0
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # Only live entries serialize: an invalidated slot behaves
+        # exactly like an empty one on every code path.
+        return {
+            "entries": [
+                [index, [entry.tag, entry.useful, entry.perc_decision,
+                         list(entry.feature_indices), entry.perc_sum]]
+                for index, entry in enumerate(self._slots)
+                if entry is not None and entry.valid
+            ],
+            "inserts": self.inserts,
+            "hits": self.hits,
+            "conflicts": self.conflicts,
+        }
+
+    def load_state(self, state: dict) -> None:
+        slots: List[Optional[TableEntry]] = [None] * self.entries
+        for index, (tag, useful, perc_decision, feature_indices, perc_sum) in state["entries"]:
+            slots[int(index)] = TableEntry(
+                True,
+                int(tag),
+                bool(useful),
+                bool(perc_decision),
+                tuple(int(i) for i in feature_indices),
+                int(perc_sum),
+            )
+        self._slots = slots
+        self.inserts = int(state["inserts"])
+        self.hits = int(state["hits"])
+        self.conflicts = int(state["conflicts"])
+
 
 class PrefetchTable(DecisionTable):
     """Accepted prefetches awaiting ground truth (demand hit or evict)."""

@@ -100,3 +100,13 @@ class WeightTable:
     @property
     def storage_bits(self) -> int:
         return self.entries * WEIGHT_BITS
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"weights": list(self._weights)}
+
+    def load_state(self, state: dict) -> None:
+        # load() validates the length and mutates in place, preserving
+        # the list object PerceptronFilter's hot path holds.
+        self.load(int(weight) for weight in state["weights"])

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, Optional, Tuple
 
+from ..checkpoint.state import group_state, load_group
 from ..memory.hierarchy import MemoryHierarchy
 from ..stats import StatGroup
 from .trace import TraceRecord
@@ -166,6 +167,32 @@ class O3Core:
             instructions=self.instructions - self._measure_start_instructions,
             cycles=max(1, self.cycle - self._measure_start_cycle),
         )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "instructions": self.instructions,
+            "retire_frac": self._retire_frac,
+            "seq": self._seq,
+            "outstanding": [[completion, seq] for completion, seq in self._outstanding],
+            "measure_start_cycle": self._measure_start_cycle,
+            "measure_start_instructions": self._measure_start_instructions,
+            "stats": group_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cycle = int(state["cycle"])
+        self.instructions = int(state["instructions"])
+        self._retire_frac = int(state["retire_frac"])
+        self._seq = int(state["seq"])
+        self._outstanding = deque(
+            (int(completion), int(seq)) for completion, seq in state["outstanding"]
+        )
+        self._measure_start_cycle = int(state["measure_start_cycle"])
+        self._measure_start_instructions = int(state["measure_start_instructions"])
+        load_group(self.stats, state["stats"])
 
     # -- internals ---------------------------------------------------------------
 

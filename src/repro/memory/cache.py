@@ -11,8 +11,9 @@ global accuracy counter α.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
+from ..checkpoint.state import group_state, load_group
 from ..stats import StatGroup
 from .address import BLOCK_BITS
 from .replacement import ReplacementPolicy, make_policy
@@ -245,3 +246,41 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Lines, replacement metadata and stats, order-preserving.
+
+        Sets serialize as pair lists of pair lists: fill order within a
+        set is live state (dict iteration feeds nothing today, but tag
+        lookups and the policy's own ordering must agree after restore),
+        and JSON objects would stringify the int keys.
+        """
+        return {
+            "sets": [
+                [
+                    set_index,
+                    [
+                        [line.block, line.is_prefetch, line.used, line.fill_cycle]
+                        for line in lines.values()
+                    ],
+                ]
+                for set_index, lines in self._sets.items()
+            ],
+            "policy": self._policy.state_dict(),
+            "stats": group_state(self.stats),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._sets = {
+            int(set_index): {
+                int(block): CacheLine(int(block), bool(is_prefetch), bool(used), int(fill_cycle))
+                for block, is_prefetch, used, fill_cycle in lines
+            }
+            for set_index, lines in state["sets"]
+        }
+        # The bound-method aliases keep pointing at this policy object,
+        # which load_state mutates rather than replaces.
+        self._policy.load_state(state["policy"])
+        load_group(self.stats, state["stats"])

@@ -19,8 +19,9 @@ evaluation depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List
 
+from ..checkpoint.state import group_state, load_group
 from ..stats import StatGroup
 
 ROW_BITS = 13  # 8 KB DRAM rows
@@ -130,3 +131,22 @@ class DRAM:
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "next_free": list(self._next_free),
+            "open_row": list(self._open_row),
+            "stats": group_state(self.stats),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        next_free = [int(cycle) for cycle in state["next_free"]]
+        if len(next_free) != self.config.channels:
+            raise ValueError(
+                f"snapshot has {len(next_free)} channels, DRAM has {self.config.channels}"
+            )
+        self._next_free[:] = next_free
+        self._open_row[:] = [int(row) for row in state["open_row"]]
+        load_group(self.stats, state["stats"])

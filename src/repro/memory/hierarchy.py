@@ -253,3 +253,41 @@ class MemoryHierarchy:
     def snapshot(self):
         """Flattened stats for the whole hierarchy."""
         return self.stats.snapshot()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        """Compose every component's state into one tree.
+
+        Stats ride along inside each component's section (and the queue
+        drop counters here), so a mid-measurement snapshot resumes with
+        its counters intact; warmup-boundary restores follow up with
+        ``reset_stats()`` exactly like a straight run.
+        """
+        return {
+            "l1": [cache.state_dict() for cache in self.l1],
+            "l2": [cache.state_dict() for cache in self.l2],
+            "llc": self.llc.state_dict(),
+            "dram": self.dram.state_dict(),
+            "prefetchers": [p.state_dict() for p in self.prefetchers],
+            "inflight_prefetches": [list(q) for q in self._inflight_prefetches],
+            "prefetches_dropped": list(self.prefetches_dropped),
+        }
+
+    def load_state(self, state) -> None:
+        if len(state["l1"]) != self.num_cores or len(state["prefetchers"]) != self.num_cores:
+            raise ValueError(
+                f"snapshot targets {len(state['l1'])} cores, hierarchy has {self.num_cores}"
+            )
+        for cache, cache_state in zip(self.l1, state["l1"]):
+            cache.load_state(cache_state)
+        for cache, cache_state in zip(self.l2, state["l2"]):
+            cache.load_state(cache_state)
+        self.llc.load_state(state["llc"])
+        self.dram.load_state(state["dram"])
+        for prefetcher, prefetcher_state in zip(self.prefetchers, state["prefetchers"]):
+            prefetcher.load_state(prefetcher_state)
+        self._inflight_prefetches = [
+            [int(cycle) for cycle in queue] for queue in state["inflight_prefetches"]
+        ]
+        self.prefetches_dropped[:] = [int(n) for n in state["prefetches_dropped"]]

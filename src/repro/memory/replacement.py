@@ -12,8 +12,9 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Dict, Hashable, List
+from typing import Any, Dict, Hashable, List
 
+from ..checkpoint.state import decode_rng, encode_rng
 from ..registry import create, names, register
 
 
@@ -23,6 +24,23 @@ class ReplacementPolicy(ABC):
     One instance serves every set of one cache; implementations key their
     internal state by ``set_index``.
     """
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of per-set replacement metadata.
+
+        Victim choice is part of the bit-identical contract, so every
+        policy that participates in checkpointing must override this
+        pair; the base raises so an unported custom policy fails loudly
+        instead of restoring half a cache.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
 
     @abstractmethod
     def on_insert(self, set_index: int, tag: Hashable) -> None:
@@ -78,6 +96,17 @@ class LRUPolicy(ReplacementPolicy):
         """Tags ordered LRU-first (exposed for tests)."""
         return list(self._set(set_index))
 
+    def state_dict(self) -> Dict[str, Any]:
+        # Pair lists keep both the int set indices and the LRU order,
+        # neither of which survives a plain JSON object.
+        return {"order": [[index, list(order)] for index, order in self._order.items()]}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._order = {
+            int(index): OrderedDict((int(tag), None) for tag in tags)
+            for index, tags in state["order"]
+        }
+
 
 @register("replacement", "fifo")
 class FIFOPolicy(ReplacementPolicy):
@@ -109,6 +138,15 @@ class FIFOPolicy(ReplacementPolicy):
         if not order:
             raise LookupError(f"victim() on empty set {set_index}")
         return next(iter(order))
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"order": [[index, list(order)] for index, order in self._order.items()]}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._order = {
+            int(index): OrderedDict((int(tag), None) for tag in tags)
+            for index, tags in state["order"]
+        }
 
 
 @register("replacement", "random")
@@ -144,6 +182,18 @@ class RandomPolicy(ReplacementPolicy):
         if not tags:
             raise LookupError(f"victim() on empty set {set_index}")
         return self._rng.choice(tags)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "rng": encode_rng(self._rng.getstate()),
+            "tags": [[index, list(tags)] for index, tags in self._tags.items()],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._rng.setstate(decode_rng(state["rng"]))
+        self._tags = {
+            int(index): [int(tag) for tag in tags] for index, tags in state["tags"]
+        }
 
 
 def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:

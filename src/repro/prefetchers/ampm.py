@@ -99,6 +99,20 @@ class AMPM(Prefetcher):
                     )
         return candidates
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        # Pair order is the zone LRU; bitmaps are arbitrary-width ints.
+        state["maps"] = [[page, bitmap] for page, bitmap in self._maps.items()]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._maps = OrderedDict(
+            (int(page), int(bitmap)) for page, bitmap in state["maps"]
+        )
+
 
 @dataclass
 class DAAMPMConfig(AMPMConfig):
@@ -147,3 +161,33 @@ class DAAMPM(AMPM):
     def pending_count(self) -> int:
         """Candidates currently held back (for tests)."""
         return sum(len(group) for group in self._pending.values())
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state.update(
+            pending=[
+                [
+                    row,
+                    [
+                        [when, [candidate.addr, candidate.fill_l2, candidate.meta]]
+                        for when, candidate in group
+                    ],
+                ]
+                for row, group in self._pending.items()
+            ],
+            trigger_count=self._trigger_count,
+        )
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._pending = {
+            int(row): [
+                (int(when), PrefetchCandidate(int(addr), bool(fill_l2), dict(meta)))
+                for when, (addr, fill_l2, meta) in group
+            ]
+            for row, group in state["pending"]
+        }
+        self._trigger_count = int(state["trigger_count"])

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from ..checkpoint.state import group_state, load_group
 from ..registry import register
 from ..stats import StatGroup, StatsNode
 
@@ -108,6 +109,21 @@ class Prefetcher:
         override this, call ``super()``, and mount their own groups.
         """
         node.attach("prefetch", self.stats)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of all mutable state.
+
+        Stateful subclasses extend the returned dict (calling ``super()``
+        first) with their tables; the base contributes the shared issue
+        counters, which is complete for stateless prefetchers like
+        :class:`NullPrefetcher`.
+        """
+        return {"stats": group_state(self.stats)}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        load_group(self.stats, state["stats"])
 
 
 @register("prefetcher", "none")

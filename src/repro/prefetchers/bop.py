@@ -137,3 +137,26 @@ class BOP(Prefetcher):
             )
             for i in range(1, self.config.degree + 1)
         ]
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state.update(
+            rr=list(self._rr),
+            scores=list(self._scores),
+            test_index=self._test_index,
+            round=self._round,
+            best_offset=self.best_offset,
+            prefetch_on=self.prefetch_on,
+        )
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._rr[:] = [int(block) for block in state["rr"]]
+        self._scores[:] = [int(score) for score in state["scores"]]
+        self._test_index = int(state["test_index"])
+        self._round = int(state["round"])
+        self.best_offset = int(state["best_offset"])
+        self.prefetch_on = bool(state["prefetch_on"])

@@ -337,3 +337,58 @@ class SPP(Prefetcher):
 
     def signature_entry_count(self) -> int:
         return len(self._signature_table)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        """Tables, GHR, alpha counters and depth accounting.
+
+        Order is semantic twice over: signature-table pair order is the
+        LRU eviction order, and delta pair order within a pattern entry
+        decides both candidate emission order and the ``min()`` tie-break
+        when a fifth delta displaces one.
+        """
+        state = super().state_dict()
+        state.update(
+            signature_table=[
+                [page, [entry.last_offset, entry.signature]]
+                for page, entry in self._signature_table.items()
+            ],
+            pattern_table=[
+                [index, [entry.c_sig, [[delta, count] for delta, count in entry.deltas.items()]]]
+                for index, entry in self._pattern_table.items()
+            ],
+            ghr=[
+                [entry.signature, entry.confidence, entry.last_offset, entry.delta]
+                for entry in self._ghr
+            ],
+            c_total=self._c_total,
+            c_useful=self._c_useful,
+            last_signature=self.last_signature,
+            depth_sum=self.depth_sum,
+            depth_count=self.depth_count,
+        )
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._signature_table = OrderedDict(
+            (int(page), _SignatureEntry(int(last_offset), int(signature)))
+            for page, (last_offset, signature) in state["signature_table"]
+        )
+        self._pattern_table = {
+            int(index): _PatternEntry(
+                c_sig=int(c_sig),
+                deltas={int(delta): int(count) for delta, count in deltas},
+            )
+            for index, (c_sig, deltas) in state["pattern_table"]
+        }
+        self._ghr = [
+            _GHREntry(int(sig), int(conf), int(offset), int(delta))
+            for sig, conf, offset, delta in state["ghr"]
+        ]
+        self._c_total = int(state["c_total"])
+        self._c_useful = int(state["c_useful"])
+        self.last_signature = int(state["last_signature"])
+        self.depth_sum = int(state["depth_sum"])
+        self.depth_count = int(state["depth_count"])

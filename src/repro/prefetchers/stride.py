@@ -83,3 +83,21 @@ class StridePrefetcher(Prefetcher):
                     )
                 )
         return candidates
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        # Pair order is the table's LRU eviction order.
+        state["table"] = [
+            [pc, [entry.last_block, entry.stride, entry.confidence]]
+            for pc, entry in self._table.items()
+        ]
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._table = OrderedDict(
+            (int(pc), _StrideEntry(int(last_block), int(stride), int(confidence)))
+            for pc, (last_block, stride, confidence) in state["table"]
+        )

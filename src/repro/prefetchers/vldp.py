@@ -190,3 +190,52 @@ class VLDP(Prefetcher):
 
     def dpt_sizes(self) -> List[int]:
         return [len(table) for table in self._dpts]
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state.update(
+            # DHB pair order is LRU; DPT pair order is the FIFO-ish
+            # eviction order (pop of the oldest key when full).  DPT keys
+            # are delta-history tuples, so they serialize as lists.
+            dhb=[
+                [page, [entry.last_offset, list(entry.deltas)]]
+                for page, entry in self._dhb.items()
+            ],
+            dpts=[
+                [
+                    [list(history), [entry.delta, entry.confidence]]
+                    for history, entry in table.items()
+                ]
+                for table in self._dpts
+            ],
+            opt=[
+                [offset, [entry.delta, entry.confidence]]
+                for offset, entry in self._opt.items()
+            ],
+        )
+        return state
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._dhb = OrderedDict(
+            (int(page), _DHBEntry(int(last_offset), [int(d) for d in deltas]))
+            for page, (last_offset, deltas) in state["dhb"]
+        )
+        dpts = state["dpts"]
+        if len(dpts) != len(self._dpts):
+            raise ValueError(
+                f"snapshot has {len(dpts)} DPTs, config builds {len(self._dpts)}"
+            )
+        self._dpts = [
+            {
+                tuple(int(d) for d in history): _DPTEntry(int(delta), int(confidence))
+                for history, (delta, confidence) in table
+            }
+            for table in dpts
+        ]
+        self._opt = {
+            int(offset): _DPTEntry(int(delta), int(confidence))
+            for offset, (delta, confidence) in state["opt"]
+        }

@@ -18,6 +18,8 @@ import dataclasses
 import hashlib
 from typing import Any, Tuple
 
+from ..checkpoint.schema import CHECKPOINT_SCHEMA_VERSION
+
 
 def value_fingerprint(value: Any) -> Any:
     """A stable, hashable token for one config value."""
@@ -44,10 +46,20 @@ def value_fingerprint(value: Any) -> Any:
 
 
 def config_fingerprint(config: Any) -> Tuple:
-    """Every field of a (nested) dataclass config, as a stable tuple."""
+    """Every field of a (nested) dataclass config, as a stable tuple.
+
+    The checkpoint schema version participates: a schema bump changes
+    every fingerprint, so result caches, warmup stores and ledgers from
+    pre-bump builds invalidate together instead of colliding with
+    artifacts whose snapshot payloads no longer load.
+    """
     if not dataclasses.is_dataclass(config):
         raise TypeError(f"expected a dataclass config, got {type(config).__name__}")
-    return (type(config).__name__, value_fingerprint(config))
+    return (
+        type(config).__name__,
+        ("checkpoint_schema", CHECKPOINT_SCHEMA_VERSION),
+        value_fingerprint(config),
+    )
 
 
 def fingerprint_digest(config: Any) -> str:

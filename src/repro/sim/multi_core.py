@@ -15,9 +15,12 @@ counted.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
+from ..checkpoint import KIND_MULTI_CORE, Snapshot, SnapshotError, SnapshotStore
 from ..cpu.o3core import O3Core
 from ..cpu.trace import TraceRecord
 from ..memory.hierarchy import MemoryHierarchy
@@ -25,6 +28,7 @@ from ..prefetchers.base import Prefetcher
 from ..workloads.mixes import WorkloadMix
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
+from .fingerprint import fingerprint_digest
 from .single_core import make_prefetcher
 
 
@@ -73,21 +77,218 @@ class MultiCoreResult:
         return sum(core.prefetches_issued for core in self.cores)
 
 
-def _endless_trace(
-    workload: WorkloadSpec, chunk: int, seed: int, core: int
-) -> Iterator[TraceRecord]:
+class _EndlessTrace:
     """Replay the workload forever (fresh seed per lap) for contention.
 
     Each core's addresses are relocated into a disjoint physical region
     (as the OS would map separate processes) — otherwise two copies of
-    the same benchmark would constructively share the LLC.
+    the same benchmark would constructively share the LLC.  Iteration is
+    record-for-record identical to the generator this class replaced;
+    the class form exists so the lap position can be snapshotted.
     """
-    offset = core << 44
-    lap_seed = seed
-    while True:
-        for rec in workload.trace(chunk, seed=lap_seed):
-            yield TraceRecord(pc=rec.pc, addr=rec.addr + offset, bubble=rec.bubble)
-        lap_seed += 1
+
+    def __init__(self, workload: WorkloadSpec, chunk: int, seed: int, core: int) -> None:
+        self._workload = workload
+        self._chunk = chunk
+        self._offset = core << 44
+        self.lap_seed = seed
+        self._stream = workload.trace(chunk, seed=seed)
+        self._it = iter(self._stream)
+
+    def __iter__(self) -> "_EndlessTrace":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        try:
+            rec = next(self._it)
+        except StopIteration:
+            self.lap_seed += 1
+            self._stream = self._workload.trace(self._chunk, seed=self.lap_seed)
+            self._it = iter(self._stream)
+            rec = next(self._it)
+        return TraceRecord(pc=rec.pc, addr=rec.addr + self._offset, bubble=rec.bubble)
+
+    def state_dict(self) -> dict:
+        stream_state = getattr(self._stream, "state_dict", None)
+        if stream_state is None:
+            raise SnapshotError(
+                f"trace of workload {self._workload.name!r} is not checkpointable"
+            )
+        return {"lap_seed": self.lap_seed, "stream": stream_state()}
+
+    def load_state(self, state: dict) -> None:
+        lap_seed = int(state["lap_seed"])
+        if lap_seed != self.lap_seed:
+            self.lap_seed = lap_seed
+            self._stream = self._workload.trace(self._chunk, seed=lap_seed)
+            self._it = iter(self._stream)
+        self._stream.load_state(state["stream"])
+
+
+def multi_core_warmup_digest(
+    mix: WorkloadMix, prefetcher: str, config: SimConfig, seed: int
+) -> str:
+    """Content address of a mix's warmup-boundary snapshot.
+
+    Unlike the single-core key, ``measure_records`` stays in: the warmup
+    phase interleaves cores by cycle order over laps of length
+    ``warmup + measure``, so the measurement length shapes warmup state.
+    """
+    token = json.dumps(
+        [
+            "warmup-mc",
+            mix.name,
+            [spec.name for spec in mix.workloads],
+            prefetcher,
+            fingerprint_digest(config),
+            seed,
+        ]
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:32]
+
+
+class MultiCoreSim:
+    """One mix simulation with explicit phases and snapshot support.
+
+    ``state_dict()`` is valid at any record boundary of the *warmup*
+    phase (including its end) — per-core measurement bookkeeping only
+    exists inside ``measure()``, so snapshots are taken at the warmup
+    boundary, which is where all the reusable work lives.
+    """
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        prefetcher: str,
+        config: Optional[SimConfig] = None,
+        seed: int = 1,
+    ) -> None:
+        cores = mix.cores
+        self.mix = mix
+        self.prefetcher_name = prefetcher
+        self.config = config or SimConfig.multicore(cores)
+        self.seed = seed
+        self.prefetchers: List[Prefetcher] = [
+            make_prefetcher(prefetcher) for _ in range(cores)
+        ]
+        self.hierarchy = MemoryHierarchy(
+            num_cores=cores,
+            config=self.config.hierarchy,
+            dram_config=self.config.dram,
+            prefetchers=self.prefetchers,
+        )
+        self.o3cores = [O3Core(i, self.hierarchy, self.config.core) for i in range(cores)]
+        chunk = self.config.warmup_records + self.config.measure_records
+        self.traces = [
+            _EndlessTrace(spec, chunk, seed + i, core=i)
+            for i, spec in enumerate(mix.workloads)
+        ]
+        self.steps = [0] * cores
+        self.measuring = False
+
+    def warmup(self) -> None:
+        """Warm every core up, in cycle order."""
+        cores = self.mix.cores
+        config = self.config
+        o3cores = self.o3cores
+        traces = self.traces
+        steps = self.steps
+        while any(steps[i] < config.warmup_records for i in range(cores)):
+            i = min(
+                (i for i in range(cores) if steps[i] < config.warmup_records),
+                key=lambda i: o3cores[i].cycle,
+            )
+            o3cores[i].step(next(traces[i]))
+            steps[i] += 1
+
+    def begin_measurement(self) -> None:
+        self.hierarchy.reset_stats()
+        for core in self.o3cores:
+            core.begin_measurement()
+        self.steps = [0] * self.mix.cores
+        self.measuring = True
+
+    def measure(self) -> MultiCoreResult:
+        """Measure; finished cores keep running (replay) so the
+        contention seen by still-measuring cores stays realistic."""
+        cores = self.mix.cores
+        config = self.config
+        o3cores = self.o3cores
+        traces = self.traces
+        steps = self.steps
+        outcomes: List[Optional[CoreOutcome]] = [None] * cores
+        while any(outcome is None for outcome in outcomes):
+            i = min(range(cores), key=lambda i: o3cores[i].cycle)
+            o3cores[i].step(next(traces[i]))
+            steps[i] += 1
+            if outcomes[i] is None and steps[i] >= config.measure_records:
+                o3cores[i].drain()
+                result = o3cores[i].result()
+                scoped = self.hierarchy.core_snapshot(i)
+                outcomes[i] = CoreOutcome(
+                    workload=self.mix.workloads[i].name,
+                    instructions=result.instructions,
+                    cycles=result.cycles,
+                    l2_misses=int(scoped["l2.demand_misses"]),
+                    prefetches_issued=int(scoped["prefetcher.prefetch.issued"]),
+                    prefetches_useful=int(scoped["prefetcher.prefetch.useful"]),
+                    stats=scoped,
+                )
+        return MultiCoreResult(
+            mix_name=self.mix.name,
+            prefetcher=self.prefetcher_name,
+            cores=[outcome for outcome in outcomes if outcome is not None],
+        )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "mix": self.mix.name,
+            "workloads": [spec.name for spec in self.mix.workloads],
+            "prefetcher": self.prefetcher_name,
+            "seed": self.seed,
+            "measuring": self.measuring,
+            "steps": list(self.steps),
+            "traces": [trace.state_dict() for trace in self.traces],
+            "cores": [core.state_dict() for core in self.o3cores],
+            "hierarchy": self.hierarchy.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key, expect in (
+            ("mix", self.mix.name),
+            ("prefetcher", self.prefetcher_name),
+            ("seed", self.seed),
+        ):
+            if state.get(key) != expect:
+                raise SnapshotError(
+                    f"snapshot {key}={state.get(key)!r} does not match sim {expect!r}"
+                )
+        if len(state["traces"]) != self.mix.cores:
+            raise SnapshotError(
+                f"snapshot targets {len(state['traces'])} cores, mix has {self.mix.cores}"
+            )
+        for trace, trace_state in zip(self.traces, state["traces"]):
+            trace.load_state(trace_state)
+        for core, core_state in zip(self.o3cores, state["cores"]):
+            core.load_state(core_state)
+        self.hierarchy.load_state(state["hierarchy"])
+        self.steps[:] = [int(n) for n in state["steps"]]
+        self.measuring = bool(state["measuring"])
+
+    def snapshot(self, phase: str) -> Snapshot:
+        return Snapshot(
+            kind=KIND_MULTI_CORE,
+            payload=self.state_dict(),
+            meta={
+                "mix": self.mix.name,
+                "prefetcher": self.prefetcher_name,
+                "seed": self.seed,
+                "phase": phase,
+                "config_fingerprint": fingerprint_digest(self.config),
+            },
+        )
 
 
 def run_multi_core(
@@ -95,62 +296,32 @@ def run_multi_core(
     prefetcher: str,
     config: Optional[SimConfig] = None,
     seed: int = 1,
+    *,
+    warmup_store: Optional[SnapshotStore] = None,
 ) -> MultiCoreResult:
-    """Run one workload mix with the same prefetching scheme on every core."""
-    cores = mix.cores
-    config = config or SimConfig.multicore(cores)
-    prefetchers: List[Prefetcher] = [make_prefetcher(prefetcher) for _ in range(cores)]
-    hierarchy = MemoryHierarchy(
-        num_cores=cores,
-        config=config.hierarchy,
-        dram_config=config.dram,
-        prefetchers=prefetchers,
-    )
-    o3cores = [O3Core(i, hierarchy, config.core) for i in range(cores)]
-    chunk = config.warmup_records + config.measure_records
-    traces = [
-        _endless_trace(spec, chunk, seed + i, core=i)
-        for i, spec in enumerate(mix.workloads)
-    ]
-    steps = [0] * cores
+    """Run one workload mix with the same prefetching scheme on every core.
 
-    # Phase 1: warm every core up, in cycle order.
-    while any(steps[i] < config.warmup_records for i in range(cores)):
-        i = min(
-            (i for i in range(cores) if steps[i] < config.warmup_records),
-            key=lambda i: o3cores[i].cycle,
-        )
-        o3cores[i].step(next(traces[i]))
-        steps[i] += 1
-
-    hierarchy.reset_stats()
-    for core in o3cores:
-        core.begin_measurement()
-    steps = [0] * cores
-    outcomes: List[Optional[CoreOutcome]] = [None] * cores
-
-    # Phase 2: measure; finished cores keep running (replay) so the
-    # contention seen by still-measuring cores stays realistic.
-    while any(outcome is None for outcome in outcomes):
-        i = min(range(cores), key=lambda i: o3cores[i].cycle)
-        o3cores[i].step(next(traces[i]))
-        steps[i] += 1
-        if outcomes[i] is None and steps[i] >= config.measure_records:
-            o3cores[i].drain()
-            result = o3cores[i].result()
-            scoped = hierarchy.core_snapshot(i)
-            outcomes[i] = CoreOutcome(
-                workload=mix.workloads[i].name,
-                instructions=result.instructions,
-                cycles=result.cycles,
-                l2_misses=int(scoped["l2.demand_misses"]),
-                prefetches_issued=int(scoped["prefetcher.prefetch.issued"]),
-                prefetches_useful=int(scoped["prefetcher.prefetch.useful"]),
-                stats=scoped,
-            )
-
-    return MultiCoreResult(
-        mix_name=mix.name,
-        prefetcher=prefetcher,
-        cores=[outcome for outcome in outcomes if outcome is not None],
-    )
+    With ``warmup_store``, the warmed whole-mix state (all private
+    caches, prefetcher tables, the shared LLC/DRAM and every trace
+    cursor) restores from a prior run's snapshot when available —
+    bit-identically — and is published after warmup otherwise.
+    """
+    sim = MultiCoreSim(mix, prefetcher, config, seed)
+    restored = False
+    if warmup_store is not None and sim.config.warmup_records > 0:
+        digest = multi_core_warmup_digest(mix, prefetcher, sim.config, seed)
+        snapshot = warmup_store.load(digest)
+        if snapshot is not None and snapshot.kind == KIND_MULTI_CORE:
+            try:
+                sim.load_state(snapshot.payload)
+                restored = True
+            except (SnapshotError, KeyError, ValueError, TypeError, IndexError):
+                sim = MultiCoreSim(mix, prefetcher, config, seed)
+        if not restored:
+            sim.warmup()
+            warmup_store.save(digest, sim.snapshot("warmup"))
+            restored = True  # warmed by simulation, snapshot published
+    if not restored:
+        sim.warmup()
+    sim.begin_measurement()
+    return sim.measure()

@@ -10,18 +10,31 @@ anywhere in the stack appear in ``stats`` without touching this module.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from functools import cached_property
+from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from .. import registry
+from ..checkpoint import (
+    KIND_SINGLE_CORE,
+    Snapshot,
+    SnapshotError,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
 from ..core.ppf import make_ppf_spp  # noqa: F401  (registers "ppf")
 from ..cpu.o3core import O3Core
 from ..memory.hierarchy import MemoryHierarchy
 from ..prefetchers.base import Prefetcher
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
+from .fingerprint import fingerprint_digest
 
 #: Live registry view; kept for backward compatibility with callers
 #: that treated the old hardcoded dict as the catalog of schemes.
@@ -143,39 +156,231 @@ class RunResult:
         }
 
 
+def warmup_digest(
+    workload: str, prefetcher: str, config: SimConfig, seed: int
+) -> str:
+    """Content address of a warmup-boundary snapshot.
+
+    ``measure_records`` is normalized out of the config fingerprint:
+    warmup state depends only on the warmup prefix, so sweep cells that
+    differ solely in measurement length share one warmup snapshot —
+    that sharing is the whole speedup.  The checkpoint schema version is
+    already folded into the fingerprint itself.
+    """
+    warmup_config = dataclasses.replace(config, measure_records=0)
+    token = json.dumps(
+        ["warmup", workload, prefetcher, fingerprint_digest(warmup_config), seed]
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:32]
+
+
+class SingleCoreSim:
+    """One (workload, prefetcher) simulation with explicit phases.
+
+    Splits :func:`run_single_core`'s straight-line body into
+    ``warmup()`` / ``begin_measurement()`` / ``measure()`` / ``result()``
+    so a snapshot can be taken (or restored) at any record boundary:
+    ``state_dict()`` composes the trace stream, the core and the whole
+    hierarchy; ``load_state()`` on a freshly constructed sim — in any
+    process — lands it in a bit-identical position.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        prefetcher: Prefetcher | str,
+        config: Optional[SimConfig] = None,
+        seed: int = 1,
+    ) -> None:
+        self.config = config or SimConfig.default()
+        if isinstance(prefetcher, str):
+            prefetcher = make_prefetcher(prefetcher)
+        self.workload = workload
+        self.prefetcher = prefetcher
+        self.seed = seed
+        self.hierarchy = MemoryHierarchy(
+            num_cores=1,
+            config=self.config.hierarchy,
+            dram_config=self.config.dram,
+            prefetchers=[prefetcher],
+        )
+        self.core = O3Core(0, self.hierarchy, self.config.core)
+        self.trace = workload.trace(
+            self.config.warmup_records + self.config.measure_records, seed=seed
+        )
+        #: Records stepped so far (the warmup/measure phase cursor).
+        self.consumed = 0
+        #: True once the stats were reset at the warmup boundary.
+        self.measuring = False
+
+    @property
+    def total_records(self) -> int:
+        return self.config.warmup_records + self.config.measure_records
+
+    def advance(self, n_records: int) -> int:
+        """Step up to ``n_records`` more trace records."""
+        if n_records <= 0:
+            return 0
+        step = self.core.step
+        taken = 0
+        for rec in itertools.islice(self.trace, n_records):
+            step(rec)
+            taken += 1
+        self.consumed += taken
+        return taken
+
+    def warmup(self) -> None:
+        self.advance(self.config.warmup_records - self.consumed)
+
+    def begin_measurement(self) -> None:
+        self.hierarchy.reset_stats()
+        self.core.begin_measurement()
+        self.measuring = True
+
+    def measure(self) -> None:
+        """Run the remaining records and drain outstanding loads."""
+        self.advance(self.total_records - self.consumed)
+        self.core.drain()
+
+    def result(self) -> RunResult:
+        core_result = self.core.result()
+        return RunResult.from_snapshot(
+            workload=self.workload.name,
+            prefetcher=self.prefetcher.name,
+            instructions=core_result.instructions,
+            cycles=core_result.cycles,
+            snapshot=self.hierarchy.snapshot(),
+            average_lookahead_depth=getattr(
+                self.prefetcher, "average_lookahead_depth", 0.0
+            ),
+        )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        trace_state = getattr(self.trace, "state_dict", None)
+        if trace_state is None:
+            raise SnapshotError(
+                f"trace of workload {self.workload.name!r} is not checkpointable"
+            )
+        return {
+            "workload": self.workload.name,
+            "prefetcher": self.prefetcher.name,
+            "seed": self.seed,
+            "consumed": self.consumed,
+            "measuring": self.measuring,
+            "trace": trace_state(),
+            "core": self.core.state_dict(),
+            "hierarchy": self.hierarchy.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key, expect in (
+            ("workload", self.workload.name),
+            ("prefetcher", self.prefetcher.name),
+            ("seed", self.seed),
+        ):
+            if state.get(key) != expect:
+                raise SnapshotError(
+                    f"snapshot {key}={state.get(key)!r} does not match sim {expect!r}"
+                )
+        self.trace.load_state(state["trace"])
+        self.core.load_state(state["core"])
+        self.hierarchy.load_state(state["hierarchy"])
+        self.consumed = int(state["consumed"])
+        self.measuring = bool(state["measuring"])
+
+    def snapshot(self, phase: str) -> Snapshot:
+        return Snapshot(
+            kind=KIND_SINGLE_CORE,
+            payload=self.state_dict(),
+            meta={
+                "workload": self.workload.name,
+                "prefetcher": self.prefetcher.name,
+                "seed": self.seed,
+                "phase": phase,
+                "consumed": self.consumed,
+                "warmup_records": self.config.warmup_records,
+                "measure_records": self.config.measure_records,
+                "config_fingerprint": fingerprint_digest(self.config),
+            },
+        )
+
+
+def _try_restore(sim: SingleCoreSim, snapshot: Optional[Snapshot]) -> bool:
+    """Apply a snapshot if possible; any failure leaves state untouched
+    logically (the caller rebuilds a fresh sim) and reports False."""
+    if snapshot is None or snapshot.kind != KIND_SINGLE_CORE:
+        return False
+    try:
+        sim.load_state(snapshot.payload)
+    except (SnapshotError, KeyError, ValueError, TypeError, IndexError):
+        return False
+    return True
+
+
 def run_single_core(
     workload: WorkloadSpec,
     prefetcher: Prefetcher | str,
     config: Optional[SimConfig] = None,
     seed: int = 1,
+    *,
+    warmup_store: Optional[SnapshotStore] = None,
+    checkpoint_path: Optional[Path | str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> RunResult:
-    """Simulate one workload on one core with one prefetching scheme."""
+    """Simulate one workload on one core with one prefetching scheme.
+
+    ``warmup_store`` enables warmup snapshot reuse: if a snapshot exists
+    for this (workload, scheme, warmup-config, seed) it is restored in
+    place of simulating warmup, otherwise warmup runs and the snapshot is
+    published for the next cell.  ``checkpoint_path``/``checkpoint_every``
+    add periodic mid-measurement checkpoints (and restore-on-entry),
+    giving sweeps crash-resume at record granularity.  Both engage only
+    for registry-named schemes — a caller passing a live prefetcher
+    instance owns that instance's state.
+
+    Restores are bit-identical: every path through here reproduces the
+    straight run's stats exactly.
+    """
     config = config or SimConfig.default()
-    if isinstance(prefetcher, str):
-        prefetcher = make_prefetcher(prefetcher)
-    hierarchy = MemoryHierarchy(
-        num_cores=1,
-        config=config.hierarchy,
-        dram_config=config.dram,
-        prefetchers=[prefetcher],
-    )
-    core = O3Core(0, hierarchy, config.core)
-    trace = workload.trace(config.warmup_records + config.measure_records, seed=seed)
+    scheme = prefetcher if isinstance(prefetcher, str) else None
+    sim = SingleCoreSim(workload, prefetcher, config, seed)
 
-    for rec in itertools.islice(trace, config.warmup_records):
-        core.step(rec)
-    hierarchy.reset_stats()
-    core.begin_measurement()
-    for rec in trace:
-        core.step(rec)
-    core.drain()
+    restored = False
+    if scheme is not None and checkpoint_path is not None:
+        checkpoint_path = Path(checkpoint_path)
+        if checkpoint_path.exists():
+            try:
+                snapshot = load_snapshot(checkpoint_path)
+            except SnapshotError:
+                snapshot = None
+            restored = _try_restore(sim, snapshot)
+            if snapshot is not None and not restored:
+                # Unusable leftover (corrupt or mismatched): start clean.
+                sim = SingleCoreSim(workload, scheme, config, seed)
 
-    result = core.result()
-    return RunResult.from_snapshot(
-        workload=workload.name,
-        prefetcher=prefetcher.name,
-        instructions=result.instructions,
-        cycles=result.cycles,
-        snapshot=hierarchy.snapshot(),
-        average_lookahead_depth=getattr(prefetcher, "average_lookahead_depth", 0.0),
-    )
+    save_warmup = False
+    if not restored and scheme is not None and warmup_store is not None:
+        if config.warmup_records > 0:
+            digest = warmup_digest(workload.name, scheme, config, seed)
+            restored = _try_restore(sim, warmup_store.load(digest))
+            if not restored:
+                sim = SingleCoreSim(workload, scheme, config, seed)
+                save_warmup = True
+
+    if not sim.measuring:
+        sim.warmup()
+        if save_warmup:
+            warmup_store.save(digest, sim.snapshot("warmup"))
+        sim.begin_measurement()
+
+    if scheme is not None and checkpoint_path is not None and checkpoint_every:
+        while sim.consumed < sim.total_records:
+            sim.advance(min(checkpoint_every, sim.total_records - sim.consumed))
+            if sim.consumed < sim.total_records:
+                save_snapshot(checkpoint_path, sim.snapshot("measure"))
+        sim.core.drain()
+    else:
+        sim.measure()
+    return sim.result()

@@ -46,15 +46,19 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..checkpoint import SnapshotStore
 from ..stats import Accumulator, StatGroup, StatsNode
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
 from .fingerprint import config_fingerprint, fingerprint_digest
 from .metrics import geometric_mean
-from .single_core import RunResult, run_single_core
+from .single_core import RunResult, run_single_core, warmup_digest
 
 #: Bump when the RunResult schema changes so stale disk entries miss.
-CACHE_SCHEMA_VERSION = 2
+#: v3: cell ledger entries grew provenance fields (fingerprint,
+#: result_path, snapshot_path, seed) and the config fingerprint itself
+#: now folds in the checkpoint schema version.
+CACHE_SCHEMA_VERSION = 3
 
 #: Distinguishes concurrent writers publishing into one cache_dir.
 _TMP_COUNTER = itertools.count()
@@ -274,6 +278,12 @@ class SweepStats(StatGroup):
     simulated: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    #: Cells whose warmup snapshot existed when they were dispatched
+    #: (the simulation restores it instead of re-warming) / did not.
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+    #: Completed cells adopted from a prior run's ledger (crash-resume).
+    resumed: int = 0
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -283,16 +293,28 @@ class SweepStats(StatGroup):
     unrecovered: int = 0
 
 
+def _cell_digest(workload: str, prefetcher: str, config: SimConfig, seed: int) -> str:
+    """Content address of one sweep cell (names its periodic checkpoint)."""
+    token = json.dumps(["cell", workload, prefetcher, fingerprint_digest(config), seed])
+    return hashlib.sha256(token.encode()).hexdigest()[:32]
+
+
 def _simulate_cell(
     payload: Union[str, WorkloadSpec],
     prefetcher: str,
     config: SimConfig,
     seed: int,
+    snapshot_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> RunResult:
     """One sweep cell, runnable in a worker process.
 
     ``payload`` is either a picklable :class:`WorkloadSpec` or a
-    workload name rehydrated through the registry-backed catalog.
+    workload name rehydrated through the registry-backed catalog.  With
+    ``snapshot_dir``, the worker shares the sweep-wide warmup snapshot
+    store and (with ``checkpoint_every``) publishes periodic mid-measure
+    checkpoints named by the cell digest; the checkpoint is removed once
+    the cell's result exists, so leftovers always mean interrupted work.
     """
     if isinstance(payload, str):
         from ..workloads import find_workload
@@ -300,7 +322,25 @@ def _simulate_cell(
         spec = find_workload(payload)
     else:
         spec = payload
-    return run_single_core(spec, prefetcher, config, seed=seed)
+    warmup_store = None
+    checkpoint_path = None
+    if snapshot_dir is not None:
+        root = Path(snapshot_dir)
+        warmup_store = SnapshotStore(root)
+        if checkpoint_every is not None:
+            checkpoint_path = root / f"{_cell_digest(spec.name, prefetcher, config, seed)}.ckpt"
+    result = run_single_core(
+        spec,
+        prefetcher,
+        config,
+        seed=seed,
+        warmup_store=warmup_store,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)
+    return result
 
 
 def _worker_payload(spec: WorkloadSpec) -> Optional[Union[str, WorkloadSpec]]:
@@ -333,7 +373,7 @@ def _unique_tmp(path: Path) -> Path:
 class _Cell:
     """Mutable execution state of one pending sweep cell."""
 
-    __slots__ = ("spec", "scheme", "payload", "attempts", "errors", "started")
+    __slots__ = ("spec", "scheme", "payload", "attempts", "errors", "started", "provenance")
 
     def __init__(self, spec: WorkloadSpec, scheme: str) -> None:
         self.spec = spec
@@ -342,6 +382,9 @@ class _Cell:
         self.attempts = 0  # failed execution attempts so far
         self.errors: List[str] = []
         self.started = 0.0
+        #: Ledger provenance fields (fingerprint, seed, artifact paths),
+        #: fixed at dispatch time so every log site agrees.
+        self.provenance: Dict[str, Optional[str]] = {}
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -359,15 +402,27 @@ class SuiteRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         policy: Optional[CellPolicy] = None,
         ledger_path: Optional[Union[str, Path]] = None,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive (or None)")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.policy = policy or CellPolicy()
         self.ledger = RunLedger(ledger_path) if ledger_path is not None else None
+        #: Content-addressed warmup snapshots (plus in-progress cell
+        #: checkpoints when ``checkpoint_every`` is set) live here, the
+        #: snapshot analogue of ``cache_dir`` — shared by every worker.
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self.snapshot_store = (
+            SnapshotStore(self.snapshot_dir) if self.snapshot_dir is not None else None
+        )
         self.memory_cache: Dict[Tuple, RunResult] = {}
         # Observability: how every cell of every sweep so far was served,
         # mounted as a stats tree so callers can fold sweep-execution
@@ -457,6 +512,96 @@ class SuiteRunner:
         self._disk_store(workload, prefetcher, config, result)
         return result
 
+    # -- snapshot plumbing -------------------------------------------------------
+
+    def _snapshot_args(self) -> Tuple[Optional[str], Optional[int]]:
+        """(snapshot_dir, checkpoint_every) as shipped to workers."""
+        if self.snapshot_dir is None:
+            return None, None
+        return str(self.snapshot_dir), self.checkpoint_every
+
+    def _provenance(
+        self, workload: str, prefetcher: str, config: SimConfig
+    ) -> Dict[str, Optional[str]]:
+        """Where this cell's durable artifacts live, for the ledger.
+
+        ``result_path``/``snapshot_path`` name where the result JSON and
+        warmup snapshot are published — recorded even before they exist
+        so a resuming run can find whatever the crashed run got done.
+        """
+        result_path = (
+            str(self._disk_path(workload, prefetcher, config))
+            if self.cache_dir is not None
+            else None
+        )
+        snapshot_path = (
+            str(self.snapshot_store.path_for(warmup_digest(workload, prefetcher, config, self.seed)))
+            if self.snapshot_store is not None
+            else None
+        )
+        return {
+            "fingerprint": fingerprint_digest(config),
+            "seed": self.seed,
+            "result_path": result_path,
+            "snapshot_path": snapshot_path,
+        }
+
+    def _note_snapshot(self, workload: str, prefetcher: str, config: SimConfig) -> None:
+        """Count warmup-snapshot availability for one dispatched cell."""
+        if self.snapshot_store is None:
+            return
+        digest = warmup_digest(workload, prefetcher, config, self.seed)
+        if self.snapshot_store.path_for(digest).exists():
+            self._exec.snapshot_hits += 1
+        else:
+            self._exec.snapshot_misses += 1
+
+    def preload_from_ledger(
+        self, ledger_path: Union[str, Path], config: Optional[SimConfig] = None
+    ) -> int:
+        """Adopt completed cells from a prior (possibly crashed) run.
+
+        Replays ``cell`` events out of a run ledger and loads every
+        result whose config fingerprint and seed match this runner from
+        its recorded ``result_path`` into the in-memory cache, so a
+        subsequent :meth:`sweep` serves those cells without touching the
+        simulator.  Unreadable lines and missing/corrupt result files
+        are skipped — resume never fails harder than a cold start.
+        Returns the number of adopted cells (also counted in the
+        ``resumed`` sweep stat).
+        """
+        config = config or self.config
+        expect = fingerprint_digest(config)
+        path = Path(ledger_path)
+        if not path.exists():
+            return 0
+        adopted = 0
+        for line in path.read_text().splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("event") != "cell" or entry.get("status") != "ok":
+                continue
+            if entry.get("fingerprint") != expect or entry.get("seed") != self.seed:
+                continue
+            workload = entry.get("workload")
+            prefetcher = entry.get("prefetcher")
+            result_path = entry.get("result_path")
+            if not workload or not prefetcher or not result_path:
+                continue
+            key = self._memory_key(workload, prefetcher, config)
+            if key in self.memory_cache:
+                continue
+            try:
+                result = RunResult(**json.loads(Path(result_path).read_text()))
+            except (OSError, ValueError, TypeError):
+                continue
+            self.memory_cache[key] = result
+            adopted += 1
+        self._exec.resumed += adopted
+        return adopted
+
     # -- execution ---------------------------------------------------------------
 
     def single(
@@ -475,8 +620,11 @@ class SuiteRunner:
         cached = self._lookup(workload.name, prefetcher, config)
         if cached is not None:
             return cached[0]
+        self._note_snapshot(workload.name, prefetcher, config)
         start = perf_counter()
-        result = run_single_core(workload, prefetcher, config, seed=self.seed)
+        result = _simulate_cell(
+            workload, prefetcher, config, self.seed, *self._snapshot_args()
+        )
         self._exec.simulated += 1
         self._wall.add(perf_counter() - start)
         return self._record(workload.name, prefetcher, config, result)
@@ -522,9 +670,13 @@ class SuiteRunner:
                         attempts=0,
                         wall_time=0.0,
                         error=None,
+                        **self._provenance(spec.name, scheme, config),
                     )
                 else:
-                    pending.append(_Cell(spec, scheme))
+                    cell = _Cell(spec, scheme)
+                    cell.provenance = self._provenance(spec.name, scheme, config)
+                    self._note_snapshot(spec.name, scheme, config)
+                    pending.append(cell)
 
         if len(pending) > 1 and self.jobs > 1:
             self._run_parallel(pending, config, suite, report)
@@ -592,10 +744,17 @@ class SuiteRunner:
             batch, queue = queue, []
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(batch)))
             inflight: Dict[_Cell, Future] = {}
+            snapshot_dir, checkpoint_every = self._snapshot_args()
             for cell in batch:
                 cell.started = perf_counter()
                 inflight[cell] = pool.submit(
-                    _simulate_cell, cell.payload, cell.scheme, config, self.seed
+                    _simulate_cell,
+                    cell.payload,
+                    cell.scheme,
+                    config,
+                    self.seed,
+                    snapshot_dir,
+                    checkpoint_every,
                 )
             alive = True
             try:
@@ -737,6 +896,7 @@ class SuiteRunner:
             attempts=cell.attempts,
             wall_time=None,
             error=cell.errors[-1] if cell.errors else "unknown",
+            **cell.provenance,
         )
 
     def _complete_pool_cell(
@@ -776,6 +936,7 @@ class SuiteRunner:
             attempts=cell.attempts + 1,
             wall_time=elapsed,
             error=cell.errors[-1] if cell.errors else None,
+            **cell.provenance,
         )
 
     def _serial_cell(
@@ -789,7 +950,9 @@ class SuiteRunner:
         """Run one cell in-process; failures degrade instead of raising."""
         start = perf_counter()
         try:
-            result = run_single_core(cell.spec, cell.scheme, config, seed=self.seed)
+            result = _simulate_cell(
+                cell.spec, cell.scheme, config, self.seed, *self._snapshot_args()
+            )
         except Exception as err:
             self._attempt_failed(cell, "crash", f"{type(err).__name__}: {err}")
             self._exec.crashes += 1
@@ -822,4 +985,5 @@ class SuiteRunner:
             attempts=cell.attempts + 1,
             wall_time=elapsed,
             error=cell.errors[-1] if cell.errors else None,
+            **cell.provenance,
         )

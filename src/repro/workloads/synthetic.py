@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from itertools import accumulate
 from typing import Iterator, Sequence
 
+from ..checkpoint.state import decode_rng, encode_rng
 from ..cpu.trace import TraceRecord
 from ..memory.address import BLOCK_BITS, BLOCKS_PER_PAGE, PAGE_BITS
 
@@ -37,6 +38,29 @@ class AccessPattern(ABC):
     @abstractmethod
     def next_address(self, rng: random.Random) -> int:
         """Produce the next byte address of this pattern."""
+
+    def state_dict(self) -> dict:
+        """Serializable position state: every int attribute.
+
+        All pattern state is scalar ints (cursors, counters, phases);
+        derived containers like :class:`PointerChasePattern`'s ring are
+        rebuilt from constructor arguments, never snapshotted.  Config
+        ints (strides, spans) ride along harmlessly — restoring into an
+        identically-constructed pattern writes them back unchanged.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if isinstance(value, int) and not isinstance(value, bool)
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key, value in state.items():
+            if not hasattr(self, key):
+                raise ValueError(
+                    f"{type(self).__name__} has no state attribute {key!r}"
+                )
+            setattr(self, key, int(value))
 
 
 class SequentialPattern(AccessPattern):
@@ -261,48 +285,110 @@ class PatternMix:
             raise ValueError("need at least one PC per pattern")
 
 
+class TraceStream:
+    """A deterministic, checkpointable interleaved trace.
+
+    Iteration semantics match the generator this class replaced: the
+    record loop itself still runs as a generator (the hot path the
+    benchmarks pin), ``__iter__`` hands out *the same* generator every
+    time, so partial consumption — ``islice`` for warmup, then ``for``
+    for measurement — continues one stream exactly as before.
+
+    On top of that the stream is snapshotable mid-flight: mutable state
+    (the RNG, per-pattern PC counters, the emit count, each pattern's
+    cursors) lives on the instance, shared with the running generator,
+    so ``state_dict()`` between records captures everything needed for
+    ``load_state()`` on a freshly built stream — in another process —
+    to emit the identical remaining records.
+    """
+
+    def __init__(self, mixes: Sequence[PatternMix], n_records: int, seed: int = 1):
+        if not mixes:
+            raise ValueError("need at least one pattern")
+        if n_records < 0:
+            raise ValueError("record count must be non-negative")
+        self.mixes = list(mixes)
+        self.n_records = n_records
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.pc_counters = [0] * len(self.mixes)
+        self.emitted = 0
+        self._gen = self._generate()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self._gen
+
+    def __next__(self) -> TraceRecord:
+        return next(self._gen)
+
+    def _generate(self) -> Iterator[TraceRecord]:
+        mixes = self.mixes
+        rng = self.rng
+        # The pattern draw replicates ``rng.choices(...)[0]`` inline — one
+        # bisect over precomputed cumulative weights, one ``random()`` call —
+        # so the RNG stream (and every downstream golden stat) is unchanged
+        # while the per-record cum-weight rebuild disappears.
+        cum_weights = list(accumulate(mix.weight for mix in mixes))
+        total = cum_weights[-1] + 0.0
+        hi = len(mixes) - 1
+        random_draw = rng.random
+        randrange = rng.randrange
+        next_addresses = [mix.pattern.next_address for mix in mixes]
+        pc_pools = [mix.pc_pool for mix in mixes]
+        # A span of 0 marks a zero-mean bubble, which must not consume rng.
+        bubble_spans = [2 * mix.bubble_mean + 1 if mix.bubble_mean else 0 for mix in mixes]
+        pc_bases = [_PC_BASE + 0x10000 * i for i in range(len(mixes))]
+        pc_counters = self.pc_counters
+        while self.emitted < self.n_records:
+            self.emitted += 1
+            which = bisect(cum_weights, random_draw() * total, 0, hi)
+            addr = next_addresses[which](rng)
+            pc_index = pc_counters[which] % pc_pools[which]
+            pc_counters[which] += 1
+            span = bubble_spans[which]
+            yield TraceRecord(
+                pc_bases[which] + pc_index * _PC_STRIDE,
+                addr,
+                randrange(span) if span else 0,
+            )
+
+    def state_dict(self) -> dict:
+        return {
+            "emitted": self.emitted,
+            "rng": encode_rng(self.rng.getstate()),
+            "pc_counters": list(self.pc_counters),
+            "patterns": [mix.pattern.state_dict() for mix in self.mixes],
+        }
+
+    def load_state(self, state: dict) -> None:
+        patterns = state["patterns"]
+        counters = state["pc_counters"]
+        if len(patterns) != len(self.mixes) or len(counters) != len(self.mixes):
+            raise ValueError(
+                f"trace state holds {len(patterns)} patterns, stream has {len(self.mixes)}"
+            )
+        self.emitted = int(state["emitted"])
+        self.rng.setstate(decode_rng(state["rng"]))
+        # In-place: the live generator closed over this exact list.
+        self.pc_counters[:] = [int(count) for count in counters]
+        for mix, pattern_state in zip(self.mixes, patterns):
+            mix.pattern.load_state(pattern_state)
+
+
 def interleave(
     mixes: Sequence[PatternMix],
     n_records: int,
     seed: int = 1,
-) -> Iterator[TraceRecord]:
+) -> TraceStream:
     """Weave patterns into one trace, weighted-randomly, deterministically.
 
     Each pattern gets a disjoint pool of PCs that cycle per access
     (modelling the handful of load instructions in a loop body), and a
-    geometric bubble around its ``bubble_mean``.
+    geometric bubble around its ``bubble_mean``.  The returned
+    :class:`TraceStream` iterates like the generator it wraps and adds
+    the checkpoint protocol (``state_dict`` / ``load_state``).
     """
-    if not mixes:
-        raise ValueError("need at least one pattern")
-    if n_records < 0:
-        raise ValueError("record count must be non-negative")
-    rng = random.Random(seed)
-    # The pattern draw replicates ``rng.choices(...)[0]`` inline — one
-    # bisect over precomputed cumulative weights, one ``random()`` call —
-    # so the RNG stream (and every downstream golden stat) is unchanged
-    # while the per-record cum-weight rebuild disappears.
-    cum_weights = list(accumulate(mix.weight for mix in mixes))
-    total = cum_weights[-1] + 0.0
-    hi = len(mixes) - 1
-    random_draw = rng.random
-    randrange = rng.randrange
-    next_addresses = [mix.pattern.next_address for mix in mixes]
-    pc_pools = [mix.pc_pool for mix in mixes]
-    # A span of 0 marks a zero-mean bubble, which must not consume rng.
-    bubble_spans = [2 * mix.bubble_mean + 1 if mix.bubble_mean else 0 for mix in mixes]
-    pc_bases = [_PC_BASE + 0x10000 * i for i in range(len(mixes))]
-    pc_counters = [0] * len(mixes)
-    for _ in range(n_records):
-        which = bisect(cum_weights, random_draw() * total, 0, hi)
-        addr = next_addresses[which](rng)
-        pc_index = pc_counters[which] % pc_pools[which]
-        pc_counters[which] += 1
-        span = bubble_spans[which]
-        yield TraceRecord(
-            pc_bases[which] + pc_index * _PC_STRIDE,
-            addr,
-            randrange(span) if span else 0,
-        )
+    return TraceStream(mixes, n_records, seed)
 
 
 def _geometric_bubble(rng: random.Random, mean: int) -> int:

@@ -1,0 +1,259 @@
+"""Component-level snapshot round-trips and snapshot file semantics.
+
+The contract under test: for every stateful component, driving it, then
+``state_dict()`` → JSON → ``load_state()`` into a *fresh* instance, then
+driving both with identical further traffic produces identical
+observable behaviour AND identical final state.  JSON round-tripping in
+the middle matters — it is what catches tuple keys, int keys and other
+shapes that survive in-process but die in compact JSON.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Snapshot,
+    SnapshotError,
+    SnapshotSchemaError,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.checkpoint.snapshot import dumps, loads
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAM
+from repro.sim.single_core import make_prefetcher
+
+
+def roundtrip(state):
+    """The exact transformation a snapshot applies to a state dict."""
+    return json.loads(json.dumps(state, separators=(",", ":")))
+
+
+# -- generic drive/compare harness ----------------------------------------------
+
+
+def drive_cache(cache, rng, ops):
+    """Mixed lookups/fills; returns the observable outcome stream."""
+    out = []
+    for i in range(ops):
+        addr = rng.randrange(1 << 18) << 6
+        if rng.random() < 0.5:
+            line = cache.lookup(addr)
+            out.append(None if line is None else (line.block, line.is_prefetch, line.used))
+        else:
+            evicted = cache.fill(addr, is_prefetch=rng.random() < 0.3, cycle=i)
+            out.append(
+                None if evicted is None else (evicted.block, evicted.is_prefetch, evicted.used)
+            )
+    return out
+
+
+def drive_prefetcher(pf, rng, ops, base_cycle=0):
+    """Train over a plausible access stream; returns emitted candidates."""
+    out = []
+    for i in range(ops):
+        page = rng.randrange(64)
+        addr = (page << 12) | (rng.randrange(64) << 6)
+        pc = 0x400000 + rng.randrange(32) * 4
+        candidates = pf.train(addr, pc, rng.random() < 0.5, base_cycle + i)
+        out.append([(c.addr, c.fill_l2) for c in candidates])
+        if rng.random() < 0.2:
+            pf.on_eviction(addr ^ 0x1000, rng.random() < 0.5, rng.random() < 0.5)
+    return out
+
+
+class TestCacheRoundTrip:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_cache_roundtrip(self, policy):
+        a = Cache("l2", 16 * 1024, 4, 10, replacement=policy, replacement_seed=7)
+        rng = random.Random(3)
+        drive_cache(a, rng, 800)
+        state = roundtrip(a.state_dict())
+
+        b = Cache("l2", 16 * 1024, 4, 10, replacement=policy, replacement_seed=7)
+        b.load_state(state)
+        assert b.state_dict() == a.state_dict()
+
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        assert drive_cache(a, rng_a, 400) == drive_cache(b, rng_b, 400)
+        assert b.state_dict() == a.state_dict()
+
+    def test_policy_mismatch_rejected(self):
+        a = Cache("l2", 16 * 1024, 4, 10, replacement="lru")
+        drive_cache(a, random.Random(1), 50)
+        state = roundtrip(a.state_dict())
+        b = Cache("l2", 16 * 1024, 4, 10, replacement="random")
+        with pytest.raises((KeyError, ValueError, TypeError)):
+            b.load_state(state)
+
+
+class TestDRAMRoundTrip:
+    def test_dram_roundtrip(self):
+        a = DRAM()
+        for i in range(300):
+            a.access((i * 2897) << 6, i * 3, is_prefetch=i % 3 == 0)
+        state = roundtrip(a.state_dict())
+        b = DRAM()
+        b.load_state(state)
+        assert b.state_dict() == a.state_dict()
+        for i in range(100):
+            cycle = 1000 + i * 3
+            assert a.access((i * 977) << 6, cycle) == b.access((i * 977) << 6, cycle)
+
+    def test_channel_count_mismatch_rejected(self):
+        from repro.memory.dram import DRAMConfig
+
+        a = DRAM(DRAMConfig(channels=2))
+        state = roundtrip(a.state_dict())
+        b = DRAM(DRAMConfig(channels=1))
+        with pytest.raises(ValueError):
+            b.load_state(state)
+
+
+class TestPrefetcherRoundTrips:
+    SCHEMES = ["none", "next-line", "spp", "bop", "stride", "vldp", "ampm", "da-ampm", "ppf"]
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_roundtrip_preserves_behaviour(self, scheme):
+        a = make_prefetcher(scheme)
+        drive_prefetcher(a, random.Random(5), 600)
+        state = roundtrip(a.state_dict())
+
+        b = make_prefetcher(scheme)
+        b.load_state(state)
+        assert b.state_dict() == a.state_dict()
+
+        rng_a, rng_b = random.Random(13), random.Random(13)
+        after_a = drive_prefetcher(a, rng_a, 300, base_cycle=600)
+        after_b = drive_prefetcher(b, rng_b, 300, base_cycle=600)
+        assert after_a == after_b
+        assert b.state_dict() == a.state_dict()
+
+    def test_ppf_identity_mismatch_rejected(self):
+        a = make_prefetcher("ppf")
+        drive_prefetcher(a, random.Random(5), 100)
+        state = roundtrip(a.state_dict())
+        state["filter"]["tables"] = state["filter"]["tables"][:-1]
+        b = make_prefetcher("ppf")
+        with pytest.raises(ValueError):
+            b.load_state(state)
+
+
+class TestCoreRoundTrip:
+    class _StubHierarchy:
+        """Deterministic latency source so the core runs standalone."""
+
+        def access(self, core_id, pc, addr, cycle):
+            class _R:
+                pass
+
+            r = _R()
+            r.ready_cycle = cycle + (17 if (addr >> 6) % 5 == 0 else 0)
+            return r
+
+    def test_o3core_roundtrip(self):
+        from repro.cpu.o3core import O3Core
+        from repro.cpu.trace import TraceRecord
+
+        def records(rng, n):
+            return [
+                TraceRecord(pc=0x400000 + rng.randrange(8) * 4,
+                            addr=rng.randrange(1 << 16) << 6,
+                            bubble=rng.randrange(6))
+                for _ in range(n)
+            ]
+
+        a = O3Core(0, self._StubHierarchy())
+        for rec in records(random.Random(2), 500):
+            a.step(rec)
+        state = roundtrip(a.state_dict())
+
+        b = O3Core(0, self._StubHierarchy())
+        b.load_state(state)
+        assert b.state_dict() == a.state_dict()
+        tail = records(random.Random(4), 200)
+        for rec in tail:
+            a.step(rec)
+        for rec in tail:
+            b.step(rec)
+        a.drain()
+        b.drain()
+        assert (a.cycle, a.instructions) == (b.cycle, b.instructions)
+        assert b.state_dict() == a.state_dict()
+
+
+class TestTraceStreamRoundTrip:
+    def test_midstream_roundtrip(self):
+        from repro.workloads.spec2017 import workload_by_name
+
+        spec = workload_by_name("605.mcf_s")
+        a = spec.trace(500, seed=8)
+        it = iter(a)
+        for _ in range(200):
+            next(it)
+        state = roundtrip(a.state_dict())
+        b = spec.trace(500, seed=8)
+        b.load_state(state)
+        rest_a = [(r.pc, r.addr, r.bubble) for r in it]
+        rest_b = [(r.pc, r.addr, r.bubble) for r in b]
+        assert rest_a == rest_b
+        assert len(rest_a) == 300
+
+
+class TestSnapshotFiles:
+    def _snapshot(self):
+        return Snapshot(kind="single_core", payload={"x": [1, 2], "m": [[3, "a"]]},
+                        meta={"phase": "warmup"})
+
+    def test_bytes_roundtrip(self):
+        snap = self._snapshot()
+        back = loads(dumps(snap))
+        assert (back.kind, back.payload, back.meta, back.schema_version) == (
+            snap.kind, snap.payload, snap.meta, CHECKPOINT_SCHEMA_VERSION,
+        )
+
+    def test_file_roundtrip_atomic(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        save_snapshot(path, self._snapshot())
+        assert load_snapshot(path).payload == self._snapshot().payload
+        assert list(tmp_path.iterdir()) == [path]  # no leftover temp files
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a zlib stream")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+        truncated = dumps(self._snapshot())[:10]
+        path.write_bytes(truncated)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        snap = self._snapshot()
+        snap.schema_version = CHECKPOINT_SCHEMA_VERSION + 1
+        path = tmp_path / "future.ckpt"
+        save_snapshot(path, snap)
+        with pytest.raises(SnapshotSchemaError):
+            load_snapshot(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "absent.ckpt")
+
+
+class TestSnapshotStore:
+    def test_miss_hit_and_corruption_fallback(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.load("k1") is None  # miss
+        store.save("k1", Snapshot(kind="single_core", payload={"v": 1}))
+        loaded = store.load("k1")  # hit
+        assert loaded is not None and loaded.payload == {"v": 1}
+        # Corrupt the entry on disk: the store degrades to a miss, never raises.
+        store.path_for("k1").write_bytes(b"garbage")
+        assert store.load("k1") is None
+        assert store.hits == 1 and store.misses == 2
+        assert 0.0 < store.hit_rate < 1.0

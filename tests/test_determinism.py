@@ -84,6 +84,54 @@ class TestParallelDeterminism:
             assert serial.runs[cell] == parallel.runs[cell], cell
 
 
+class TestSnapshotStreamDeterminism:
+    """Every workload generator's RNG stream survives a snapshot.
+
+    Each catalog trace is advanced partway, its ``state_dict`` is JSON
+    round-tripped (exactly what the on-disk snapshot applies), and the
+    remaining records are produced twice: by the live stream in this
+    process and by a restore in a *fresh spawn process* — so no leftover
+    interpreter state can mask a broken RNG encoding.  The streams must
+    match record for record.
+    """
+
+    N_RECORDS, CUT, SEED = 600, 250, 11
+
+    def _snapshot_jobs(self):
+        import json
+
+        jobs, expected = [], []
+        for spec in spec2017_workloads():
+            trace = spec.trace(self.N_RECORDS, seed=self.SEED)
+            it = iter(trace)
+            for _ in range(self.CUT):
+                next(it)
+            state = json.loads(json.dumps(trace.state_dict(), separators=(",", ":")))
+            jobs.append((spec.name, self.N_RECORDS, self.SEED, state))
+            expected.append([(rec.pc, rec.addr, rec.bubble) for rec in it])
+        return jobs, expected
+
+    def test_every_workload_stream_resumes_in_process(self):
+        from repro.checkpoint.replay import remaining_records
+
+        jobs, expected = self._snapshot_jobs()
+        for job, want in zip(jobs, expected):
+            assert remaining_records(*job) == want, job[0]
+            assert len(want) == self.N_RECORDS - self.CUT
+
+    def test_every_workload_stream_resumes_in_fresh_process(self):
+        import multiprocessing
+
+        from repro.checkpoint.replay import replay_batch
+
+        jobs, expected = self._snapshot_jobs()
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:  # one child: spawn startup dominates
+            resumed = pool.apply(replay_batch, (jobs,))
+        for job, want, got in zip(jobs, expected, resumed):
+            assert got == want, job[0]
+
+
 class TestSamplingDeterminism:
     def test_mix_builders(self):
         def names(mixes):

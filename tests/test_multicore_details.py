@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SimConfig
-from repro.sim.multi_core import _endless_trace, run_multi_core
+from repro.sim.multi_core import _EndlessTrace, run_multi_core
 from repro.sim.runner import ExperimentRunner
 from repro.workloads.mixes import WorkloadMix
 from repro.workloads.spec2017 import workload_by_name
@@ -18,8 +18,8 @@ def tiny_multicore(cores):
 class TestAddressRelocation:
     def test_cores_get_disjoint_regions(self):
         workload = workload_by_name("603.bwaves_s")
-        trace0 = _endless_trace(workload, 100, seed=1, core=0)
-        trace1 = _endless_trace(workload, 100, seed=1, core=1)
+        trace0 = _EndlessTrace(workload, 100, seed=1, core=0)
+        trace1 = _EndlessTrace(workload, 100, seed=1, core=1)
         addrs0 = {next(trace0).addr for _ in range(50)}
         addrs1 = {next(trace1).addr for _ in range(50)}
         assert not addrs0 & addrs1
@@ -27,7 +27,7 @@ class TestAddressRelocation:
     def test_relocation_preserves_offsets(self):
         workload = workload_by_name("603.bwaves_s")
         base = list(workload.trace(50, seed=1))
-        relocated_iter = _endless_trace(workload, 50, seed=1, core=3)
+        relocated_iter = _EndlessTrace(workload, 50, seed=1, core=3)
         relocated = [next(relocated_iter) for _ in range(50)]
         for rec_base, rec_reloc in zip(base, relocated):
             assert rec_reloc.addr - rec_base.addr == 3 << 44
@@ -36,7 +36,7 @@ class TestAddressRelocation:
 
     def test_replay_lap_changes_seed(self):
         workload = workload_by_name("605.mcf_s")
-        trace = _endless_trace(workload, 30, seed=1, core=0)
+        trace = _EndlessTrace(workload, 30, seed=1, core=0)
         lap1 = [next(trace) for _ in range(30)]
         lap2 = [next(trace) for _ in range(30)]
         assert [r.addr for r in lap1] != [r.addr for r in lap2]
