@@ -1,0 +1,122 @@
+"""CI trace smoke (trace-smoke job).
+
+Records a short traced run, exports every telemetry artifact, and
+validates them against the ``repro.telemetry/v1`` schema:
+
+1. run one PPF cell with tracing on (``--probe-every 500``),
+2. export JSONL events + Chrome trace + time-series JSON/CSV,
+3. re-read each artifact and schema-validate it,
+4. assert the probe families the acceptance criteria promise
+   (≥5 distinct series spanning cache/core/dram/spp/ppf),
+5. prove the traced run left the statistics untouched versus an
+   untraced twin (only ``telemetry.*`` bookkeeping keys may differ).
+
+Writes ``TRACE_sim.json`` (the uploadable Perfetto trace) plus
+``TRACE_smoke.json`` (the check report) into the working directory and
+exits non-zero on any failed check.
+"""
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.single_core import run_single_core  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    Telemetry,
+    TelemetrySchemaError,
+    validate_chrome_trace,
+    validate_timeseries,
+)
+from repro.telemetry.export import read_events_jsonl  # noqa: E402
+from repro.workloads import find_workload  # noqa: E402
+
+CONFIG = SimConfig.quick(measure_records=4_000, warmup_records=1_000)
+WORKLOAD = "605.mcf_s"
+SEED = 3
+PROBE_EVERY = 500
+
+
+def main() -> int:
+    workload = find_workload(WORKLOAD)
+    untraced = run_single_core(workload, "ppf", CONFIG, seed=SEED, telemetry=None)
+    session = Telemetry(probe_every=PROBE_EVERY)
+    traced = run_single_core(workload, "ppf", CONFIG, seed=SEED, telemetry=session)
+
+    checks = {}
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as td:
+        paths = session.export(
+            td, meta={"workload": WORKLOAD, "prefetcher": "ppf", "seed": SEED}
+        )
+        try:
+            chrome = json.loads(Path(paths["chrome_trace"]).read_text())
+            event_count = validate_chrome_trace(chrome)
+            checks["chrome_trace_schema_valid"] = True
+            checks["chrome_trace_has_events"] = event_count > 0
+        except (TelemetrySchemaError, ValueError) as err:
+            print(f"chrome trace invalid: {err}", file=sys.stderr)
+            checks["chrome_trace_schema_valid"] = False
+
+        try:
+            timeseries = json.loads(Path(paths["timeseries_json"]).read_text())
+            series_count = validate_timeseries(timeseries)
+            checks["timeseries_schema_valid"] = True
+            checks["timeseries_at_least_5_series"] = series_count >= 5
+            families = {name.split(".")[0] for name in timeseries["series"]}
+            checks["all_probe_families_present"] = families >= {
+                "cache",
+                "core",
+                "dram",
+                "spp",
+                "ppf",
+            }
+        except (TelemetrySchemaError, ValueError) as err:
+            print(f"timeseries invalid: {err}", file=sys.stderr)
+            checks["timeseries_schema_valid"] = False
+            series_count = 0
+
+        try:
+            log = read_events_jsonl(paths["events"])
+            checks["events_jsonl_readable"] = (
+                log["header"]["kind"] == "events" and len(log["events"]) > 0
+            )
+        except (ValueError, KeyError) as err:
+            print(f"events log invalid: {err}", file=sys.stderr)
+            checks["events_jsonl_readable"] = False
+
+        shutil.copy(paths["chrome_trace"], "TRACE_sim.json")
+
+    def stripped(stats):
+        return {k: v for k, v in stats.items() if not k.startswith("telemetry.")}
+
+    checks["traced_stats_bit_identical"] = (
+        traced.instructions == untraced.instructions
+        and traced.cycles == untraced.cycles
+        and stripped(traced.stats) == stripped(untraced.stats)
+    )
+    checks["no_events_dropped"] = session.tracer.dropped == 0
+
+    report = {
+        "workload": WORKLOAD,
+        "probe_every": PROBE_EVERY,
+        "events": len(session.tracer.events()),
+        "series": series_count,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    Path("TRACE_smoke.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"trace smoke FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("trace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

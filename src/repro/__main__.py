@@ -10,11 +10,20 @@ Subcommands:
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
 * ``sweep [--jobs N] [--cache-dir D] [--timeout S] [--retries N]
   [--ledger PATH] [--snapshot-dir D] [--checkpoint-every N]
-  [--resume LEDGER] [--profile PATH]`` — parallel, cached,
-  fault-tolerant suite sweep (exits non-zero when cells stay
-  unrecovered after retry + fallback); ``--snapshot-dir`` reuses warmup
-  snapshots across cells and runs, ``--resume`` adopts completed cells
-  from a crashed run's ledger
+  [--resume LEDGER] [--profile PATH] [--trace DIR] [--live|--quiet]``
+  — parallel, cached, fault-tolerant suite sweep (exits non-zero when
+  cells stay unrecovered after retry + fallback); ``--snapshot-dir``
+  reuses warmup snapshots across cells and runs, ``--resume`` adopts
+  completed cells from a crashed run's ledger, ``--trace`` records the
+  cell schedule as telemetry artifacts, ``--live``/``--quiet`` force
+  the TTY progress line on/off
+* ``trace record --workload W [--prefetcher P] [--probe-every N]
+  --out DIR`` — run one traced simulation and export its telemetry
+  artifacts (JSONL events, Chrome trace, time-series JSON/CSV)
+* ``trace export LEDGER --out DIR`` — convert a sweep ledger's cell
+  lifecycle events into a Perfetto-loadable Chrome trace
+* ``trace summary PATH``     — per-series min/mean/max table of a
+  recorded time-series artifact (a ``timeseries.json`` or its directory)
 * ``checkpoint save PATH --workload W`` — warm one cell up and write
   its warmup-boundary snapshot
 * ``checkpoint inspect PATH``— schema/kind/section summary of a snapshot
@@ -78,13 +87,38 @@ def _profiled_sweep(args: argparse.Namespace, runner, workloads):
     return _profiled(args.profile, lambda: runner.sweep(workloads, args.prefetchers))
 
 
+def _make_session(args: argparse.Namespace):
+    """A telemetry session when ``--trace`` was given, else ``None``."""
+    if not getattr(args, "trace", None):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry(probe_every=getattr(args, "probe_every", None) or 1000)
+
+
+def _export_session(session, out_dir: str) -> None:
+    paths = session.export(out_dir)
+    print(f"telemetry: {len(session.tracer.events())} event(s), "
+          f"{len(session.series())} series -> {out_dir}")
+    for name in sorted(paths):
+        print(f"  {name}: {paths[name]}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
+    session = _make_session(args)
 
     def work() -> int:
-        print(run_experiment(args.id, config))
+        if session is None:
+            print(run_experiment(args.id, config))
+            return 0
+        from .telemetry import activate
+
+        with activate(session):
+            print(run_experiment(args.id, config))
+        _export_session(session, args.trace)
         return 0
 
     return _profiled(args.profile, work)
@@ -101,13 +135,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
-    baseline = run_single_core(workload, "none", config)
-    result = run_single_core(workload, args.prefetcher, config)
+    session = _make_session(args)
+    baseline = run_single_core(workload, "none", config, telemetry=None)
+    result = run_single_core(workload, args.prefetcher, config, telemetry=session)
     print(
         f"{workload.name} / {args.prefetcher}: "
         f"ipc={result.ipc:.3f} speedup={result.ipc / baseline.ipc:.3f} "
         f"accuracy={result.accuracy:.2f} l2mpki={result.l2_mpki:.2f}"
     )
+    if session is not None:
+        _export_session(session, args.trace)
     return 0
 
 
@@ -164,10 +201,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (UnknownComponentError, ValueError) as err:
         print(f"repro sweep: error: {err}", file=sys.stderr)
         return 2
+
+    from .telemetry import LiveProgress
+
+    schemes = list(args.prefetchers)
+    if "none" not in schemes:
+        schemes = ["none"] + schemes
+    progress = LiveProgress(
+        total=len(workloads) * len(schemes),
+        enabled=True if args.live else (False if args.quiet else None),
+    )
+    runner.add_observer(progress)
+    session = _make_session(args)
+    if session is not None:
+        from .telemetry.tracer import Event
+
+        def _trace_lifecycle(record):
+            if record.get("event") != "lifecycle":
+                return
+            args_out = {
+                k: v
+                for k, v in record.items()
+                if k not in ("event", "phase", "t")
+            }
+            session.tracer.emit(
+                Event(
+                    f"{record['workload']}/{record['prefetcher']}:{record['phase']}",
+                    "sweep",
+                    "I",
+                    record["t"],
+                    args=args_out,
+                )
+            )
+
+        runner.add_observer(_trace_lifecycle)
+
     if args.resume:
         adopted = runner.preload_from_ledger(args.resume)
         print(f"resume: adopted {adopted} completed cell(s) from {args.resume}")
-    result = _profiled_sweep(args, runner, workloads)
+    try:
+        result = _profiled_sweep(args, runner, workloads)
+    finally:
+        progress.close()
+    if session is not None:
+        _export_session(session, args.trace)
     report = result.failure_report
     for scheme in args.prefetchers:
         print(f"{scheme}:")
@@ -246,6 +323,94 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0 if outcome["equal"] else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import Telemetry, TelemetrySchemaError, validate_timeseries
+    from .telemetry import export as tele_export
+    from .telemetry.tracer import Event
+
+    if args.action == "record":
+        try:
+            workload = find_workload(args.workload)
+        except UnknownComponentError as err:
+            print(f"repro trace: error: {err}", file=sys.stderr)
+            return 2
+        config = SimConfig.quick(
+            measure_records=args.records, warmup_records=args.records // 4
+        )
+        session = Telemetry(probe_every=args.probe_every)
+        result = run_single_core(
+            workload, args.prefetcher, config, seed=args.seed, telemetry=session
+        )
+        print(
+            f"{workload.name} / {args.prefetcher}: ipc={result.ipc:.3f} "
+            f"({len(session.tracer.events())} events, "
+            f"{len(session.series())} series)"
+        )
+        _export_session(session, args.out)
+        return 0
+
+    if args.action == "export":
+        ledger_path = Path(args.ledger)
+        if not ledger_path.exists():
+            print(f"repro trace: error: no ledger at {ledger_path}", file=sys.stderr)
+            return 2
+        events = []
+        open_cells: dict = {}
+        for line in ledger_path.read_text().splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("event") != "lifecycle":
+                continue
+            cell = f"{entry.get('workload')}/{entry.get('prefetcher')}"
+            phase = entry.get("phase")
+            t = entry.get("t", 0.0)
+            if phase == "started":
+                open_cells[cell] = t
+            elif phase == "finished" and cell in open_cells:
+                start = open_cells.pop(cell)
+                events.append(
+                    Event(cell, "sweep", "X", start, dur=max(0.0, t - start),
+                          args={"ok": entry.get("ok", True)})
+                )
+                continue
+            events.append(Event(f"{cell}:{phase}", "sweep", "I", t))
+        events.sort(key=lambda e: e.ts)
+        os.makedirs(args.out, exist_ok=True)
+        path = tele_export.write_chrome_trace(
+            events, str(Path(args.out) / "TRACE_sweep.json"), {"source": str(ledger_path)}
+        )
+        print(f"{len(events)} lifecycle event(s) -> {path}")
+        return 0
+
+    # summary
+    from .harness.report import render_table
+
+    target = Path(args.path)
+    if target.is_dir():
+        target = target / "timeseries.json"
+    try:
+        document = json.loads(target.read_text())
+    except (OSError, ValueError) as err:
+        print(f"repro trace: error: {target}: {err}", file=sys.stderr)
+        return 2
+    try:
+        count = validate_timeseries(document)
+    except TelemetrySchemaError as err:
+        print(f"repro trace: error: {target}: {err}", file=sys.stderr)
+        return 2
+    rows = tele_export.summary_rows(document)
+    print(
+        render_table(
+            ["series", "unit", "samples", "min", "mean", "max", "last"],
+            rows,
+            title=f"{count} series ({target})",
+        )
+    )
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
@@ -294,6 +459,19 @@ def main(argv: list | None = None) -> int:
         default=None,
         help="run under cProfile and dump pstats to PATH",
     )
+    run_parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record telemetry for directly-driven runs and export to DIR",
+    )
+    run_parser.add_argument(
+        "--probe-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="probe sampling cadence in trace records (with --trace)",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -327,6 +505,19 @@ def main(argv: list | None = None) -> int:
         "--rebaseline",
         action="store_true",
         help="record this run as benchmarks/baseline_pre_pr.json instead",
+    )
+    bench_parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="with a workload: record telemetry and export artifacts to DIR",
+    )
+    bench_parser.add_argument(
+        "--probe-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="probe sampling cadence in trace records (with --trace)",
     )
 
     sweep_parser = sub.add_parser(
@@ -393,6 +584,30 @@ def main(argv: list | None = None) -> int:
         default=None,
         help="profile the sweep (parent process) and dump pstats to PATH",
     )
+    sweep_parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record the cell schedule as telemetry artifacts in DIR",
+    )
+    sweep_parser.add_argument(
+        "--probe-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="probe cadence for any directly-driven runs (with --trace)",
+    )
+    live_group = sweep_parser.add_mutually_exclusive_group()
+    live_group.add_argument(
+        "--live",
+        action="store_true",
+        help="force the one-line stderr progress renderer on",
+    )
+    live_group.add_argument(
+        "--quiet",
+        action="store_true",
+        help="force the progress renderer off (default: on only for a TTY)",
+    )
 
     checkpoint_parser = sub.add_parser(
         "checkpoint", help="save / inspect / diff simulation snapshots"
@@ -419,6 +634,38 @@ def main(argv: list | None = None) -> int:
         "--limit", type=int, default=40, help="max differing leaves to report"
     )
 
+    trace_parser = sub.add_parser(
+        "trace", help="record / export / summarize telemetry artifacts"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="action", required=True)
+    record_parser = trace_sub.add_parser(
+        "record", help="run one traced simulation and export its artifacts"
+    )
+    record_parser.add_argument("--workload", required=True)
+    record_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
+    record_parser.add_argument("--records", type=int, default=20_000)
+    record_parser.add_argument("--seed", type=int, default=1)
+    record_parser.add_argument(
+        "--probe-every", type=int, default=1000, metavar="N",
+        help="probe sampling cadence in trace records",
+    )
+    record_parser.add_argument(
+        "--out", default="trace-out", metavar="DIR", help="artifact directory"
+    )
+    export_parser = trace_sub.add_parser(
+        "export", help="Chrome trace from a sweep ledger's lifecycle events"
+    )
+    export_parser.add_argument("ledger", help="JSONL run ledger (sweep --ledger)")
+    export_parser.add_argument(
+        "--out", default="trace-out", metavar="DIR", help="artifact directory"
+    )
+    summary_parser = trace_sub.add_parser(
+        "summary", help="per-series table of a recorded time-series artifact"
+    )
+    summary_parser.add_argument(
+        "path", help="timeseries.json (or the directory holding one)"
+    )
+
     sub.add_parser("workloads", help="list modelled workloads")
 
     validate_parser = sub.add_parser("validate", help="run the reproduction scorecard")
@@ -433,6 +680,7 @@ def main(argv: list | None = None) -> int:
         "run": _cmd_run,
         "bench": _cmd_bench,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
         "checkpoint": _cmd_checkpoint,
         "workloads": _cmd_workloads,
         "validate": _cmd_validate,

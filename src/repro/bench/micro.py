@@ -16,6 +16,9 @@ The operation each layer counts:
 * ``filter_training``      — perceptron training updates
 * ``end_to_end_single_core`` — trace records through a full PPF run
 * ``end_to_end_no_prefetch`` — trace records through a no-prefetch run
+* ``telemetry_disabled_overhead`` — the PPF run with telemetry forced off
+  (its wall time vs ``end_to_end_single_core`` is the disabled-telemetry
+  overhead; gated at ≤2% in ``tests/test_telemetry_overhead.py``)
 * ``sweep_warmup_cold``    — records through one warmup-heavy sweep cell
 * ``sweep_warmup_reuse``   — same cell served from a warmup snapshot
   (the ops_per_sec ratio of the pair is the warmup-reuse speedup)
@@ -254,6 +257,33 @@ def _bench_end_to_end_ppf(ops: int) -> Callable[[], int]:
 @_benchmark("end_to_end_no_prefetch", ops=10_000)
 def _bench_end_to_end_none(ops: int) -> Callable[[], int]:
     return _end_to_end("none", ops)
+
+
+@_benchmark("telemetry_disabled_overhead", ops=10_000)
+def _bench_telemetry_disabled(ops: int) -> Callable[[], int]:
+    """``end_to_end_single_core`` with telemetry explicitly disabled.
+
+    Passing ``telemetry=None`` is the exact call every sweep worker
+    makes; the only extra work versus ``end_to_end_single_core`` is the
+    one per-``advance`` attribute check that guards the instrumented
+    branch.  The gate: this benchmark's wall time stays within 2% of
+    ``end_to_end_single_core`` (asserted structurally in
+    ``tests/test_telemetry_overhead.py``; measured numbers live in
+    ``docs/performance.md``).
+    """
+    from ..sim.config import SimConfig
+    from ..sim.single_core import run_single_core
+    from ..workloads.spec2017 import workload_by_name
+
+    warmup = ops // 5
+    config = SimConfig.quick(measure_records=ops - warmup, warmup_records=warmup)
+    workload = workload_by_name("623.xalancbmk_s")
+
+    def run() -> int:
+        run_single_core(workload, "ppf", config, seed=1, telemetry=None)
+        return ops
+
+    return run
 
 
 # -- layer 5: sweep warmup reuse -------------------------------------------------

@@ -284,6 +284,29 @@ class PerceptronFilter:
 
         return WEIGHT_MIN * len(self.features)
 
+    def weight_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-feature weight-health metrics for telemetry probes.
+
+        ``abs_mean`` tracks how far a table has trained away from zero;
+        ``saturation`` is the fraction of entries pinned at either rail
+        (WEIGHT_MIN/WEIGHT_MAX), the early-warning sign that a feature
+        has run out of dynamic range.  Pure read: safe to sample mid-run.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, weights in zip(self._feature_names, self._weight_lists):
+            entries = len(weights)
+            magnitude = 0
+            saturated = 0
+            for value in weights:
+                magnitude += value if value >= 0 else -value
+                if value <= WEIGHT_MIN or value >= WEIGHT_MAX:
+                    saturated += 1
+            summary[name] = {
+                "abs_mean": magnitude / entries,
+                "saturation": saturated / entries,
+            }
+        return summary
+
     def table_for(self, feature_name: str) -> WeightTable:
         for feature, table in zip(self.features, self.tables):
             if feature.name == feature_name:

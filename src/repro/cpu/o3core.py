@@ -155,6 +155,31 @@ class O3Core:
         self.drain()
         return self.result()
 
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def outstanding_loads(self) -> int:
+        """In-flight loads right now (the ROB-window occupancy probe)."""
+        return len(self._outstanding)
+
+    @property
+    def measured_instructions(self) -> int:
+        """Instructions retired since the measurement window opened."""
+        return self.instructions - self._measure_start_instructions
+
+    @property
+    def measured_cycles(self) -> int:
+        """Cycles elapsed since the measurement window opened."""
+        return self.cycle - self._measure_start_cycle
+
+    @property
+    def measured_ipc(self) -> float:
+        """IPC over the open measurement window (0.0 before any cycle)."""
+        cycles = self.measured_cycles
+        if cycles <= 0:
+            return 0.0
+        return self.measured_instructions / cycles
+
     # -- measurement windows ---------------------------------------------------
 
     def begin_measurement(self) -> None:

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..sim.config import SimConfig
 from . import ablations, constraints, figure01, figure09, figure10, figure13
-from . import figures02_05, figures06_08, figures11_12, tables
+from . import figures02_05, figures06_08, figures11_12, phase_plot, tables
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,10 @@ def _ablations(config: Optional[SimConfig]) -> str:
     return ablations.report(ablations.run_ablations(config=config))
 
 
+def _phase(config: Optional[SimConfig]) -> str:
+    return phase_plot.report(phase_plot.run_phase_plot(config=config))
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in (
@@ -93,6 +97,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("sec6.3", "Section 6.3", "memory-constraint studies", _sec63),
         Experiment("fig13", "Figure 13", "cross-validation on unseen workloads", _fig13),
         Experiment("ablations", "DESIGN.md", "PPF design-choice ablations", _ablations),
+        Experiment("phase", "Telemetry", "probe time-series phase plot", _phase),
     )
 }
 

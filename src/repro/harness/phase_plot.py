@@ -1,0 +1,155 @@
+"""Phase plots: program-phase behaviour from telemetry time-series.
+
+A traced run samples probes every N accesses (see ``repro.telemetry``),
+yielding per-metric time-series over simulated cycles.  This module
+turns those series into the repo's plain-text equivalent of a phase
+plot: one sparkline row per metric, aligned on the shared time axis,
+plus a summary table.  It consumes either a live :class:`Telemetry`
+session or an exported ``timeseries.json`` document, so
+``python -m repro run --trace`` artifacts replay offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..telemetry import Telemetry, TimeSeries, activate
+from ..telemetry.export import summary_rows, timeseries_document
+from ..telemetry.schema import validate_timeseries
+from .report import render_table
+
+#: The default series shown by the ``phase`` experiment: one headline
+#: metric per probe family, spanning core, cache, DRAM, SPP and PPF.
+DEFAULT_SERIES = (
+    "core.ipc",
+    "cache.l2_mpki",
+    "dram.row_hit_rate",
+    "spp.mean_confidence",
+    "ppf.accept_rate",
+)
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass
+class PhasePlotResult:
+    """Sampled time-series plus the context they came from."""
+
+    workload: str
+    prefetcher: str
+    probe_every: int
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def document(self) -> dict:
+        """The result as a schema-valid timeseries document."""
+        return timeseries_document(
+            self.series,
+            meta={
+                "workload": self.workload,
+                "prefetcher": self.prefetcher,
+                "probe_every": self.probe_every,
+            },
+        )
+
+
+def run_phase_plot(
+    workload_name: str = "605.mcf_s",
+    prefetcher: str = "ppf",
+    config: Optional[SimConfig] = None,
+    seed: int = 1,
+    probe_every: int = 500,
+) -> PhasePlotResult:
+    """Trace one single-core run and collect its probe time-series."""
+    from ..sim.single_core import run_single_core
+    from ..workloads import find_workload
+
+    config = config or SimConfig.quick()
+    workload = find_workload(workload_name)
+    session = Telemetry(probe_every=probe_every)
+    with activate(session):
+        run_single_core(workload, prefetcher, config, seed=seed)
+    return PhasePlotResult(
+        workload=workload_name,
+        prefetcher=prefetcher,
+        probe_every=probe_every,
+        series=dict(session.series()),
+    )
+
+
+def result_from_document(document: Mapping) -> PhasePlotResult:
+    """Rebuild a result from an exported ``timeseries.json`` document."""
+    validate_timeseries(dict(document))
+    meta = document.get("meta", {})
+    series: Dict[str, TimeSeries] = {}
+    for name, body in document["series"].items():
+        ts = TimeSeries(name, unit=body.get("unit", ""))
+        for t, v in zip(body["t"], body["v"]):
+            ts.append(t, v)
+        series[name] = ts
+    return PhasePlotResult(
+        workload=str(meta.get("workload", "?")),
+        prefetcher=str(meta.get("prefetcher", "?")),
+        probe_every=int(meta.get("probe_every", 0)),
+        series=series,
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Resample ``values`` to ``width`` columns of density glyphs.
+
+    Each column shows the mean of its time slice, scaled between the
+    series min and max; a flat series renders as a flat mid line.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    columns: List[str] = []
+    n = len(values)
+    width = min(width, n)
+    top = len(_SPARK_LEVELS) - 1
+    for col in range(width):
+        start = col * n // width
+        stop = max(start + 1, (col + 1) * n // width)
+        mean = sum(values[start:stop]) / (stop - start)
+        level = top // 2 if span == 0 else round(top * (mean - lo) / span)
+        columns.append(_SPARK_LEVELS[level])
+    return "".join(columns)
+
+
+def report(
+    result: PhasePlotResult,
+    series_names: Optional[Sequence[str]] = None,
+    width: int = 60,
+) -> str:
+    """Render the phase plot: sparklines over time plus a summary table."""
+    names = list(series_names or DEFAULT_SERIES)
+    present = [name for name in names if name in result.series]
+    missing = [name for name in names if name not in result.series]
+    title = (
+        f"Phase plot — {result.workload} / {result.prefetcher}"
+        f" (probe every {result.probe_every} accesses)"
+    )
+    lines = [title, "=" * len(title)]
+    if present:
+        label_width = max(len(name) for name in present)
+        for name in present:
+            ts = result.series[name]
+            lines.append(f"{name.ljust(label_width)} |{sparkline(ts.v, width)}|")
+        first = result.series[present[0]]
+        if first.t:
+            axis = f"cycles {first.t[0]:.0f} .. {first.t[-1]:.0f}"
+            lines.append(f"{''.ljust(label_width)}  {axis}")
+    if missing:
+        lines.append(f"(no samples for: {', '.join(missing)})")
+    document = timeseries_document({name: result.series[name] for name in present})
+    lines.append("")
+    lines.append(
+        render_table(
+            ["series", "unit", "samples", "min", "mean", "max", "last"],
+            summary_rows(document),
+        )
+    )
+    return "\n".join(lines)

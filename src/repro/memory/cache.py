@@ -244,6 +244,15 @@ class Cache:
         """Total number of lines currently resident (for tests)."""
         return sum(len(lines) for lines in self._sets.values())
 
+    @property
+    def capacity_blocks(self) -> int:
+        """How many lines fit (sets × ways)."""
+        return self.num_sets * self.associativity
+
+    def occupancy(self) -> float:
+        """Resident fraction of capacity — a telemetry probe signal."""
+        return self.resident_blocks() / self.capacity_blocks
+
     def reset_stats(self) -> None:
         self.stats.reset()
 

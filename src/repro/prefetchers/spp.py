@@ -335,6 +335,32 @@ class SPP(Prefetcher):
     def pattern_entry_count(self) -> int:
         return len(self._pattern_table)
 
+    def confidence_summary(self) -> Dict[str, float]:
+        """Mean/max per-delta confidence over the live pattern table.
+
+        Read-only telemetry: confidences are computed exactly as the
+        lookahead walk does (``100 * C_delta // C_sig``) but nothing is
+        touched, so sampling this mid-run cannot perturb a simulation.
+        """
+        total = 0
+        count = 0
+        highest = 0
+        for entry in self._pattern_table.values():
+            c_sig = entry.c_sig
+            if c_sig <= 0:
+                continue
+            for c_delta in entry.deltas.values():
+                conf = (100 * c_delta) // c_sig
+                total += conf
+                count += 1
+                if conf > highest:
+                    highest = conf
+        return {
+            "mean_confidence": (total / count) if count else 0.0,
+            "max_confidence": float(highest),
+            "tracked_deltas": float(count),
+        }
+
     def signature_entry_count(self) -> int:
         return len(self._signature_table)
 

@@ -19,6 +19,7 @@ import hashlib
 from typing import Any, Tuple
 
 from ..checkpoint.schema import CHECKPOINT_SCHEMA_VERSION
+from ..telemetry import schema as telemetry_schema
 
 
 def value_fingerprint(value: Any) -> Any:
@@ -48,16 +49,19 @@ def value_fingerprint(value: Any) -> Any:
 def config_fingerprint(config: Any) -> Tuple:
     """Every field of a (nested) dataclass config, as a stable tuple.
 
-    The checkpoint schema version participates: a schema bump changes
-    every fingerprint, so result caches, warmup stores and ledgers from
-    pre-bump builds invalidate together instead of colliding with
-    artifacts whose snapshot payloads no longer load.
+    The checkpoint and telemetry schema versions participate: a schema
+    bump changes every fingerprint, so result caches, warmup stores and
+    ledgers from pre-bump builds invalidate together instead of
+    colliding with artifacts whose snapshot payloads (or recorded trace
+    artifacts) no longer load.  The telemetry version is read off the
+    module at call time so tests can exercise the invalidation.
     """
     if not dataclasses.is_dataclass(config):
         raise TypeError(f"expected a dataclass config, got {type(config).__name__}")
     return (
         type(config).__name__,
         ("checkpoint_schema", CHECKPOINT_SCHEMA_VERSION),
+        ("telemetry_schema", telemetry_schema.TELEMETRY_SCHEMA_VERSION),
         value_fingerprint(config),
     )
 

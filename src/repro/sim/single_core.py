@@ -32,6 +32,9 @@ from ..core.ppf import make_ppf_spp  # noqa: F401  (registers "ppf")
 from ..cpu.o3core import O3Core
 from ..memory.hierarchy import MemoryHierarchy
 from ..prefetchers.base import Prefetcher
+from ..telemetry.probes import ProbeSet
+from ..telemetry.session import _UNSET, Telemetry
+from ..telemetry.session import resolve as _resolve_telemetry
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
 from .fingerprint import fingerprint_digest
@@ -212,15 +215,55 @@ class SingleCoreSim:
         self.consumed = 0
         #: True once the stats were reset at the warmup boundary.
         self.measuring = False
+        #: Active telemetry session and its probes; ``None`` keeps every
+        #: phase on the untouched fast path (see ``advance``).
+        self._telemetry: Optional[Telemetry] = None
+        self._probe_set: Optional[ProbeSet] = None
 
     @property
     def total_records(self) -> int:
         return self.config.warmup_records + self.config.measure_records
 
+    # -- telemetry -------------------------------------------------------------
+
+    def attach_telemetry(
+        self, session: Optional[Telemetry], label: Optional[str] = None
+    ) -> Optional[ProbeSet]:
+        """Record this sim's phases and probe samples into ``session``.
+
+        Discovers every applicable registered probe, mounts their
+        bookkeeping under ``telemetry.`` in the stats tree, and switches
+        ``advance`` onto its instrumented branch.  Probes are strictly
+        read-only and sampling happens *between* trace records, so an
+        instrumented run's simulation state — and every non-``telemetry``
+        stats key — is bit-identical with an uninstrumented one.
+        """
+        if session is None or not session.enabled:
+            return None
+        self._telemetry = session
+        self._probe_set = session.attach(
+            label or f"{self.workload.name}/{self.prefetcher.name}", self
+        )
+        self.hierarchy.stats.attach("telemetry", self._probe_set.stats_adapter())
+        tracer = session.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "run_begin",
+                float(self.core.cycle),
+                args={
+                    "workload": self.workload.name,
+                    "prefetcher": self.prefetcher.name,
+                    "seed": self.seed,
+                },
+            )
+        return self._probe_set
+
     def advance(self, n_records: int) -> int:
         """Step up to ``n_records`` more trace records."""
         if n_records <= 0:
             return 0
+        if self._telemetry is not None:
+            return self._advance_instrumented(n_records)
         step = self.core.step
         taken = 0
         for rec in itertools.islice(self.trace, n_records):
@@ -229,18 +272,80 @@ class SingleCoreSim:
         self.consumed += taken
         return taken
 
+    def _advance_instrumented(self, n_records: int) -> int:
+        """The traced twin of ``advance``: same stepping, plus sampling.
+
+        Runs the identical per-record loop in chunks aligned to the
+        session's ``probe_every`` cadence and samples every probe at
+        each boundary, stamped with the simulated cycle.  Because the
+        simulation work is record-for-record the same calls in the same
+        order, the machine state after N records matches the fast path
+        exactly.
+        """
+        session = self._telemetry
+        probe_set = self._probe_set
+        tracer = session.tracer
+        every = session.probe_every
+        step = self.core.step
+        total_taken = 0
+        remaining = n_records
+        while remaining > 0:
+            to_boundary = every - (self.consumed % every)
+            chunk = to_boundary if to_boundary < remaining else remaining
+            taken = 0
+            for rec in itertools.islice(self.trace, chunk):
+                step(rec)
+                taken += 1
+            self.consumed += taken
+            total_taken += taken
+            remaining -= taken
+            if taken < chunk:
+                break  # trace exhausted
+            if probe_set is not None and self.consumed % every == 0:
+                probe_set.sample(float(self.core.cycle), tracer)
+        return total_taken
+
     def warmup(self) -> None:
+        if self._telemetry is None:
+            self.advance(self.config.warmup_records - self.consumed)
+            return
+        start = self.core.cycle
         self.advance(self.config.warmup_records - self.consumed)
+        tracer = self._telemetry.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "warmup",
+                float(start),
+                float(self.core.cycle - start),
+                args={"records": self.consumed},
+            )
 
     def begin_measurement(self) -> None:
         self.hierarchy.reset_stats()
         self.core.begin_measurement()
         self.measuring = True
+        if self._telemetry is not None and self._telemetry.tracer.enabled:
+            self._telemetry.tracer.instant(
+                "measure_begin", float(self.core.cycle), args={"consumed": self.consumed}
+            )
 
     def measure(self) -> None:
         """Run the remaining records and drain outstanding loads."""
+        if self._telemetry is None:
+            self.advance(self.total_records - self.consumed)
+            self.core.drain()
+            return
+        start = self.core.cycle
         self.advance(self.total_records - self.consumed)
         self.core.drain()
+        tracer = self._telemetry.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "measure",
+                float(start),
+                float(self.core.cycle - start),
+                args={"records": self.consumed},
+            )
 
     def result(self) -> RunResult:
         core_result = self.core.result()
@@ -328,6 +433,7 @@ def run_single_core(
     warmup_store: Optional[SnapshotStore] = None,
     checkpoint_path: Optional[Path | str] = None,
     checkpoint_every: Optional[int] = None,
+    telemetry: Optional[Telemetry] = _UNSET,
 ) -> RunResult:
     """Simulate one workload on one core with one prefetching scheme.
 
@@ -340,10 +446,18 @@ def run_single_core(
     for registry-named schemes — a caller passing a live prefetcher
     instance owns that instance's state.
 
+    ``telemetry`` selects a recording session: omitted, the process's
+    active session (``repro.telemetry.activate``) is used if one exists;
+    an explicit ``None`` forces telemetry off regardless — sweep workers
+    rely on that so cached cell results never carry trace state.  The
+    disabled path does not install a tracer at all, so the per-record
+    loop stays bit-for-bit the PR 3 hot path.
+
     Restores are bit-identical: every path through here reproduces the
     straight run's stats exactly.
     """
     config = config or SimConfig.default()
+    session = _resolve_telemetry(telemetry)
     scheme = prefetcher if isinstance(prefetcher, str) else None
     sim = SingleCoreSim(workload, prefetcher, config, seed)
 
@@ -369,6 +483,13 @@ def run_single_core(
                 sim = SingleCoreSim(workload, scheme, config, seed)
                 save_warmup = True
 
+    if session is not None:
+        sim.attach_telemetry(session)
+        if restored and session.tracer.enabled:
+            session.tracer.instant(
+                "restored", float(sim.core.cycle), args={"consumed": sim.consumed}
+            )
+
     if not sim.measuring:
         sim.warmup()
         if save_warmup:
@@ -380,6 +501,12 @@ def run_single_core(
             sim.advance(min(checkpoint_every, sim.total_records - sim.consumed))
             if sim.consumed < sim.total_records:
                 save_snapshot(checkpoint_path, sim.snapshot("measure"))
+                if session is not None and session.tracer.enabled:
+                    session.tracer.instant(
+                        "checkpoint_save",
+                        float(sim.core.cycle),
+                        args={"consumed": sim.consumed},
+                    )
         sim.core.drain()
     else:
         sim.measure()

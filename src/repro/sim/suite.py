@@ -148,6 +148,8 @@ class RunLedger:
     One object per line: ``{"event": "cell", ...}`` when a cell
     resolves (status, served-from provenance, attempts, wall time),
     ``{"event": "attempt", ...}`` for each failed execution attempt,
+    ``{"event": "lifecycle", ...}`` for each cell state transition
+    (queued/cached/started/retried/finished — the live-progress feed),
     and ``{"event": "sweep", ...}`` summarizing each sweep.
     """
 
@@ -329,6 +331,11 @@ def _simulate_cell(
         warmup_store = SnapshotStore(root)
         if checkpoint_every is not None:
             checkpoint_path = root / f"{_cell_digest(spec.name, prefetcher, config, seed)}.ckpt"
+    # telemetry=None (not merely omitted) pins cells to the untraced
+    # fast path even under an ambient ``repro.telemetry.activate``
+    # session: cached results must never carry trace state, or a traced
+    # sweep and an untraced one would disagree about cache contents.
+    # Sweep observability lives at cell-lifecycle granularity instead.
     result = run_single_core(
         spec,
         prefetcher,
@@ -337,6 +344,7 @@ def _simulate_cell(
         warmup_store=warmup_store,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        telemetry=None,
     )
     if checkpoint_path is not None:
         checkpoint_path.unlink(missing_ok=True)
@@ -404,6 +412,7 @@ class SuiteRunner:
         ledger_path: Optional[Union[str, Path]] = None,
         snapshot_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
+        observers: Optional[Sequence] = None,
     ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
@@ -430,6 +439,37 @@ class SuiteRunner:
         self.stats = StatsNode("sweep")
         self._exec: SweepStats = self.stats.attach("cells", SweepStats())
         self._wall: Accumulator = self.stats.attach("cell_seconds", Accumulator())
+        #: Callables fed every lifecycle record (queued/cached/started/
+        #: retried/finished) as it happens — the live progress renderer
+        #: and anything else that wants to watch a sweep breathe.
+        self.observers: List = list(observers or [])
+        self._sweep_epoch = perf_counter()
+
+    def add_observer(self, observer) -> None:
+        """Subscribe ``observer`` (a callable taking one record dict)."""
+        self.observers.append(observer)
+
+    def _lifecycle(self, phase: str, workload: str, prefetcher: str, **extra) -> None:
+        """Emit one cell state transition to the ledger and observers.
+
+        Timestamps are seconds since the current sweep's epoch — a
+        relative clock, so ledgers don't embed wall-clock time and two
+        recordings of the same sweep stay comparable.
+        """
+        record = {
+            "event": "lifecycle",
+            "phase": phase,
+            "workload": workload,
+            "prefetcher": prefetcher,
+            "t": round(perf_counter() - self._sweep_epoch, 6),
+        }
+        record.update(extra)
+        self._log(**record)
+        for observer in self.observers:
+            try:
+                observer(record)
+            except Exception:
+                pass  # a broken observer must never break the sweep
 
     # -- legacy counter views ----------------------------------------------------
 
@@ -650,6 +690,7 @@ class SuiteRunner:
             names = ["none"] + names
 
         sweep_start = perf_counter()
+        self._sweep_epoch = sweep_start
         report = FailureReport()
         suite = SuiteResult(failure_report=report)
         served = {"memory": 0, "disk": 0}
@@ -672,11 +713,13 @@ class SuiteRunner:
                         error=None,
                         **self._provenance(spec.name, scheme, config),
                     )
+                    self._lifecycle("cached", spec.name, scheme, source=source)
                 else:
                     cell = _Cell(spec, scheme)
                     cell.provenance = self._provenance(spec.name, scheme, config)
                     self._note_snapshot(spec.name, scheme, config)
                     pending.append(cell)
+                    self._lifecycle("queued", spec.name, scheme)
 
         if len(pending) > 1 and self.jobs > 1:
             self._run_parallel(pending, config, suite, report)
@@ -747,6 +790,7 @@ class SuiteRunner:
             snapshot_dir, checkpoint_every = self._snapshot_args()
             for cell in batch:
                 cell.started = perf_counter()
+                self._lifecycle("started", cell.spec.name, cell.scheme, attempt=cell.attempts + 1)
                 inflight[cell] = pool.submit(
                     _simulate_cell,
                     cell.payload,
@@ -871,6 +915,9 @@ class SuiteRunner:
             report.retries += 1
             self._exec.retries += 1
             queue.append(cell)
+            self._lifecycle(
+                "retried", cell.spec.name, cell.scheme, attempt=cell.attempts
+            )
         elif self.policy.fallback_serial:
             fallback.append(cell)
         else:
@@ -897,6 +944,9 @@ class SuiteRunner:
             wall_time=None,
             error=cell.errors[-1] if cell.errors else "unknown",
             **cell.provenance,
+        )
+        self._lifecycle(
+            "finished", cell.spec.name, cell.scheme, ok=False, attempts=cell.attempts
         )
 
     def _complete_pool_cell(
@@ -938,6 +988,14 @@ class SuiteRunner:
             error=cell.errors[-1] if cell.errors else None,
             **cell.provenance,
         )
+        self._lifecycle(
+            "finished",
+            cell.spec.name,
+            cell.scheme,
+            ok=True,
+            salvaged=salvaged,
+            wall_time=round(elapsed, 6),
+        )
 
     def _serial_cell(
         self,
@@ -949,6 +1007,13 @@ class SuiteRunner:
     ) -> None:
         """Run one cell in-process; failures degrade instead of raising."""
         start = perf_counter()
+        self._lifecycle(
+            "started",
+            cell.spec.name,
+            cell.scheme,
+            attempt=cell.attempts + 1,
+            serial=True,
+        )
         try:
             result = _simulate_cell(
                 cell.spec, cell.scheme, config, self.seed, *self._snapshot_args()
@@ -986,4 +1051,11 @@ class SuiteRunner:
             wall_time=elapsed,
             error=cell.errors[-1] if cell.errors else None,
             **cell.provenance,
+        )
+        self._lifecycle(
+            "finished",
+            cell.spec.name,
+            cell.scheme,
+            ok=True,
+            wall_time=round(elapsed, 6),
         )

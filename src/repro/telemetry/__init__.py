@@ -1,0 +1,49 @@
+"""repro.telemetry — low-overhead tracing, probes and observability.
+
+Three pieces, composable but independent:
+
+* :mod:`.tracer` — a ring-buffer event recorder whose disabled path is
+  one attribute read; drivers skip it entirely when no session is
+  active, keeping the simulation hot path bit-identical.
+* :mod:`.probes` — registered read-only probes over stateful components
+  (cache, DRAM, SPP, PPF weights, core), sampled every N accesses into
+  typed time-series.
+* :mod:`.export` — deterministic JSONL / Chrome-trace / CSV / JSON
+  artifact writers, validated by :mod:`.schema`.
+
+:class:`Telemetry` (in :mod:`.session`) ties them together; the suite
+runner separately streams cell lifecycle events to observers like
+:class:`~.live.LiveProgress`.
+"""
+
+from .live import LiveProgress
+from .probes import CallableProbe, Probe, ProbeSet, TimeSeries
+from .schema import (
+    TELEMETRY_SCHEMA,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetrySchemaError,
+    validate_chrome_trace,
+    validate_timeseries,
+)
+from .session import _UNSET, Telemetry, activate, current_session, resolve
+from .tracer import Event, Tracer
+
+__all__ = [
+    "Event",
+    "Tracer",
+    "Probe",
+    "CallableProbe",
+    "ProbeSet",
+    "TimeSeries",
+    "Telemetry",
+    "activate",
+    "current_session",
+    "resolve",
+    "_UNSET",
+    "LiveProgress",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetrySchemaError",
+    "validate_chrome_trace",
+    "validate_timeseries",
+]

@@ -1,0 +1,201 @@
+"""Telemetry exporters: JSONL events, Chrome traces, time-series dumps.
+
+Every artifact carries the schema stamp from :mod:`.schema` and is
+written deterministically (sorted keys, no wall-clock fields) so two
+recordings of the same simulation are byte-identical files.
+
+Artifacts per session:
+
+* ``events.jsonl`` — header line then one event object per line; the
+  cheap, grep-able form.
+* ``TRACE_sim.json`` — Chrome ``trace_event`` "JSON object format",
+  loadable in Perfetto / ``about:tracing``; counter events render as
+  per-category graphs.
+* ``timeseries.json`` / ``timeseries.csv`` — the probe series; the
+  JSON form feeds the harness phase-plot figure, the CSV imports into
+  anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from .schema import TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_VERSION
+
+if TYPE_CHECKING:  # layering: only type names, never runtime imports
+    from .probes import TimeSeries
+    from .session import Telemetry
+
+#: Chrome trace pid for everything we emit (one logical process).
+TRACE_PID = 1
+
+#: Stable tid per event category, so Perfetto groups sim markers,
+#: probe counters and sweep lifecycle onto separate tracks.
+CATEGORY_TIDS = {"sim": 1, "probe": 2, "sweep": 3}
+DEFAULT_TID = 9
+
+
+def _header(kind: str, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    header: Dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "kind": kind,
+    }
+    if meta:
+        header["meta"] = dict(meta)
+    return header
+
+
+def write_events_jsonl(
+    events: List[Any], path: str, meta: Optional[Dict[str, Any]] = None
+) -> str:
+    """Header line + one event per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_header("events", meta), sort_keys=True) + "\n")
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_events_jsonl(path: str) -> Dict[str, Any]:
+    """Parse an events JSONL file into ``{"header": ..., "events": [...]}``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty events file")
+    return {
+        "header": json.loads(lines[0]),
+        "events": [json.loads(line) for line in lines[1:]],
+    }
+
+
+def chrome_trace_document(
+    events: List[Any], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Events as the Chrome trace "JSON object format" document."""
+    trace_events: List[Dict[str, Any]] = []
+    # Name the process and per-category tracks via metadata events.
+    trace_events.append(
+        {
+            "name": "process_name",
+            "cat": "__metadata",
+            "ph": "M",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    )
+    for cat, tid in sorted(CATEGORY_TIDS.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+        )
+    for event in events:
+        record = event.to_dict()
+        record["pid"] = TRACE_PID
+        record["tid"] = CATEGORY_TIDS.get(event.cat, DEFAULT_TID)
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": _header("chrome-trace", meta),
+    }
+
+
+def write_chrome_trace(
+    events: List[Any], path: str, meta: Optional[Dict[str, Any]] = None
+) -> str:
+    document = chrome_trace_document(events, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
+
+
+def timeseries_document(
+    series: Dict[str, "TimeSeries"], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    document = _header("timeseries", meta)
+    document["series"] = {
+        name: track.to_dict() for name, track in sorted(series.items())
+    }
+    return document
+
+
+def write_timeseries_json(
+    series: Dict[str, "TimeSeries"], path: str, meta: Optional[Dict[str, Any]] = None
+) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(timeseries_document(series, meta), handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
+
+
+def write_timeseries_csv(series: Dict[str, "TimeSeries"], path: str) -> str:
+    """Long-form CSV: one ``series,unit,t,v`` row per sample."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("series,unit,t,v\n")
+        for name, track in sorted(series.items()):
+            unit = track.unit
+            for t, v in zip(track.t, track.v):
+                handle.write(f"{name},{unit},{t},{v}\n")
+    return path
+
+
+def export_session(
+    session: "Telemetry", out_dir: str, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, str]:
+    """Write every artifact for a session; returns artifact -> path."""
+    os.makedirs(out_dir, exist_ok=True)
+    events = session.tracer.events()
+    series = session.series()
+    if session.tracer.dropped:
+        meta = dict(meta or {})
+        meta["dropped_events"] = session.tracer.dropped
+    return {
+        "events": write_events_jsonl(events, os.path.join(out_dir, "events.jsonl"), meta),
+        "chrome_trace": write_chrome_trace(
+            events, os.path.join(out_dir, "TRACE_sim.json"), meta
+        ),
+        "timeseries_json": write_timeseries_json(
+            series, os.path.join(out_dir, "timeseries.json"), meta
+        ),
+        "timeseries_csv": write_timeseries_csv(
+            series, os.path.join(out_dir, "timeseries.csv")
+        ),
+    }
+
+
+def summary_rows(document: Dict[str, Any]) -> List[List[str]]:
+    """Table rows summarizing a time-series document (for the CLI)."""
+    rows: List[List[str]] = []
+    for name, body in sorted(document.get("series", {}).items()):
+        values = body.get("v", [])
+        unit = body.get("unit", "")
+        if values:
+            low, high = min(values), max(values)
+            mean = sum(values) / len(values)
+            rows.append(
+                [
+                    name,
+                    unit,
+                    str(len(values)),
+                    f"{low:.4g}",
+                    f"{mean:.4g}",
+                    f"{high:.4g}",
+                    f"{values[-1]:.4g}",
+                ]
+            )
+        else:
+            rows.append([name, unit, "0", "-", "-", "-", "-"])
+    return rows

@@ -1,0 +1,115 @@
+"""Telemetry schema identity and artifact-shape validators.
+
+Kept free of any intra-package (or wider ``repro``) imports, exactly
+like :mod:`repro.checkpoint.schema`, so that low layers —
+``sim.fingerprint`` folds the telemetry token into every config
+fingerprint — can import it without touching the rest of the telemetry
+machinery.
+
+Bump :data:`TELEMETRY_SCHEMA_VERSION` whenever the *meaning* of an
+event record or a time-series dump changes (a renamed field, a new
+mandatory column, a re-unit'd timestamp): because the token
+participates in ``config_fingerprint``, every result cache, warmup
+store and ledger keyed on the old schema invalidates with it, so a
+sweep can never silently reuse cells whose recorded trace artifacts no
+longer parse.
+
+The validators here are deliberately structural (field presence and
+types, not semantics): they are what the ``trace-smoke`` CI job and the
+exporter tests run against recorded artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+#: Version of every on-disk telemetry artifact layout (events JSONL,
+#: Chrome trace export, time-series dumps).
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Schema tag stamped into artifact headers.
+TELEMETRY_SCHEMA = f"repro.telemetry/v{TELEMETRY_SCHEMA_VERSION}"
+
+#: Fields every event record must carry (the JSONL event log is one
+#: such object per line after the header).
+EVENT_REQUIRED_FIELDS = ("name", "cat", "ph", "ts")
+
+#: Chrome ``trace_event`` phases this subsystem emits: instant,
+#: counter, complete (with ``dur``) and metadata.
+EVENT_PHASES = ("I", "C", "X", "M")
+
+
+class TelemetrySchemaError(ValueError):
+    """An artifact does not match the telemetry schema."""
+
+
+def validate_event(event: Mapping[str, Any], where: str = "event") -> None:
+    """Check one event record's required fields and types."""
+    for field in EVENT_REQUIRED_FIELDS:
+        if field not in event:
+            raise TelemetrySchemaError(f"{where}: missing field {field!r}")
+    if event["ph"] not in EVENT_PHASES:
+        raise TelemetrySchemaError(
+            f"{where}: unknown phase {event['ph']!r}; expected one of {EVENT_PHASES}"
+        )
+    if not isinstance(event["name"], str) or not isinstance(event["cat"], str):
+        raise TelemetrySchemaError(f"{where}: name/cat must be strings")
+    if not isinstance(event["ts"], (int, float)):
+        raise TelemetrySchemaError(f"{where}: ts must be numeric")
+    args = event.get("args")
+    if args is not None and not isinstance(args, Mapping):
+        raise TelemetrySchemaError(f"{where}: args must be a mapping when present")
+
+
+def validate_header(header: Mapping[str, Any], where: str = "header") -> None:
+    """Check an artifact header's schema stamp."""
+    if header.get("schema") != TELEMETRY_SCHEMA:
+        raise TelemetrySchemaError(
+            f"{where}: schema {header.get('schema')!r} != {TELEMETRY_SCHEMA!r}"
+        )
+    if header.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        raise TelemetrySchemaError(
+            f"{where}: schema_version {header.get('schema_version')!r} "
+            f"!= {TELEMETRY_SCHEMA_VERSION}"
+        )
+
+
+def validate_chrome_trace(document: Mapping[str, Any]) -> int:
+    """Validate a Chrome ``trace_event`` export; returns the event count.
+
+    The exported document is the "JSON object format": a top-level
+    object with a ``traceEvents`` array (loadable by Perfetto and
+    ``about:tracing``) plus our schema stamp under ``otherData``.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, List):
+        raise TelemetrySchemaError("chrome trace: traceEvents must be a list")
+    other = document.get("otherData")
+    if not isinstance(other, Mapping):
+        raise TelemetrySchemaError("chrome trace: missing otherData header")
+    validate_header(other, "chrome trace otherData")
+    for position, event in enumerate(events):
+        validate_event(event, f"traceEvents[{position}]")
+        if "pid" not in event or "tid" not in event:
+            raise TelemetrySchemaError(f"traceEvents[{position}]: missing pid/tid")
+    return len(events)
+
+
+def validate_timeseries(document: Mapping[str, Any]) -> int:
+    """Validate a time-series JSON dump; returns the series count."""
+    validate_header(document, "timeseries")
+    series = document.get("series")
+    if not isinstance(series, Mapping):
+        raise TelemetrySchemaError("timeseries: series must be a mapping")
+    for name, body in series.items():
+        if not isinstance(body, Mapping):
+            raise TelemetrySchemaError(f"timeseries {name!r}: body must be a mapping")
+        times = body.get("t")
+        values = body.get("v")
+        if not isinstance(times, List) or not isinstance(values, List):
+            raise TelemetrySchemaError(f"timeseries {name!r}: t/v must be lists")
+        if len(times) != len(values):
+            raise TelemetrySchemaError(
+                f"timeseries {name!r}: {len(times)} timestamps vs {len(values)} values"
+            )
+    return len(series)

@@ -1,0 +1,126 @@
+"""Telemetry sessions: the handle that turns tracing on for a run.
+
+A :class:`Telemetry` session bundles one :class:`~.tracer.Tracer` with
+the probe cadence and every :class:`~.probes.ProbeSet` attached during
+its lifetime.  Drivers accept a session through an explicit
+``telemetry=`` argument; when the caller passes nothing, they fall back
+to the process-wide *active* session installed by :func:`activate` —
+which is how the CLI's ``--trace`` flag reaches ``run_single_core``
+without threading a parameter through every layer.
+
+The ``_UNSET`` sentinel makes the fallback explicit: ``telemetry=None``
+means "definitely no telemetry" (the sweep worker uses this so cached
+cell results are never polluted by an ambient session), while an
+omitted argument means "use the active session if any".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .probes import ProbeSet, TimeSeries
+from .tracer import Tracer
+
+#: Sentinel distinguishing "argument omitted" from ``telemetry=None``.
+_UNSET: Any = object()
+
+
+class Telemetry:
+    """One recording session: a tracer plus attached probe sets.
+
+    ``probe_every`` is the sampling cadence in trace records; drivers
+    read it to decide how often to call ``ProbeSet.sample``.  A session
+    constructed with ``enabled=False`` is a recognized no-op — drivers
+    treat it exactly like no session at all, which is what the
+    disabled-overhead benchmark measures.
+    """
+
+    def __init__(
+        self,
+        probe_every: int = 1000,
+        capacity: int = 65536,
+        enabled: bool = True,
+    ) -> None:
+        if probe_every <= 0:
+            raise ValueError("probe_every must be positive")
+        self.probe_every = probe_every
+        self.enabled = enabled
+        self.tracer = Tracer(capacity=capacity, enabled=enabled)
+        self.probe_sets: Dict[str, ProbeSet] = {}
+
+    # -- probe wiring ----------------------------------------------------------
+
+    def attach(self, label: str, sim: Any) -> ProbeSet:
+        """Discover and register every applicable probe for ``sim``.
+
+        Labels deduplicate automatically (``run``, ``run-2``, ...) so a
+        session can span several simulations — a warmup/resume pair, or
+        sequential runs under one CLI invocation.
+        """
+        unique = label
+        suffix = 2
+        while unique in self.probe_sets:
+            unique = f"{label}-{suffix}"
+            suffix += 1
+        probe_set = ProbeSet.discover(sim)
+        self.probe_sets[unique] = probe_set
+        return probe_set
+
+    def series(self) -> Dict[str, TimeSeries]:
+        """Every recorded series, merged across probe sets.
+
+        With a single probe set, series keep their bare names
+        (``cache.l2_mpki``); with several, names are scoped by the
+        attachment label to stay collision-free.
+        """
+        if len(self.probe_sets) == 1:
+            (probe_set,) = self.probe_sets.values()
+            return dict(probe_set.series)
+        merged: Dict[str, TimeSeries] = {}
+        for label, probe_set in self.probe_sets.items():
+            for name, track in probe_set.series.items():
+                merged[f"{label}/{name}"] = track
+        return merged
+
+    # -- export ----------------------------------------------------------------
+
+    def export(self, out_dir: str, meta: Optional[Dict[str, Any]] = None) -> Dict[str, str]:
+        """Write every artifact for this session; returns name -> path."""
+        from .export import export_session
+
+        return export_session(self, out_dir, meta)
+
+
+#: The process-wide active session (``None`` when not recording).
+_ACTIVE: Optional[Telemetry] = None
+
+
+def current_session() -> Optional[Telemetry]:
+    """The active telemetry session, or ``None``."""
+    return _ACTIVE
+
+
+def resolve(telemetry: Any) -> Optional[Telemetry]:
+    """Normalize a driver's ``telemetry=`` argument to a usable session.
+
+    ``_UNSET`` → the active session; ``None`` or a disabled session →
+    ``None`` (drivers then take their untouched fast path).
+    """
+    if telemetry is _UNSET:
+        telemetry = _ACTIVE
+    if telemetry is None or not telemetry.enabled:
+        return None
+    return telemetry
+
+
+@contextmanager
+def activate(session: Telemetry) -> Iterator[Telemetry]:
+    """Install ``session`` as the process-wide active session."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,143 @@
+"""Near-zero-overhead event tracing: a ring buffer behind one flag.
+
+The contract with the hot paths is strict: code that *might* trace
+guards every emission with a single attribute check —
+
+    if tracer.enabled:
+        tracer.instant("measure_begin", cycle)
+
+— and the simulation drivers go one step further by not installing a
+tracer at all unless a telemetry session is active, so the per-record
+loop of PR 3 stays bit-for-bit identical when telemetry is off (see
+``SingleCoreSim.advance``).
+
+Events land in a fixed-capacity ring buffer (old events are overwritten,
+``dropped`` counts the loss) so a runaway trace can never exhaust
+memory; exporters read them back in chronological order via
+:meth:`Tracer.events`.
+
+Timestamps are caller-supplied, not wall-clock: simulation events are
+stamped with the simulated cycle, sweep lifecycle events with seconds
+since the sweep epoch.  That keeps recorded runs deterministic — two
+traces of the same simulation are identical artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+
+class Event:
+    """One trace event (a Chrome ``trace_event``-shaped record)."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: Optional[float] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args is not None:
+            out["args"] = dict(self.args)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, ph={self.ph!r}, ts={self.ts})"
+
+
+class Tracer:
+    """Fixed-capacity event recorder with a one-attribute disabled path.
+
+    ``enabled`` is a plain attribute — reading it is the *entire* cost
+    of a disabled trace point.  Emission appends into a preallocated
+    ring: no allocation beyond the event record itself, no I/O, no
+    clock reads.
+    """
+
+    __slots__ = ("enabled", "capacity", "dropped", "_ring", "_next", "_count")
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        self._ring: List[Optional[Event]] = [None] * capacity
+        self._next = 0  # ring slot the next event lands in
+        self._count = 0  # total events ever emitted
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        """Record one event (overwrites the oldest when full)."""
+        slot = self._next
+        if self._ring[slot] is not None:
+            self.dropped += 1
+        self._ring[slot] = event
+        self._next = (slot + 1) % self.capacity
+        self._count += 1
+
+    def instant(
+        self, name: str, ts: float, cat: str = "sim", args: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        """An instantaneous marker (Chrome phase ``I``)."""
+        self.emit(Event(name, cat, "I", ts, args=args))
+
+    def counter(
+        self, name: str, ts: float, values: Mapping[str, Any], cat: str = "probe"
+    ) -> None:
+        """A sampled counter set (Chrome phase ``C``): renders as graphs."""
+        self.emit(Event(name, cat, "C", ts, args=dict(values)))
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "sim",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """A duration slice (Chrome phase ``X``)."""
+        self.emit(Event(name, cat, "X", ts, dur=dur, args=args))
+
+    # -- readback --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    def events(self) -> List[Event]:
+        """Recorded events, oldest first."""
+        if self._count <= self.capacity:
+            return [event for event in self._ring[: self._next] if event is not None]
+        head = self._ring[self._next :]
+        tail = self._ring[: self._next]
+        return [event for event in head + tail if event is not None]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self._count = 0
+        self.dropped = 0

@@ -94,3 +94,110 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCLI:
+    def test_trace_record_exports_valid_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "trace"
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--workload",
+                    "605.mcf_s",
+                    "--records",
+                    "2000",
+                    "--probe-every",
+                    "400",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "605.mcf_s / ppf" in out and "series" in out
+
+        import json
+
+        from repro.telemetry import validate_chrome_trace, validate_timeseries
+
+        chrome = json.loads((out_dir / "TRACE_sim.json").read_text())
+        assert validate_chrome_trace(chrome) > 0
+        timeseries = json.loads((out_dir / "timeseries.json").read_text())
+        assert validate_timeseries(timeseries) >= 5
+
+    def test_trace_summary_renders_series_table(self, capsys, tmp_path):
+        out_dir = tmp_path / "trace"
+        main(
+            [
+                "trace",
+                "record",
+                "--workload",
+                "605.mcf_s",
+                "--records",
+                "2000",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "summary", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "series" in out and "core.ipc" in out and "mean" in out
+
+    def test_trace_summary_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summary", str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_trace_and_export(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        trace_dir = tmp_path / "trace"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "605.mcf_s",
+                    "--prefetchers",
+                    "spp",
+                    "--records",
+                    "1500",
+                    "--ledger",
+                    str(ledger),
+                    "--trace",
+                    str(trace_dir),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        import json
+
+        lifecycle = [
+            json.loads(line)
+            for line in ledger.read_text().splitlines()
+            if json.loads(line).get("event") == "lifecycle"
+        ]
+        assert {entry["phase"] for entry in lifecycle} >= {"queued", "started", "finished"}
+
+        assert main(["trace", "export", str(ledger), "--out", str(tmp_path / "x")]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE_sweep.json" in out
+
+        from repro.telemetry import validate_chrome_trace
+
+        sweep_trace = json.loads((tmp_path / "x" / "TRACE_sweep.json").read_text())
+        assert validate_chrome_trace(sweep_trace) > 0
+
+    def test_trace_export_rejects_missing_ledger(self, capsys, tmp_path):
+        assert main(["trace", "export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_run_phase_experiment(self, capsys):
+        assert main(["run", "phase", "--records", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase plot" in out and "core.ipc" in out

@@ -31,6 +31,7 @@ class TestRegistry:
             "sec6.3",
             "fig13",
             "ablations",
+            "phase",
         }
 
     def test_experiments_have_anchors(self):

@@ -1,0 +1,208 @@
+"""Telemetry must observe, never perturb: bit-identity contracts.
+
+The subsystem's core promise is that ``--trace`` and probes are pure
+observers — a traced run reproduces the untraced run's statistics
+exactly (only the ``telemetry.`` bookkeeping scope is added), including
+through warmup-snapshot restores and mid-measure checkpoint resumes.
+The telemetry schema version also participates in
+``config_fingerprint`` so recorded artifacts invalidate caches on a
+schema bump, mirroring the checkpoint-schema token.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import SnapshotStore, save_snapshot
+from repro.sim.config import SimConfig
+from repro.sim.fingerprint import config_fingerprint, fingerprint_digest
+from repro.sim.single_core import SingleCoreSim, run_single_core
+from repro.telemetry import Telemetry, activate
+from repro.workloads import find_workload
+
+# The golden recording contract, pinned identically in
+# tests/test_golden_stats.py.
+GOLDEN_PATH = Path(__file__).parent / "golden" / "single_core_stats.json"
+MEASURE_RECORDS = 2_000
+WARMUP_RECORDS = 500
+SEED = 3
+
+GOLDEN_CONFIG = SimConfig.quick(
+    measure_records=MEASURE_RECORDS, warmup_records=WARMUP_RECORDS
+)
+
+
+def _strip_telemetry(stats):
+    return {k: v for k, v in stats.items() if not k.startswith("telemetry.")}
+
+
+def _assert_equivalent(traced, untraced, context):
+    assert traced.instructions == untraced.instructions, context
+    assert traced.cycles == untraced.cycles, context
+    assert traced.average_lookahead_depth == pytest.approx(
+        untraced.average_lookahead_depth, abs=0
+    ), context
+    assert _strip_telemetry(traced.stats) == _strip_telemetry(untraced.stats), context
+
+
+class TestTracedRunIdentity:
+    @pytest.mark.parametrize("scheme", ["none", "spp", "ppf"])
+    def test_traced_equals_untraced_per_scheme(self, scheme):
+        workload = find_workload("605.mcf_s")
+        untraced = run_single_core(workload, scheme, GOLDEN_CONFIG, seed=SEED)
+        session = Telemetry(probe_every=250)
+        traced = run_single_core(
+            workload, scheme, GOLDEN_CONFIG, seed=SEED, telemetry=session
+        )
+        _assert_equivalent(traced, untraced, scheme)
+        # ...and the session actually recorded something.
+        assert traced.stats["telemetry.probe_samples"] > 0
+        assert len(session.series()) >= 3
+        assert "telemetry.probe_samples" not in untraced.stats
+
+    def test_traced_run_still_matches_golden(self):
+        cell = "605.mcf_s/ppf"
+        expect = json.loads(GOLDEN_PATH.read_text())[cell]
+        session = Telemetry(probe_every=500)
+        with activate(session):
+            result = run_single_core(
+                find_workload("605.mcf_s"), "ppf", GOLDEN_CONFIG, seed=SEED
+            )
+        assert result.instructions == expect["instructions"]
+        assert result.cycles == expect["cycles"]
+        mismatched = {
+            stat: (result.stats.get(stat), value)
+            for stat, value in expect["stats"].items()
+            if result.stats.get(stat) != value
+        }
+        assert not mismatched, f"{cell}: traced run diverged: {mismatched}"
+
+    def test_probe_cadence_does_not_change_results(self):
+        workload = find_workload("623.xalancbmk_s")
+        untraced = run_single_core(workload, "ppf", GOLDEN_CONFIG, seed=SEED)
+        for every in (100, 333, 1000):
+            traced = run_single_core(
+                workload,
+                "ppf",
+                GOLDEN_CONFIG,
+                seed=SEED,
+                telemetry=Telemetry(probe_every=every),
+            )
+            _assert_equivalent(traced, untraced, f"probe_every={every}")
+
+    def test_explicit_none_overrides_active_session(self):
+        """The sweep-worker contract: ``telemetry=None`` wins over an
+        ambient session, so cached results never carry trace state."""
+        session = Telemetry(probe_every=250)
+        with activate(session):
+            result = run_single_core(
+                find_workload("605.mcf_s"),
+                "ppf",
+                GOLDEN_CONFIG,
+                seed=SEED,
+                telemetry=None,
+            )
+        assert "telemetry.probe_samples" not in result.stats
+        assert len(session.tracer.events()) == 0
+
+
+class TestTracedCheckpointIdentity:
+    def test_warmup_snapshot_restore_under_tracing(self, tmp_path):
+        workload = find_workload("605.mcf_s")
+        untraced = run_single_core(workload, "ppf", GOLDEN_CONFIG, seed=SEED)
+        store = SnapshotStore(tmp_path)
+        cold = run_single_core(
+            workload,
+            "ppf",
+            GOLDEN_CONFIG,
+            seed=SEED,
+            warmup_store=store,
+            telemetry=Telemetry(probe_every=250),
+        )
+        warm_session = Telemetry(probe_every=250)
+        warm = run_single_core(
+            workload,
+            "ppf",
+            GOLDEN_CONFIG,
+            seed=SEED,
+            warmup_store=store,
+            telemetry=warm_session,
+        )
+        _assert_equivalent(cold, untraced, "cold traced")
+        _assert_equivalent(warm, untraced, "warm traced")
+        restores = [e for e in warm_session.tracer.events() if e.name == "restored"]
+        assert restores, "the restore should be visible in the trace"
+
+    def test_mid_measure_checkpoint_resume_under_tracing(self, tmp_path):
+        """Crash mid-measure, resume with tracing on: identical stats."""
+        workload = find_workload("605.mcf_s")
+        untraced = run_single_core(workload, "spp", GOLDEN_CONFIG, seed=SEED)
+
+        ckpt = tmp_path / "cell.ckpt"
+        sim = SingleCoreSim(workload, "spp", GOLDEN_CONFIG, seed=SEED)
+        sim.warmup()
+        sim.begin_measurement()
+        sim.advance(800)  # "crash" partway through measurement
+        save_snapshot(ckpt, sim.snapshot("measure"))
+
+        session = Telemetry(probe_every=250)
+        resumed = run_single_core(
+            workload,
+            "spp",
+            GOLDEN_CONFIG,
+            seed=SEED,
+            checkpoint_path=ckpt,
+            checkpoint_every=500,
+            telemetry=session,
+        )
+        _assert_equivalent(resumed, untraced, "traced resume")
+        names = {e.name for e in session.tracer.events()}
+        assert "checkpoint_save" in names
+
+    def test_checkpoint_writes_match_with_and_without_tracing(self, tmp_path):
+        """Periodic checkpointing under tracing also leaves identical
+        final stats versus checkpointing without tracing."""
+        workload = find_workload("605.mcf_s")
+        plain = run_single_core(
+            workload,
+            "spp",
+            GOLDEN_CONFIG,
+            seed=SEED,
+            checkpoint_path=tmp_path / "plain.ckpt",
+            checkpoint_every=700,
+        )
+        traced = run_single_core(
+            workload,
+            "spp",
+            GOLDEN_CONFIG,
+            seed=SEED,
+            checkpoint_path=tmp_path / "traced.ckpt",
+            checkpoint_every=700,
+            telemetry=Telemetry(probe_every=250),
+        )
+        _assert_equivalent(traced, plain, "checkpointed traced")
+
+
+class TestFingerprintSchemaToken:
+    def test_telemetry_schema_token_participates(self):
+        from repro.telemetry.schema import TELEMETRY_SCHEMA_VERSION
+
+        fingerprint = config_fingerprint(GOLDEN_CONFIG)
+        assert ("telemetry_schema", TELEMETRY_SCHEMA_VERSION) in fingerprint
+
+    def test_schema_bump_invalidates_fingerprint(self, monkeypatch):
+        import repro.telemetry.schema as telemetry_schema
+
+        before = config_fingerprint(GOLDEN_CONFIG)
+        digest_before = fingerprint_digest(GOLDEN_CONFIG)
+        monkeypatch.setattr(
+            telemetry_schema,
+            "TELEMETRY_SCHEMA_VERSION",
+            telemetry_schema.TELEMETRY_SCHEMA_VERSION + 1,
+        )
+        assert config_fingerprint(GOLDEN_CONFIG) != before
+        assert fingerprint_digest(GOLDEN_CONFIG) != digest_before
+
+    def test_fingerprint_stable_without_bump(self):
+        assert fingerprint_digest(GOLDEN_CONFIG) == fingerprint_digest(GOLDEN_CONFIG)

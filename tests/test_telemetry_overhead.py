@@ -1,0 +1,92 @@
+"""Disabled-telemetry overhead: structural proofs plus a wall gate.
+
+The ≤2% contract is enforced two ways.  Structurally: with telemetry
+off the simulator installs no tracer and no probe set, so the
+per-record loop is exactly the PR 3 hot path — the only added cost is
+one ``is not None`` check per ``advance()`` call (not per record).
+Empirically: the ``telemetry_disabled_overhead`` microbenchmark runs
+the same workload/config as ``end_to_end_single_core`` with
+``telemetry=None`` and its best-of-N wall time must land within the
+contract bound (retried to ride out scheduler noise; the measured
+numbers live in ``docs/performance.md``).
+"""
+
+import pytest
+
+from repro.bench.micro import BENCHMARKS, run_benchmarks
+from repro.sim.config import SimConfig
+from repro.sim.single_core import SingleCoreSim, run_single_core
+from repro.telemetry import Telemetry, activate
+from repro.workloads import find_workload
+
+TINY = SimConfig.quick(measure_records=1_500, warmup_records=300)
+
+
+class TestStructuralZeroOverhead:
+    def test_disabled_sim_installs_no_telemetry_state(self):
+        sim = SingleCoreSim(find_workload("605.mcf_s"), "ppf", TINY, seed=1)
+        assert sim._telemetry is None
+        assert sim._probe_set is None
+        sim.warmup()
+        sim.measure()
+        assert sim._telemetry is None  # nothing appeared mid-run
+
+    def test_disabled_run_has_no_telemetry_stats(self):
+        result = run_single_core(
+            find_workload("605.mcf_s"), "ppf", TINY, seed=1, telemetry=None
+        )
+        assert not any(key.startswith("telemetry.") for key in result.stats)
+
+    def test_disabled_session_is_treated_as_no_session(self):
+        off = Telemetry(enabled=False)
+        result = run_single_core(
+            find_workload("605.mcf_s"), "ppf", TINY, seed=1, telemetry=off
+        )
+        assert not any(key.startswith("telemetry.") for key in result.stats)
+        assert len(off.tracer.events()) == 0
+
+    def test_attach_happens_only_under_active_session(self):
+        session = Telemetry(probe_every=500)
+        with activate(session):
+            run_single_core(find_workload("605.mcf_s"), "ppf", TINY, seed=1)
+        assert len(session.probe_sets) == 1
+        # Outside the context the very same call is untouched.
+        after = run_single_core(find_workload("605.mcf_s"), "ppf", TINY, seed=1)
+        assert not any(key.startswith("telemetry.") for key in after.stats)
+        assert len(session.probe_sets) == 1
+
+
+class TestOverheadBenchmark:
+    def test_benchmark_registered_with_matching_ops(self):
+        assert "telemetry_disabled_overhead" in BENCHMARKS
+        _, baseline_ops = BENCHMARKS["end_to_end_single_core"]
+        _, overhead_ops = BENCHMARKS["telemetry_disabled_overhead"]
+        assert overhead_ops == baseline_ops  # ratio compares equal work
+
+    def test_disabled_overhead_within_contract(self):
+        """Best-of-N wall ratio vs the untouched baseline, with retries.
+
+        The two benchmarks execute the identical code path apart from
+        the explicit ``telemetry=None`` argument, so any persistent gap
+        is a real regression.  Transient scheduler noise on shared CI
+        hosts is absorbed by taking the best of several repeats and
+        retrying the whole comparison before failing; the bound adds a
+        small noise floor on top of the 2% contract.
+        """
+        names = ["end_to_end_single_core", "telemetry_disabled_overhead"]
+        ratios = []
+        for _ in range(3):
+            results = {
+                r.name: r for r in run_benchmarks(names, scale=0.3, repeats=3)
+            }
+            baseline = results["end_to_end_single_core"].best_wall_s
+            disabled = results["telemetry_disabled_overhead"].best_wall_s
+            assert baseline > 0
+            ratio = disabled / baseline
+            ratios.append(ratio)
+            if ratio <= 1.02:
+                return
+        pytest.fail(
+            f"disabled telemetry exceeded the overhead contract in every "
+            f"attempt: ratios {[f'{r:.4f}' for r in ratios]} (bound 1.02)"
+        )
