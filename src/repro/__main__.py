@@ -104,10 +104,34 @@ def _export_session(session, out_dir: str) -> None:
         print(f"  {name}: {paths[name]}")
 
 
+def _apply_engine(config: SimConfig, engine: str | None) -> SimConfig:
+    """Fold a ``--engine`` choice into the config, validated eagerly.
+
+    Unknown names raise the registry's
+    :class:`~repro.registry.UnknownComponentError` (with the catalog and
+    did-you-mean suggestion) here in the CLI process, not later inside a
+    sweep worker.  The engine name is part of ``config_fingerprint``
+    automatically, since it is a :class:`SimConfig` field.
+    """
+    if engine is None:
+        return config
+    import dataclasses
+
+    from .engine import make_engine  # noqa: F401  (registers engines)
+
+    registry.create("engine", engine)
+    return dataclasses.replace(config, engine=engine)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
+    try:
+        config = _apply_engine(config, args.engine)
+    except UnknownComponentError as err:
+        print(f"repro run: error: {err}", file=sys.stderr)
+        return 2
     session = _make_session(args)
 
     def work() -> int:
@@ -135,6 +159,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     config = SimConfig.quick(
         measure_records=args.records, warmup_records=args.records // 4
     )
+    try:
+        config = _apply_engine(config, args.engine)
+    except UnknownComponentError as err:
+        print(f"repro bench: error: {err}", file=sys.stderr)
+        return 2
     session = _make_session(args)
     baseline = run_single_core(workload, "none", config, telemetry=None)
     result = run_single_core(workload, args.prefetcher, config, telemetry=session)
@@ -161,7 +190,11 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     scale = 0.1 if args.smoke else 1.0
     repeats = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
     try:
-        results = run_benchmarks(names=args.only, scale=scale, repeats=repeats)
+        # UnknownComponentError subclasses ValueError, so a bad --engine
+        # lands here too, carrying the registry's did-you-mean message.
+        results = run_benchmarks(
+            names=args.only, scale=scale, repeats=repeats, engine=args.engine
+        )
     except ValueError as err:
         print(f"repro bench: error: {err}", file=sys.stderr)
         return 2
@@ -184,6 +217,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         measure_records=args.records, warmup_records=args.records // 4
     )
     try:
+        config = _apply_engine(config, args.engine)
         if args.workloads:
             workloads = [find_workload(name) for name in args.workloads]
         else:
@@ -460,6 +494,12 @@ def main(argv: list | None = None) -> int:
         help="run under cProfile and dump pstats to PATH",
     )
     run_parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="simulation engine (scalar, batched, ...; registry-validated)",
+    )
+    run_parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -488,6 +528,13 @@ def main(argv: list | None = None) -> int:
     bench_parser.add_argument("--records", type=int, default=20_000)
     bench_parser.add_argument(
         "--smoke", action="store_true", help="reduced op counts (CI smoke job)"
+    )
+    bench_parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="simulation engine for the quick run / unpinned end-to-end "
+        "benchmarks (scalar, batched, ...; registry-validated)",
     )
     bench_parser.add_argument(
         "--repeat", type=int, default=None, help="repeats per benchmark (best kept)"
@@ -540,6 +587,13 @@ def main(argv: list | None = None) -> int:
     )
     sweep_parser.add_argument("--records", type=int, default=20_000)
     sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="simulation engine for every cell (folds into the result-"
+        "cache fingerprint; scalar, batched, ...)",
+    )
     sweep_parser.add_argument(
         "--timeout",
         type=float,

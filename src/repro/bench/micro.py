@@ -15,6 +15,10 @@ The operation each layer counts:
 * ``filter_inference``     — perceptron inferences
 * ``filter_training``      — perceptron training updates
 * ``end_to_end_single_core`` — trace records through a full PPF run
+* ``end_to_end_single_core_batched`` — the same run pinned to the
+  batched engine (the ``batched_vs_scalar`` pair: its ops_per_sec over
+  ``end_to_end_single_core`` is the engine speedup, gated ≥3× versus
+  the committed baseline in ``tests/test_engine_equivalence.py``)
 * ``end_to_end_no_prefetch`` — trace records through a no-prefetch run
 * ``telemetry_disabled_overhead`` — the PPF run with telemetry forced off
   (its wall time vs ``end_to_end_single_core`` is the disabled-telemetry
@@ -35,6 +39,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 #: count and returns a zero-argument callable that performs the timed
 #: work; input setup happens inside the builder, outside the timing.
 BENCHMARKS: Dict[str, Tuple[Callable[[int], Callable[[], int]], int]] = {}
+
+#: Engine override applied by ``run_benchmarks(engine=...)`` to the
+#: end-to-end benchmarks (``repro bench --engine``).  ``None`` leaves
+#: each benchmark on its own pinned/default engine, so the
+#: ``end_to_end_single_core`` / ``end_to_end_single_core_batched`` pair
+#: stays a same-process scalar-vs-batched comparison.
+_ACTIVE_ENGINE: Optional[str] = None
 
 
 @dataclass
@@ -233,13 +244,20 @@ def _bench_filter_training(ops: int) -> Callable[[], int]:
 # -- layer 4: full single-core runs ---------------------------------------------
 
 
-def _end_to_end(prefetcher: str, ops: int) -> Callable[[], int]:
+def _end_to_end(prefetcher: str, ops: int, engine: Optional[str] = None) -> Callable[[], int]:
+    import dataclasses
+
     from ..sim.config import SimConfig
     from ..sim.single_core import run_single_core
     from ..workloads.spec2017 import workload_by_name
 
     warmup = ops // 5
     config = SimConfig.quick(measure_records=ops - warmup, warmup_records=warmup)
+    # A pinned engine (the batched_vs_scalar pair) wins over the CLI-wide
+    # --engine override; an unpinned benchmark follows the override.
+    engine = engine if engine is not None else _ACTIVE_ENGINE
+    if engine is not None:
+        config = dataclasses.replace(config, engine=engine)
     workload = workload_by_name("623.xalancbmk_s")
 
     def run() -> int:
@@ -252,6 +270,14 @@ def _end_to_end(prefetcher: str, ops: int) -> Callable[[], int]:
 @_benchmark("end_to_end_single_core", ops=10_000)
 def _bench_end_to_end_ppf(ops: int) -> Callable[[], int]:
     return _end_to_end("ppf", ops)
+
+
+@_benchmark("end_to_end_single_core_batched", ops=10_000)
+def _bench_end_to_end_ppf_batched(ops: int) -> Callable[[], int]:
+    """The PPF run pinned to ``--engine batched`` (same trace, same
+    config otherwise), so every BENCH_sim.json carries the
+    scalar/batched pair measured back to back in one process."""
+    return _end_to_end("ppf", ops, engine="batched")
 
 
 @_benchmark("end_to_end_no_prefetch", ops=10_000)
@@ -271,12 +297,16 @@ def _bench_telemetry_disabled(ops: int) -> Callable[[], int]:
     ``tests/test_telemetry_overhead.py``; measured numbers live in
     ``docs/performance.md``).
     """
+    import dataclasses
+
     from ..sim.config import SimConfig
     from ..sim.single_core import run_single_core
     from ..workloads.spec2017 import workload_by_name
 
     warmup = ops // 5
     config = SimConfig.quick(measure_records=ops - warmup, warmup_records=warmup)
+    if _ACTIVE_ENGINE is not None:
+        config = dataclasses.replace(config, engine=_ACTIVE_ENGINE)
     workload = workload_by_name("623.xalancbmk_s")
 
     def run() -> int:
@@ -344,40 +374,55 @@ def run_benchmarks(
     scale: float = 1.0,
     repeats: int = 3,
     timer: Callable[[], float] = time.perf_counter,
+    engine: Optional[str] = None,
 ) -> List[BenchResult]:
     """Run the selected benchmarks and return their measurements.
 
     ``scale`` shrinks every operation count (the smoke mode); ``repeats``
     re-runs each benchmark and keeps the best wall time (the least
-    noise-disturbed run) alongside the mean.
+    noise-disturbed run) alongside the mean.  ``engine`` overrides the
+    simulation engine for the end-to-end benchmarks that aren't pinned
+    to one (``repro bench --engine``); the name is validated through the
+    registry so typos fail with the catalog, not mid-benchmark.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
     if repeats < 1:
         raise ValueError("need at least one repeat")
+    if engine is not None:
+        from .. import registry
+        from ..engine import make_engine  # noqa: F401  (registers engines)
+
+        registry.create("engine", engine)  # raises UnknownComponentError
     selected = list(BENCHMARKS) if names is None else list(names)
     unknown = [name for name in selected if name not in BENCHMARKS]
     if unknown:
         raise ValueError(
             f"unknown benchmark(s) {unknown}; available: {sorted(BENCHMARKS)}"
         )
-    results = []
-    for name in selected:
-        builder, full_ops = BENCHMARKS[name]
-        ops = max(1_000, int(full_ops * scale))
-        run = builder(ops)
-        walls = []
-        for _ in range(repeats):
-            start = timer()
-            run()
-            walls.append(timer() - start)
-        results.append(
-            BenchResult(
-                name=name,
-                ops=ops,
-                best_wall_s=min(walls),
-                mean_wall_s=sum(walls) / len(walls),
-                repeats=repeats,
+    global _ACTIVE_ENGINE
+    previous_engine = _ACTIVE_ENGINE
+    _ACTIVE_ENGINE = engine
+    try:
+        results = []
+        for name in selected:
+            builder, full_ops = BENCHMARKS[name]
+            ops = max(1_000, int(full_ops * scale))
+            run = builder(ops)
+            walls = []
+            for _ in range(repeats):
+                start = timer()
+                run()
+                walls.append(timer() - start)
+            results.append(
+                BenchResult(
+                    name=name,
+                    ops=ops,
+                    best_wall_s=min(walls),
+                    mean_wall_s=sum(walls) / len(walls),
+                    repeats=repeats,
+                )
             )
-        )
+    finally:
+        _ACTIVE_ENGINE = previous_engine
     return results

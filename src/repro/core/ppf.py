@@ -228,6 +228,29 @@ class PPF(Prefetcher):
         super().on_useful_prefetch(addr)
         self.underlying.on_useful_prefetch(addr)
 
+    # -- engine seam -----------------------------------------------------------
+
+    def engine_view(self):
+        """Raw mutable state for the batched engine's fused kernel.
+
+        Returns ``(underlying, filter, prefetch_table, reject_table,
+        ppf_stats, stats, use_reject_table, train_on_displacement,
+        recorder)``.  ``_pcs`` is part of the seam contract as well: the
+        kernel reads it at chunk start and writes it back before
+        returning (it is a tuple, so it cannot be shared in place).
+        """
+        return (
+            self.underlying,
+            self.filter,
+            self.prefetch_table,
+            self.reject_table,
+            self.ppf_stats,
+            self.stats,
+            self.use_reject_table,
+            self.train_on_displacement,
+            self.recorder,
+        )
+
     # -- diagnostics ----------------------------------------------------------------
 
     @property

@@ -125,6 +125,20 @@ class DecisionTable:
         self.hits = 0
         self.conflicts = 0
 
+    # -- engine seam ---------------------------------------------------------
+
+    def engine_view(self):
+        """Raw mutable state for the batched engine's fused kernel.
+
+        Returns ``(slots, index_mask)``.  ``slots`` is mutated in place
+        with the same :class:`TableEntry` layout the scalar methods use;
+        the ``inserts``/``hits``/``conflicts`` counters are part of the
+        seam contract (read at chunk start, written back at chunk end).
+        Note the tag is always ``(block >> INDEX_BITS) & 63`` regardless
+        of ``entries`` — :meth:`_locate` fixes INDEX_BITS at 10.
+        """
+        return self._slots, self._index_mask
+
     # -- checkpointing ---------------------------------------------------------
 
     def state_dict(self) -> dict:

@@ -1,0 +1,11 @@
+"""Pluggable simulation engines (the ``--engine`` seam).
+
+Importing this package registers the built-in engines; see
+:mod:`repro.engine.base` for the protocol and equivalence contract.
+"""
+
+from .base import Engine, make_engine
+from . import scalar as _scalar  # noqa: F401  (registers "scalar")
+from . import batched as _batched  # noqa: F401  (registers "batched")
+
+__all__ = ["Engine", "make_engine"]

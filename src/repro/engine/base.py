@@ -1,0 +1,64 @@
+"""The engine seam: pluggable drivers for the per-access simulation loop.
+
+An *engine* owns the inner loop that turns trace records into simulator
+events.  :class:`~repro.sim.single_core.SingleCoreSim` delegates every
+``advance`` to its engine, so the rest of the stack (phases, telemetry,
+checkpoints, sweeps) never sees which driver is running:
+
+* ``scalar`` — the original record-at-a-time loop.  Bit-identical with
+  every previous release; the golden-stats oracle.
+* ``batched`` — pulls the trace in chunks, decomposes addresses with
+  numpy, and runs a fused per-record kernel that inlines the hot
+  core/cache/SPP/perceptron path.  Event-order equivalent with scalar
+  (see docs/performance.md, "Batched engine").
+
+Engines are registry components (kind ``"engine"``), so ``--engine``
+names resolve — and fail — through the same catalog machinery as
+prefetchers and workloads, and the engine name folds into
+``config_fingerprint`` via :class:`~repro.sim.config.SimConfig`.
+
+The contract every engine must honor:
+
+1. ``advance(sim, n)`` steps at most ``n`` records, increments
+   ``sim.consumed`` by the number actually stepped, and returns it.
+2. When ``advance`` returns, *all* simulator state is flushed: stats
+   counters, core clock, tables.  ``state_dict()`` between two
+   ``advance`` calls must be byte-equal across engines, which is what
+   keeps snapshots engine-portable and telemetry probes honest.
+3. Engines never reorder events within or across records relative to
+   the scalar loop — equivalence is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .. import registry
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Driver for the per-access loop of one simulation."""
+
+    name: str
+
+    def advance(self, sim, n_records: int) -> int:
+        """Step up to ``n_records`` of ``sim``'s trace; return the count."""
+        ...
+
+
+def make_engine(config) -> Engine:
+    """Resolve ``config.engine`` through the registry.
+
+    Unknown names raise the registry's
+    :class:`~repro.registry.UnknownComponentError` (with the sorted
+    catalog in the message), which the CLI surfaces as a did-you-mean
+    error.  Engines exposing a ``configure(config)`` hook receive the
+    full :class:`~repro.sim.config.SimConfig` so they can read knobs
+    like ``engine_chunk``.
+    """
+    engine = registry.create("engine", getattr(config, "engine", "scalar"))
+    configure = getattr(engine, "configure", None)
+    if configure is not None:
+        configure(config)
+    return engine

@@ -1,0 +1,29 @@
+"""The scalar engine: the original record-at-a-time loop, unchanged.
+
+This is the golden-stats oracle.  It is deliberately nothing more than
+the loop :meth:`repro.sim.single_core.SingleCoreSim.advance` always ran:
+``core.step`` per record via ``islice``.  Any behavioural question about
+the batched engine is settled by diffing against this one.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..registry import register
+
+
+@register("engine", "scalar")
+class ScalarEngine:
+    """Record-at-a-time driver; bit-identical with every prior release."""
+
+    name = "scalar"
+
+    def advance(self, sim, n_records: int) -> int:
+        step = sim.core.step
+        taken = 0
+        for rec in itertools.islice(sim.trace, n_records):
+            step(rec)
+            taken += 1
+        sim.consumed += taken
+        return taken

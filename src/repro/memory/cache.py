@@ -256,6 +256,34 @@ class Cache:
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    # -- engine seam ---------------------------------------------------------
+
+    def engine_view(self):
+        """Raw mutable state for the batched engine's fused kernel.
+
+        Returns ``(sets, lru_order, stats, associativity, set_mask,
+        latency)`` or ``None`` when the replacement policy is not LRU (the
+        fused kernel only inlines LRU; other policies take the generic
+        path).  The engine relies on two invariants the scalar methods
+        maintain: a resident block's tag is always present in its set's
+        LRU order (so a touch is a plain ``move_to_end``), and
+        ``popitem(last=False)`` on the order is exactly victim-selection
+        plus eviction.  Both dicts are mutated in place and lazily
+        populated per set index, mirroring :meth:`lookup`/:meth:`fill`.
+        """
+        from .replacement import LRUPolicy
+
+        if type(self._policy) is not LRUPolicy:
+            return None
+        return (
+            self._sets,
+            self._policy._order,
+            self.stats,
+            self.associativity,
+            self._set_mask,
+            self.latency,
+        )
+
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> Dict[str, Any]:

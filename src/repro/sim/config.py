@@ -19,6 +19,15 @@ class SimConfig:
     dram: DRAMConfig = field(default_factory=DRAMConfig.default)
     warmup_records: int = 20_000
     measure_records: int = 100_000
+    #: Simulation engine driving the access loop ("scalar" or "batched",
+    #: resolved through the registry).  The scalar engine is the
+    #: golden-stats oracle; the batched engine chunks the trace and runs
+    #: a fused per-record kernel (see docs/performance.md).
+    engine: str = "scalar"
+    #: Records per chunk pulled by the batched engine.  Irrelevant to
+    #: results (the engines are event-order equivalent) — only a
+    #: throughput/telemetry-granularity knob.
+    engine_chunk: int = 4_096
 
     @classmethod
     def default(cls) -> "SimConfig":

@@ -35,6 +35,12 @@ class ExperimentRunner:
     (a :class:`CellPolicy`) and ``ledger_path`` configure the sweep
     fault-tolerance layer: per-cell timeout/retry budgets and the JSONL
     run ledger.
+
+    ``engine`` overrides the simulation engine on the base config (the
+    name is validated against the registry up front, so a typo fails in
+    the orchestrating process with the did-you-mean catalog rather than
+    inside a sweep worker).  The engine participates in the config
+    fingerprint, so scalar and batched results are cached separately.
     """
 
     def __init__(
@@ -45,8 +51,15 @@ class ExperimentRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         policy: Optional[CellPolicy] = None,
         ledger_path: Optional[Union[str, Path]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config or SimConfig.default()
+        if engine is not None:
+            from .. import registry
+            from ..engine import make_engine  # noqa: F401  (registers engines)
+
+            registry.create("engine", engine)
+            self.config = replace(self.config, engine=engine)
         self.seed = seed
         self._suite = SuiteRunner(
             self.config,

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import itertools
 import json
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -30,6 +29,7 @@ from ..checkpoint import (
 )
 from ..core.ppf import make_ppf_spp  # noqa: F401  (registers "ppf")
 from ..cpu.o3core import O3Core
+from ..engine import make_engine
 from ..memory.hierarchy import MemoryHierarchy
 from ..prefetchers.base import Prefetcher
 from ..telemetry.probes import ProbeSet
@@ -211,6 +211,9 @@ class SingleCoreSim:
         self.trace = workload.trace(
             self.config.warmup_records + self.config.measure_records, seed=seed
         )
+        #: The driver for the per-access loop (``config.engine``); every
+        #: phase advances through it, so scalar/batched is a pure seam.
+        self._engine = make_engine(self.config)
         #: Records stepped so far (the warmup/measure phase cursor).
         self.consumed = 0
         #: True once the stats were reset at the warmup boundary.
@@ -264,39 +267,31 @@ class SingleCoreSim:
             return 0
         if self._telemetry is not None:
             return self._advance_instrumented(n_records)
-        step = self.core.step
-        taken = 0
-        for rec in itertools.islice(self.trace, n_records):
-            step(rec)
-            taken += 1
-        self.consumed += taken
-        return taken
+        return self._engine.advance(self, n_records)
 
     def _advance_instrumented(self, n_records: int) -> int:
         """The traced twin of ``advance``: same stepping, plus sampling.
 
-        Runs the identical per-record loop in chunks aligned to the
-        session's ``probe_every`` cadence and samples every probe at
-        each boundary, stamped with the simulated cycle.  Because the
-        simulation work is record-for-record the same calls in the same
-        order, the machine state after N records matches the fast path
-        exactly.
+        Delegates the identical record stepping to the engine in chunks
+        aligned to the session's ``probe_every`` cadence and samples
+        every probe at each boundary, stamped with the simulated cycle.
+        Engines flush all state before returning from ``advance`` (the
+        seam contract), so probes see exactly what the uninstrumented
+        run's machine state would be at the same record count — under
+        the batched engine this is the chunk-boundary sampling shim: no
+        per-access Python callbacks, probes fire between engine chunks.
         """
         session = self._telemetry
         probe_set = self._probe_set
         tracer = session.tracer
         every = session.probe_every
-        step = self.core.step
+        engine_advance = self._engine.advance
         total_taken = 0
         remaining = n_records
         while remaining > 0:
             to_boundary = every - (self.consumed % every)
             chunk = to_boundary if to_boundary < remaining else remaining
-            taken = 0
-            for rec in itertools.islice(self.trace, chunk):
-                step(rec)
-                taken += 1
-            self.consumed += taken
+            taken = engine_advance(self, chunk)
             total_taken += taken
             remaining -= taken
             if taken < chunk:

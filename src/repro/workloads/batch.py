@@ -9,12 +9,19 @@ traffic — this module generates records in numpy chunks instead: one
 vectorized draw per chunk for the mix choice, the bubbles and every
 pattern's addresses, so record production stops dominating short runs.
 
-The stream is fully deterministic (``numpy.random.PCG64`` seeded from
-``seed``; the chunk size participates in rng consumption order, so it
-is part of the stream identity too) but deliberately **not**
-bit-identical with ``interleave``: treat it as a different workload
-family, not a faster spelling of the same trace.  ``python -m repro
-bench`` measures both generators.
+The stream is fully deterministic and — like the scalar generators —
+identified by ``seed`` alone: the same seed yields the same trace
+regardless of ``chunk``.  That holds because every consumer of
+randomness owns its own ``numpy.random.PCG64`` stream (one for the mix
+picks, one for the bubbles, one per lane, each derived from ``seed``),
+and each stream is consumed strictly in record order, so splitting a
+draw of ``k`` values into ``k1 + k2`` produces the same values.  The
+stream is still deliberately **not** bit-identical with ``interleave``
+(vectorized draws are ordered differently from the scalar one-call-per-
+record walk): treat it as a different workload family, not a faster
+spelling of the same trace — see docs/performance.md ("Batched
+engine") for the equivalence contract.  ``python -m repro bench``
+measures both generators.
 """
 
 from __future__ import annotations
@@ -65,11 +72,19 @@ class BatchMix:
 
 
 class _LaneState:
-    """Per-mix vectorized generator state."""
+    """Per-mix vectorized generator state.
 
-    __slots__ = ("mix", "base_block", "position", "pc_base", "ring", "stride", "span", "hop")
+    Each lane owns a PCG64 stream derived from the trace seed and its
+    slot, consumed strictly in lane-record order (a fixed number of
+    draws per record), so a lane's address stream is independent of how
+    the surrounding trace is chunked.
+    """
 
-    def __init__(self, slot: int, mix: BatchMix, rng: np.random.Generator) -> None:
+    __slots__ = (
+        "mix", "base_block", "position", "pc_base", "ring", "stride", "span", "hop", "rng",
+    )
+
+    def __init__(self, slot: int, mix: BatchMix, seed: int) -> None:
         self.mix = mix
         self.position = 0
         self.pc_base = _PC_BASE + 0x10000 * slot
@@ -79,13 +94,14 @@ class _LaneState:
         self.stride = int(params.get("stride", 1))
         self.span = int(params.get("span", 128)) * BLOCKS_PER_PAGE
         self.hop = int(params.get("hop", 1024)) * BLOCKS_PER_PAGE
+        self.rng = np.random.Generator(np.random.PCG64(seed + 11 + 2 * slot))
         if mix.kind == "chase":
             blocks = int(params.get("blocks", 1 << 15))
-            self.ring = rng.permutation(blocks)
+            self.ring = self.rng.permutation(blocks)
         else:
             self.ring = None
 
-    def addresses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def addresses(self, count: int) -> np.ndarray:
         mix = self.mix
         base = self.base_block
         positions = self.position + np.arange(count, dtype=np.int64)
@@ -97,11 +113,13 @@ class _LaneState:
             blocks = base + self.ring[positions % len(self.ring)]
         elif mix.kind == "hotset":
             hot = int(mix.params.get("blocks", 2048))
-            draws = rng.integers(0, hot, size=(2, count))
-            blocks = base + np.minimum(draws[0], draws[1])
+            # (count, 2) so each record consumes exactly two consecutive
+            # draws in record order — chunk-split invariant.
+            draws = self.rng.integers(0, hot, size=(count, 2))
+            blocks = base + np.minimum(draws[:, 0], draws[:, 1])
         else:  # random
             footprint = int(mix.params.get("blocks", 1 << 16))
-            blocks = base + rng.integers(0, footprint, size=count)
+            blocks = base + self.rng.integers(0, footprint, size=count)
         return blocks << BLOCK_BITS
 
     def pcs(self, count: int) -> np.ndarray:
@@ -124,8 +142,13 @@ def batch_interleave(
         raise ValueError("record count must be non-negative")
     if chunk < 1:
         raise ValueError("chunk must be positive")
-    rng = np.random.Generator(np.random.PCG64(seed))
-    lanes = [_LaneState(slot, mix, rng) for slot, mix in enumerate(mixes)]
+    # Separate streams per consumer: a shared rng would interleave pick
+    # and bubble draws chunk-by-chunk, making the trace depend on the
+    # chunk size.  With one sequential stream each, any chunking of the
+    # same record prefix consumes the same values.
+    pick_rng = np.random.Generator(np.random.PCG64(seed))
+    bubble_rng = np.random.Generator(np.random.PCG64(seed + 3))
+    lanes = [_LaneState(slot, mix, seed) for slot, mix in enumerate(mixes)]
     weights = np.array([mix.weight for mix in mixes], dtype=np.float64)
     cum = np.cumsum(weights)
     cum /= cum[-1]
@@ -134,8 +157,8 @@ def batch_interleave(
     while remaining > 0:
         k = min(chunk, remaining)
         remaining -= k
-        picks = np.searchsorted(cum, rng.random(k), side="right")
-        bubbles = (rng.random(k) * spans[picks]).astype(np.int64)
+        picks = np.searchsorted(cum, pick_rng.random(k), side="right")
+        bubbles = (bubble_rng.random(k) * spans[picks]).astype(np.int64)
         addrs = np.empty(k, dtype=np.int64)
         pcs = np.empty(k, dtype=np.int64)
         for index, lane in enumerate(lanes):
@@ -143,7 +166,7 @@ def batch_interleave(
             count = int(mask.sum())
             if count == 0:
                 continue
-            addrs[mask] = lane.addresses(count, rng)
+            addrs[mask] = lane.addresses(count)
             pcs[mask] = lane.pcs(count)
         for pc, addr, bubble in zip(pcs.tolist(), addrs.tolist(), bubbles.tolist()):
             yield TraceRecord(pc, addr, bubble)

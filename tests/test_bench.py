@@ -128,16 +128,21 @@ class TestBatchTrace:
         b = list(batch_trace("605.mcf_s", 3_000, seed=2))
         assert a != b
 
-    def test_chunk_size_is_part_of_the_stream_identity(self):
-        """Vectorized draws consume the rng in chunk order, so the chunk
-        size participates in the stream identity — same (seed, chunk)
-        reproduces exactly; a different chunk is a different trace."""
+    def test_chunk_size_is_not_part_of_the_stream_identity(self):
+        """Every randomness consumer owns its own seed-derived stream,
+        consumed in record order — so the trace is identified by the
+        seed alone and the chunk size is purely a throughput knob."""
         mixes = [BatchMix("stream", 1.0, 4), BatchMix("hotset", 2.0, 6)]
         whole = list(batch_interleave(mixes, 5_000, seed=4, chunk=5_000))
-        again = list(batch_interleave(mixes, 5_000, seed=4, chunk=5_000))
-        chunked = list(batch_interleave(mixes, 5_000, seed=4, chunk=512))
-        assert whole == again
-        assert len(chunked) == len(whole) == 5_000
+        for chunk in (1, 7, 512, 4_096):
+            chunked = list(batch_interleave(mixes, 5_000, seed=4, chunk=chunk))
+            assert chunked == whole
+
+    def test_shorter_trace_is_a_prefix(self):
+        mixes = [BatchMix("random", 1.0, 4), BatchMix("chase", 1.0, 5)]
+        long = list(batch_interleave(mixes, 4_000, seed=8, chunk=256))
+        short = list(batch_interleave(mixes, 1_500, seed=8, chunk=1_024))
+        assert long[:1_500] == short
 
     def test_records_are_block_aligned_and_valid(self):
         for rec in batch_trace("623.xalancbmk_s", 2_000, seed=5):
