@@ -1,0 +1,111 @@
+"""CI trace-convert smoke (bench-smoke job).
+
+Exercises the trace ingestion path end to end on a tiny synthetic
+DRAMSim2 k6 file:
+
+1. generate a gzipped k6 text trace in a scratch directory,
+2. convert it with the real CLI (``python -m repro trace convert``),
+3. convert it again and assert the digest cache serves a hit,
+4. run the converted trace as one (workload, ppf) cell under both the
+   scalar and batched engines and assert bit-identical stats,
+5. copy the canonical artifact out as ``trace_convert_artifact.rpt``
+   (uploaded by CI) and write the ``TRACE_convert_smoke.json`` report.
+
+Exits non-zero on any failed check.
+"""
+
+import contextlib
+import gzip
+import io
+import json
+import shutil
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main as repro_main  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.single_core import run_single_core  # noqa: E402
+from repro.traces import read_header, trace_workload  # noqa: E402
+
+CONFIG = SimConfig.quick(measure_records=4_000, warmup_records=1_000)
+RECORDS = 6_000
+SEED = 3
+
+_COMMANDS = ["P_MEM_RD", "P_MEM_WR", "P_FETCH"]
+
+
+def _write_k6(path: Path, n: int) -> None:
+    cycle = 0
+    with gzip.open(path, "wt") as handle:
+        for i in range(n):
+            cycle += (i * 5) % 17 + 1
+            addr = 0x4000000 + (i % 900) * 64
+            handle.write(f"0x{addr:x} {_COMMANDS[i % 3]} {cycle}\n")
+
+
+def _convert(source: Path, cache_dir: Path) -> tuple:
+    """Run the real CLI; return (exit code, captured stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = repro_main(
+            ["trace", "convert", str(source), "--cache-dir", str(cache_dir)]
+        )
+    return code, out.getvalue()
+
+
+def main() -> int:
+    checks = {}
+    with tempfile.TemporaryDirectory(prefix="repro-convert-smoke-") as td:
+        scratch = Path(td)
+        source = scratch / "smoke.k6.gz"
+        _write_k6(source, RECORDS)
+        cache_dir = scratch / "trace-cache"
+
+        code, first = _convert(source, cache_dir)
+        checks["convert_exits_zero"] = code == 0
+        checks["first_conversion_is_miss"] = "converted" in first
+        artifacts = list(cache_dir.glob("*.rpt"))
+        checks["one_canonical_artifact"] = len(artifacts) == 1
+
+        code, second = _convert(source, cache_dir)
+        checks["second_conversion_is_hit"] = code == 0 and "cache hit" in second
+
+        records = spec = None
+        if artifacts:
+            records = read_header(artifacts[0])
+            checks["record_count_matches"] = records == RECORDS
+            spec = trace_workload(artifacts[0])
+            scalar = run_single_core(spec, "ppf", CONFIG, seed=SEED)
+            batched = run_single_core(
+                spec, "ppf", replace(CONFIG, engine="batched"), seed=SEED
+            )
+            checks["engines_bit_identical"] = (
+                scalar.instructions == batched.instructions
+                and scalar.cycles == batched.cycles
+                and scalar.stats == batched.stats
+            )
+            shutil.copy(artifacts[0], "trace_convert_artifact.rpt")
+
+    report = {
+        "source_records": RECORDS,
+        "canonical_records": records,
+        "workload": spec.name if spec else None,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    Path("TRACE_convert_smoke.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"trace convert smoke FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("trace convert smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

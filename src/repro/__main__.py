@@ -10,13 +10,21 @@ Subcommands:
 * ``bench <workload> [--prefetcher P] [--records N]`` — one quick run
 * ``sweep [--jobs N] [--cache-dir D] [--timeout S] [--retries N]
   [--ledger PATH] [--snapshot-dir D] [--checkpoint-every N]
-  [--resume LEDGER] [--profile PATH] [--trace DIR] [--live|--quiet]``
+  [--resume LEDGER] [--profile PATH] [--trace DIR] [--live|--quiet]
+  [--trace-file F ...]``
   — parallel, cached, fault-tolerant suite sweep (exits non-zero when
   cells stay unrecovered after retry + fallback); ``--snapshot-dir``
   reuses warmup snapshots across cells and runs, ``--resume`` adopts
   completed cells from a crashed run's ledger, ``--trace`` records the
   cell schedule as telemetry artifacts, ``--live``/``--quiet`` force
-  the TTY progress line on/off
+  the TTY progress line on/off, ``--trace-file`` adds converted-on-the-
+  fly file-backed workloads (their content digests fold into the
+  result-cache fingerprint)
+* ``trace convert FILE [FILE...] [--format NAME] [--cache-dir D]`` —
+  canonicalize external trace files (DRAMSim2 k6/mase text,
+  ChampSim-style binary; gzip/zstd transparent) into the
+  content-digest trace cache; a repeated conversion of the same bytes
+  is a cache hit
 * ``trace record --workload W [--prefetcher P] [--probe-every N]
   --out DIR`` — run one traced simulation and export its telemetry
   artifacts (JSONL events, Chrome trace, time-series JSON/CSV)
@@ -102,6 +110,49 @@ def _export_session(session, out_dir: str) -> None:
           f"{len(session.series())} series -> {out_dir}")
     for name in sorted(paths):
         print(f"  {name}: {paths[name]}")
+
+
+def _dir_inventory(target) -> tuple:
+    """Snapshot an output directory before a subcommand writes into it.
+
+    Paired with :func:`_discard_new_outputs`: a failed subcommand must
+    leave the filesystem as it found it, so we record which entries (if
+    any) predate the command.
+    """
+    path = Path(target)
+    existed = path.is_dir()
+    names = {child.name for child in path.iterdir()} if existed else set()
+    return path, existed, names
+
+
+def _discard_new_outputs(inventory: tuple) -> None:
+    """Best-effort removal of outputs created since :func:`_dir_inventory`.
+
+    Entries that predate the snapshot are never touched; a directory the
+    failed command itself created is removed once emptied.  Cleanup is
+    advisory — individual writes are already atomic, this just keeps a
+    failed run from leaving a half-populated artifact directory behind.
+    """
+    import shutil
+
+    path, existed, before = inventory
+    if not path.is_dir():
+        return
+    for child in path.iterdir():
+        if child.name in before:
+            continue
+        try:
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+            else:
+                child.unlink()
+        except OSError:
+            pass
+    if not existed:
+        try:
+            path.rmdir()
+        except OSError:
+            pass
 
 
 def _apply_engine(config: SimConfig, engine: str | None) -> SimConfig:
@@ -220,8 +271,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config = _apply_engine(config, args.engine)
         if args.workloads:
             workloads = [find_workload(name) for name in args.workloads]
+        elif args.trace_files:
+            workloads = []  # sweep exactly the given trace files
         else:
             workloads = [spec for spec in suite("spec2017") if spec.memory_intensive]
+        if args.trace_files:
+            import dataclasses
+
+            from .traces import TraceCache, trace_workload
+
+            cache = TraceCache(args.trace_cache)
+            digests = []
+            for source in args.trace_files:
+                outcome = cache.convert(source)
+                digests.append(outcome.digest)
+                workloads.append(
+                    trace_workload(
+                        outcome.path,
+                        name=f"trace:{Path(source).stem}@{outcome.digest[:12]}",
+                    )
+                )
+            # trace_digests is a SimConfig field, so the content digests
+            # fold into config_fingerprint and key the result cache:
+            # editing a trace file invalidates its cached cells.
+            config = dataclasses.replace(
+                config, trace_digests=tuple(sorted(set(digests)))
+            )
         runner = SuiteRunner(
             config,
             seed=args.seed,
@@ -331,8 +406,16 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             print(f"repro checkpoint: error: {err}", file=sys.stderr)
             return 2
         sim = SingleCoreSim(workload, args.prefetcher, config, seed=args.seed)
-        sim.warmup()
-        save_snapshot(Path(args.path), sim.snapshot("warmup"))
+        inventory = _dir_inventory(Path(args.path).parent)
+        try:
+            sim.warmup()
+            save_snapshot(Path(args.path), sim.snapshot("warmup"))
+        except (OSError, SnapshotError, ValueError) as err:
+            # The snapshot write is atomic, so a failure leaves no file;
+            # drop any directory this command created on the way in.
+            _discard_new_outputs(inventory)
+            print(f"repro checkpoint: error: {err}", file=sys.stderr)
+            return 2
         print(
             f"warmup snapshot ({workload.name} / {args.prefetcher}, "
             f"{sim.consumed} records) written to {args.path}"
@@ -362,6 +445,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import export as tele_export
     from .telemetry.tracer import Event
 
+    if args.action == "convert":
+        from .traces import TraceCache, TraceFormatError
+
+        inventory = _dir_inventory(args.cache_dir)
+        cache = TraceCache(args.cache_dir)
+        fmt = None if args.format == "auto" else args.format
+        converted = 0
+        try:
+            for source in args.files:
+                outcome = cache.convert(source, fmt=fmt)
+                status = "cache hit" if outcome.cache_hit else "converted"
+                print(
+                    f"{outcome.source} -> {outcome.path} "
+                    f"[{outcome.format}, {outcome.records} record(s), "
+                    f"digest {outcome.digest[:12]}, {status}]"
+                )
+                converted += 1
+        except (TraceFormatError, OSError) as err:
+            # The failed conversion published nothing (atomic rename);
+            # completed conversions are whole cache entries and stay.
+            # Only a cache directory we created and never filled goes.
+            if not converted:
+                _discard_new_outputs(inventory)
+            print(f"repro trace: error: {err}", file=sys.stderr)
+            return 2
+        return 0
+
     if args.action == "record":
         try:
             workload = find_workload(args.workload)
@@ -372,15 +482,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             measure_records=args.records, warmup_records=args.records // 4
         )
         session = Telemetry(probe_every=args.probe_every)
-        result = run_single_core(
-            workload, args.prefetcher, config, seed=args.seed, telemetry=session
-        )
-        print(
-            f"{workload.name} / {args.prefetcher}: ipc={result.ipc:.3f} "
-            f"({len(session.tracer.events())} events, "
-            f"{len(session.series())} series)"
-        )
-        _export_session(session, args.out)
+        inventory = _dir_inventory(args.out)
+        try:
+            result = run_single_core(
+                workload, args.prefetcher, config, seed=args.seed, telemetry=session
+            )
+            print(
+                f"{workload.name} / {args.prefetcher}: ipc={result.ipc:.3f} "
+                f"({len(session.tracer.events())} events, "
+                f"{len(session.series())} series)"
+            )
+            _export_session(session, args.out)
+        except (OSError, ValueError) as err:
+            _discard_new_outputs(inventory)
+            print(f"repro trace: error: {err}", file=sys.stderr)
+            return 2
         return 0
 
     if args.action == "export":
@@ -411,10 +527,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 continue
             events.append(Event(f"{cell}:{phase}", "sweep", "I", t))
         events.sort(key=lambda e: e.ts)
-        os.makedirs(args.out, exist_ok=True)
-        path = tele_export.write_chrome_trace(
-            events, str(Path(args.out) / "TRACE_sweep.json"), {"source": str(ledger_path)}
-        )
+        inventory = _dir_inventory(args.out)
+        try:
+            os.makedirs(args.out, exist_ok=True)
+            path = tele_export.write_chrome_trace(
+                events, str(Path(args.out) / "TRACE_sweep.json"),
+                {"source": str(ledger_path)},
+            )
+        except OSError as err:
+            _discard_new_outputs(inventory)
+            print(f"repro trace: error: {err}", file=sys.stderr)
+            return 2
         print(f"{len(events)} lifecycle event(s) -> {path}")
         return 0
 
@@ -651,6 +774,22 @@ def main(argv: list | None = None) -> int:
         metavar="N",
         help="probe cadence for any directly-driven runs (with --trace)",
     )
+    sweep_parser.add_argument(
+        "--trace-file",
+        dest="trace_files",
+        action="append",
+        metavar="PATH",
+        default=None,
+        help="external trace file (k6/mase text or ChampSim-style binary, "
+        ".gz ok) to convert through the digest cache and sweep as a "
+        "file-backed workload; repeatable",
+    )
+    sweep_parser.add_argument(
+        "--trace-cache",
+        default="trace-cache",
+        metavar="DIR",
+        help="canonical trace cache directory (with --trace-file)",
+    )
     live_group = sweep_parser.add_mutually_exclusive_group()
     live_group.add_argument(
         "--live",
@@ -692,6 +831,28 @@ def main(argv: list | None = None) -> int:
         "trace", help="record / export / summarize telemetry artifacts"
     )
     trace_sub = trace_parser.add_subparsers(dest="action", required=True)
+    convert_parser = trace_sub.add_parser(
+        "convert", help="canonicalize external trace files into the digest cache"
+    )
+    convert_parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="trace files (DRAMSim2 k6/mase text or ChampSim-style binary; "
+        "gzip/zstd-compressed accepted)",
+    )
+    convert_parser.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto"] + registry.names("trace_format"),
+        help="input format (default: sniff magic bytes, extension, content)",
+    )
+    convert_parser.add_argument(
+        "--cache-dir",
+        default="trace-cache",
+        metavar="DIR",
+        help="canonical trace cache directory (default: trace-cache)",
+    )
     record_parser = trace_sub.add_parser(
         "record", help="run one traced simulation and export its artifacts"
     )

@@ -46,6 +46,7 @@ import time
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence
 
+from ..ioutil import atomic_write
 from .micro import BenchResult
 
 BENCH_SCHEMA_VERSION = 1
@@ -111,9 +112,14 @@ def build_report(
 
 
 def write_report(report: Mapping, path: Optional[Path] = None) -> Path:
-    """Write the report as JSON; returns the path written."""
+    """Write the report as JSON; returns the path written.
+
+    Atomic (unique-tmp + rename): an interrupted bench run cannot leave
+    a truncated ``BENCH_sim.json`` that a later ``--baseline`` load
+    would half-parse.
+    """
     path = Path(path) if path is not None else Path(DEFAULT_REPORT_NAME)
-    with open(path, "w") as fh:
+    with atomic_write(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return path

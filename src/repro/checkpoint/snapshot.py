@@ -16,17 +16,14 @@ and fall back to simulating.
 
 from __future__ import annotations
 
-import itertools
 import json
-import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict
 
+from ..ioutil import atomic_write_bytes
 from .schema import CHECKPOINT_SCHEMA_VERSION
-
-_TMP_COUNTER = itertools.count()
 
 
 class SnapshotError(Exception):
@@ -88,17 +85,13 @@ def loads(blob: bytes) -> Snapshot:
 
 
 def save_snapshot(path: Path | str, snapshot: Snapshot) -> Path:
-    """Atomically publish ``snapshot`` at ``path``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
-    try:
-        tmp.write_bytes(dumps(snapshot))
-        tmp.replace(path)
-    except OSError:
-        tmp.unlink(missing_ok=True)
-        raise
-    return path
+    """Atomically publish ``snapshot`` at ``path``.
+
+    Staging and rename go through the shared
+    :func:`repro.ioutil.atomic_write_bytes` helper — the same idiom the
+    result cache, the telemetry exporters and the trace converter use.
+    """
+    return atomic_write_bytes(Path(path), dumps(snapshot))
 
 
 def load_snapshot(path: Path | str) -> Snapshot:

@@ -12,6 +12,7 @@ import io
 import json
 from typing import Dict, List, Sequence
 
+from ..ioutil import atomic_write
 from .figure01 import Figure1Result
 from .figure09 import Figure9Result
 from .figure10 import Figure10Result
@@ -76,12 +77,17 @@ def to_json(rows: Sequence[Dict[str, object]]) -> str:
 
 
 def write_rows(rows: Sequence[Dict[str, object]], path: str) -> None:
-    """Write rows to ``path``; format chosen by extension (.csv/.json)."""
+    """Write rows to ``path``; format chosen by extension (.csv/.json).
+
+    Atomic, with ``newline=""``: the ``csv`` payload carries its own
+    ``\\r\\n`` terminators, which Windows text-mode translation would
+    otherwise double into ``\\r\\r\\n``.
+    """
     if path.endswith(".csv"):
         payload = to_csv(rows)
     elif path.endswith(".json"):
         payload = to_json(rows)
     else:
         raise ValueError(f"unsupported export extension: {path!r}")
-    with open(path, "w") as stream:
+    with atomic_write(path, "w") as stream:
         stream.write(payload)

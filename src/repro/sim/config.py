@@ -28,6 +28,15 @@ class SimConfig:
     #: results (the engines are event-order equivalent) — only a
     #: throughput/telemetry-granularity knob.
     engine_chunk: int = 4_096
+    #: Content digests of the file-backed traces this run consumes
+    #: (sorted; empty for synthetic workloads).  Folded into
+    #: ``config_fingerprint`` automatically, so result caches, warmup
+    #: stores and ledgers keyed on the fingerprint can never mix
+    #: versions of a trace file: new bytes, new digest, new keys.  The
+    #: CLI's ``sweep --trace-file`` populates it; the digest also rides
+    #: every file-backed workload's *name* (see
+    #: :func:`repro.traces.trace_workload`), which covers per-cell keys.
+    trace_digests: Tuple[str, ...] = ()
 
     @classmethod
     def default(cls) -> "SimConfig":

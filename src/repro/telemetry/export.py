@@ -2,7 +2,17 @@
 
 Every artifact carries the schema stamp from :mod:`.schema` and is
 written deterministically (sorted keys, no wall-clock fields) so two
-recordings of the same simulation are byte-identical files.
+recordings of the same simulation are byte-identical files.  Writers
+share two conventions with the checkpoint store:
+
+* every ``open()`` goes through :func:`repro.ioutil.atomic_write`
+  (unique-tmp + rename), so a crash mid-export can never leave a
+  truncated-but-schema-stamped artifact behind — exports are complete
+  or absent;
+* text handles use ``newline=""``, so the ``csv`` module's own
+  ``\\r\\n`` handling (and everyone else's explicit ``\\n``) is not
+  doubled by Windows text-mode translation, and artifacts stay
+  byte-identical across platforms.
 
 Artifacts per session:
 
@@ -18,10 +28,12 @@ Artifacts per session:
 
 from __future__ import annotations
 
+import csv
 import json
 import os
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from ..ioutil import atomic_write
 from .schema import TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_VERSION
 
 if TYPE_CHECKING:  # layering: only type names, never runtime imports
@@ -52,7 +64,7 @@ def write_events_jsonl(
     events: List[Any], path: str, meta: Optional[Dict[str, Any]] = None
 ) -> str:
     """Header line + one event per line."""
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w") as handle:
         handle.write(json.dumps(_header("events", meta), sort_keys=True) + "\n")
         for event in events:
             handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
@@ -116,7 +128,7 @@ def write_chrome_trace(
     events: List[Any], path: str, meta: Optional[Dict[str, Any]] = None
 ) -> str:
     document = chrome_trace_document(events, meta)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w") as handle:
         json.dump(document, handle, sort_keys=True, indent=1)
         handle.write("\n")
     return path
@@ -135,20 +147,27 @@ def timeseries_document(
 def write_timeseries_json(
     series: Dict[str, "TimeSeries"], path: str, meta: Optional[Dict[str, Any]] = None
 ) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w") as handle:
         json.dump(timeseries_document(series, meta), handle, sort_keys=True, indent=1)
         handle.write("\n")
     return path
 
 
 def write_timeseries_csv(series: Dict[str, "TimeSeries"], path: str) -> str:
-    """Long-form CSV: one ``series,unit,t,v`` row per sample."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write("series,unit,t,v\n")
+    """Long-form CSV: one ``series,unit,t,v`` row per sample.
+
+    Emitted through the ``csv`` module over a ``newline=""`` handle
+    (with ``\\n`` terminators, matching the historical byte layout):
+    quoting is correct should a unit ever grow a comma, and Windows
+    text-mode translation cannot double the line endings.
+    """
+    with atomic_write(path, "w") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(["series", "unit", "t", "v"])
         for name, track in sorted(series.items()):
             unit = track.unit
             for t, v in zip(track.t, track.v):
-                handle.write(f"{name},{unit},{t},{v}\n")
+                writer.writerow([name, unit, t, v])
     return path
 
 

@@ -1,0 +1,116 @@
+"""Content-digest trace conversion cache.
+
+Conversion is pure — canonical output is a function of the source bytes
+alone — so the cache is content-addressed exactly like the warmup
+snapshot store: the key is a streaming SHA-256 of the *source file*, the
+value is ``<digest>.rpt``, and a second conversion of the same bytes
+(any path, any filename) is a header-validated cache hit that reads
+nothing but 16 bytes.  A source file whose content changes gets a new
+digest, hence a new canonical artifact — and, because the digest is
+folded into the workload identity and the sweep fingerprint (see
+:mod:`repro.traces.stream`), new result-cache keys too: the result
+cache can never serve stats computed from a stale trace version.
+
+Cache *reads* degrade like the snapshot store's: an unreadable or
+corrupt cached artifact counts as a miss and is re-converted over
+atomically.  Conversion *errors* are typed
+:class:`~repro.traces.errors.TraceFormatError` and publish nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .canonical import CANONICAL_SUFFIX, read_header, write_canonical
+from .errors import TraceFormatError
+from .formats import DEFAULT_DECODE_CHUNK, detect_format, make_format
+
+
+def file_digest(path: Path | str, chunk: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's raw bytes (32 hex chars)."""
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            while True:
+                blob = handle.read(chunk)
+                if not blob:
+                    break
+                digest.update(blob)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace: {exc}", path=path) from exc
+    return digest.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class ConvertResult:
+    """Outcome of one conversion (or cache hit)."""
+
+    source: str
+    path: str  # canonical artifact
+    format: str
+    digest: str  # content digest of the source file
+    records: int
+    cache_hit: bool
+
+
+class TraceCache:
+    """Digest-keyed canonical-trace directory with hit/miss accounting."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}{CANONICAL_SUFFIX}"
+
+    def convert(
+        self,
+        source: Path | str,
+        fmt: Optional[str] = None,
+        chunk: int = DEFAULT_DECODE_CHUNK,
+    ) -> ConvertResult:
+        """Canonicalize ``source``, serving from cache when possible.
+
+        ``fmt`` names a registered trace format; ``None`` auto-detects.
+        The canonical artifact is published atomically, so a crashed or
+        failed conversion leaves no partial file behind.
+        """
+        source = Path(source)
+        digest = file_digest(source)
+        dest = self.path_for(digest)
+        if dest.exists():
+            try:
+                records = read_header(dest)
+            except TraceFormatError:
+                records = -1  # corrupt cache entry: fall through, reconvert
+            if records >= 0:
+                self.hits += 1
+                return ConvertResult(
+                    source=str(source),
+                    path=str(dest),
+                    format="canonical",
+                    digest=digest,
+                    records=records,
+                    cache_hit=True,
+                )
+        fmt_name = fmt or detect_format(source)
+        reader = make_format(fmt_name)
+        records = write_canonical(reader.read_batches(source, chunk), dest)
+        self.misses += 1
+        return ConvertResult(
+            source=str(source),
+            path=str(dest),
+            format=fmt_name,
+            digest=digest,
+            records=records,
+            cache_hit=False,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,69 @@
+"""Transparent decompression for trace files.
+
+External traces ship compressed (DRAMSim2's k6 corpus is ``.gz``,
+ChampSim's SimPoint traces are ``.xz``/``.zst``), so every reader opens
+its input through :func:`open_stream`, which sniffs the magic bytes —
+not the extension, since mirrors rename files — and returns a binary
+file object yielding the decompressed byte stream.
+
+zstd support is *gated*, not assumed: the ``zstandard`` module is not
+part of this repo's baked toolchain, so a ``.zst`` input on a machine
+without it raises a :class:`~repro.traces.errors.TraceFormatError`
+naming the missing module instead of an ``ImportError`` traceback.
+
+Truncated compressed files surface mid-iteration as ``EOFError``/
+``OSError`` from the decompressor; readers funnel those through
+:func:`reraise_truncated` so callers always see ``TraceFormatError``
+with file context.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import BinaryIO
+
+from .errors import TraceFormatError
+
+GZIP_MAGIC = b"\x1f\x8b"
+ZSTD_MAGIC = b"\x28\xb5\x2f\xfd"
+
+
+def sniff_compression(path: Path | str) -> str:
+    """``"gzip"``, ``"zstd"`` or ``"raw"``, judged by magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(4)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace: {exc}", path=path) from exc
+    if head[:2] == GZIP_MAGIC:
+        return "gzip"
+    if head[:4] == ZSTD_MAGIC:
+        return "zstd"
+    return "raw"
+
+
+def open_stream(path: Path | str) -> BinaryIO:
+    """Open ``path`` for reading with transparent decompression."""
+    kind = sniff_compression(path)
+    if kind == "gzip":
+        return gzip.open(path, "rb")
+    if kind == "zstd":
+        try:
+            import zstandard
+        except ImportError as exc:
+            raise TraceFormatError(
+                "zstd-compressed trace, but the 'zstandard' module is not "
+                "installed; decompress externally (zstd -d) or install it",
+                path=path,
+            ) from exc
+        handle = open(path, "rb")
+        return zstandard.ZstdDecompressor().stream_reader(handle, closefd=True)
+    return open(path, "rb")
+
+
+def reraise_truncated(exc: Exception, path: Path | str) -> TraceFormatError:
+    """Wrap a decompressor's mid-stream failure with file context."""
+    return TraceFormatError(
+        f"corrupt or truncated compressed stream: {exc}", path=path
+    )

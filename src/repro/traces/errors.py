@@ -1,0 +1,41 @@
+"""Typed errors for the trace ingestion layer.
+
+Every malformed-input path through :mod:`repro.traces` raises
+:class:`TraceFormatError` — never a bare ``ValueError`` or a leaked
+``struct.error``/``zlib.error`` — and every instance carries the file
+(and, for text formats, the line) it choked on, so a bad record deep in
+a multi-gigabyte trace is diagnosable from the message alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+
+class TraceFormatError(ValueError):
+    """A trace file could not be decoded.
+
+    Subclasses :class:`ValueError` so legacy ``except ValueError`` call
+    sites keep working, but callers should catch this type: the message
+    is prefixed with ``path[:line]`` context and the structured fields
+    ride along as attributes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[Path | str] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        self.path = str(path) if path is not None else None
+        self.line = line
+        prefix = ""
+        if self.path is not None:
+            prefix = self.path
+            if line is not None:
+                prefix += f":{line}"
+            prefix += ": "
+        super().__init__(prefix + message)
+        self.message = message

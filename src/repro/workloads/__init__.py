@@ -41,6 +41,12 @@ from .synthetic import (
     interleave,
 )
 
+# Imported for its registrations (suite "traces", kind "trace_format"):
+# file-backed workloads resolve through find_workload like any other
+# suite, which is how sweep workers rehydrate them by name.  Imported
+# after the synthetic suites above so repro.traces can use WorkloadSpec.
+from .. import traces as _traces  # noqa: E402,F401
+
 def suite(name: str) -> List[WorkloadSpec]:
     """Instantiate a registered workload suite by name."""
     return registry.create("suite", name)
