@@ -20,6 +20,13 @@ The operation each layer counts:
   ``end_to_end_single_core`` is the engine speedup, gated ≥3× versus
   the committed baseline in ``tests/test_engine_equivalence.py``)
 * ``end_to_end_no_prefetch`` — trace records through a no-prefetch run
+* ``end_to_end_multi_core`` — trace records through a 4-core PPF mix
+  (scalar heap-scheduled engine)
+* ``end_to_end_multi_core_batched`` — the same mix pinned to the
+  batched engine (quantum-scheduled, fused per-core kernels; the
+  pair's ops_per_sec ratio is the multi-core engine speedup, gated
+  ≥2.5× versus the committed baseline in
+  ``tests/test_engine_equivalence.py``)
 * ``telemetry_disabled_overhead`` — the PPF run with telemetry forced off
   (its wall time vs ``end_to_end_single_core`` is the disabled-telemetry
   overhead; gated at ≤2% in ``tests/test_telemetry_overhead.py``)
@@ -314,6 +321,59 @@ def _bench_telemetry_disabled(ops: int) -> Callable[[], int]:
         return ops
 
     return run
+
+
+# -- layer 4b: full multi-core runs ---------------------------------------------
+
+
+def _end_to_end_multi(ops: int, engine: Optional[str] = None) -> Callable[[], int]:
+    """A pinned 4-core PPF mix; ``ops`` counts nominal records (all cores).
+
+    The mix pairs two memory-intensive workloads (605.mcf_s, 619.lbm_s)
+    with two lighter ones so the shared LLC/DRAM see real contention and
+    the cycle-quantum scheduler sees uneven per-core progress — the
+    regime the batched multi-core engine is built for.
+    """
+    import dataclasses
+
+    from ..sim.config import SimConfig
+    from ..sim.multi_core import run_multi_core
+    from ..workloads.mixes import WorkloadMix
+    from ..workloads.spec2017 import workload_by_name
+
+    names = ("605.mcf_s", "603.bwaves_s", "619.lbm_s", "623.xalancbmk_s")
+    mix = WorkloadMix(
+        name="bench4", workloads=tuple(workload_by_name(n) for n in names)
+    )
+    per_core = ops // len(names)
+    warmup = per_core // 5
+    config = dataclasses.replace(
+        SimConfig.multicore(len(names)),
+        warmup_records=warmup,
+        measure_records=per_core - warmup,
+    )
+    # Same pin-beats-override rule as the single-core pair.
+    engine = engine if engine is not None else _ACTIVE_ENGINE
+    if engine is not None:
+        config = dataclasses.replace(config, engine=engine)
+
+    def run() -> int:
+        run_multi_core(mix, "ppf", config, seed=3)
+        return ops
+
+    return run
+
+
+@_benchmark("end_to_end_multi_core", ops=12_000)
+def _bench_end_to_end_multi(ops: int) -> Callable[[], int]:
+    return _end_to_end_multi(ops)
+
+
+@_benchmark("end_to_end_multi_core_batched", ops=12_000)
+def _bench_end_to_end_multi_batched(ops: int) -> Callable[[], int]:
+    """The 4-core mix pinned to ``--engine batched``, completing the
+    multi-core half of the scalar/batched pair in every BENCH_sim.json."""
+    return _end_to_end_multi(ops, engine="batched")
 
 
 # -- layer 5: sweep warmup reuse -------------------------------------------------

@@ -16,7 +16,11 @@ caches and warmup stores keyed on the old schema invalidate with it.
 from __future__ import annotations
 
 #: Version of the on-disk snapshot payload layout.
-CHECKPOINT_SCHEMA_VERSION = 1
+#:
+#: v2: multi-core payloads grew a mandatory mid-measurement section
+#: (``consumed`` cursor + per-core ``outcomes``), making measure-phase
+#: snapshots of :class:`~repro.sim.multi_core.MultiCoreSim` restorable.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 #: ``Snapshot.kind`` for whole single-core simulations (both warmup-
 #: boundary snapshots and mid-measurement periodic checkpoints).

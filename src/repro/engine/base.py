@@ -27,6 +27,39 @@ The contract every engine must honor:
    keeps snapshots engine-portable and telemetry probes honest.
 3. Engines never reorder events within or across records relative to
    the scalar loop — equivalence is exact, not approximate.
+
+Multi-core simulations add a fourth point.  ``advance_multi(sim, n)``
+drives :class:`~repro.sim.multi_core.MultiCoreSim` under the same three
+rules, plus:
+
+4. The *global interleaving* observable at the shared resources (LLC,
+   DRAM channels) is the scalar schedule's: the next core to step is
+   always the one with the minimum ``(cycle, core_index)`` key.  An
+   engine may run one core for a bounded *cycle quantum* without
+   re-consulting the schedule only while that key provably stays the
+   minimum (see :mod:`repro.engine.multi_core`), and it must capture a
+   core's measurement outcome at exactly the record where the scalar
+   loop would (``sim._capture_core``), with that core's state flushed
+   first.
+
+Point 2 is phase-boundary exact in the multi-core case, with two
+documented relaxations (both scalar-reachable, both enforced by the
+cross-engine checkpoint tests):
+
+* ``advance_multi`` drains whole scheduling turns, so it may overshoot
+  ``n`` by the records already committed to the in-flight quantum (the
+  return value reports the true count); a record pulled from the trace
+  but suspended pre-execution stays parked in the trace's pending slot,
+  where ``state_dict`` already serializes it.
+* A batched engine may run records *ahead* of the global schedule when
+  they provably touch no shared state (private-L1 hits in the
+  non-inclusive hierarchy).  A **mid-measure** ``state_dict()`` is then
+  a valid per-core record boundary that can sit a few records past the
+  scalar engine's at the same call — restoring it (under either engine)
+  still finishes bit-identical, and the states reconverge wherever
+  runners flush: warmup end, every capture, and every return when
+  telemetry is attached (*exact mode*: run-ahead disabled so probe
+  samples land on scalar-identical record counts).
 """
 
 from __future__ import annotations
@@ -44,6 +77,15 @@ class Engine(Protocol):
 
     def advance(self, sim, n_records: int) -> int:
         """Step up to ``n_records`` of ``sim``'s trace; return the count."""
+        ...
+
+    def advance_multi(self, sim, n_records: int) -> int:
+        """Step up to ``n_records`` of a multi-core sim's current phase.
+
+        Cores are interleaved by the scalar ``(cycle, index)`` schedule
+        (contract point 4); the call returns early when the phase
+        completes (all cores warmed, or every measurement captured).
+        """
         ...
 
 

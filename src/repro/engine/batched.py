@@ -52,6 +52,7 @@ from ..memory.dram import DRAM
 from ..memory.hierarchy import MemoryHierarchy
 from ..prefetchers.spp import SPP, _GHREntry, _PatternEntry, _SignatureEntry
 from ..registry import register
+from .multi_core import _hier_eligible, _ppf_core_eligible, batched_advance_multi
 
 #: Fallback chunk when no SimConfig is supplied via ``configure``.
 DEFAULT_CHUNK = 4_096
@@ -63,13 +64,16 @@ class BatchedEngine:
 
     name = "batched"
 
-    def __init__(self, chunk: int = DEFAULT_CHUNK) -> None:
+    def __init__(self, chunk: int = DEFAULT_CHUNK, quantum: int = DEFAULT_CHUNK) -> None:
         self.chunk = chunk
+        self.quantum = quantum
 
     def configure(self, config) -> None:
         chunk = int(getattr(config, "engine_chunk", 0) or 0)
         if chunk > 0:
             self.chunk = chunk
+        # 0 is a valid setting (uncapped turns), so no or-fallback here.
+        self.quantum = int(getattr(config, "engine_quantum", DEFAULT_CHUNK))
 
     def advance(self, sim, n_records: int) -> int:
         if n_records <= 0:
@@ -103,6 +107,11 @@ class BatchedEngine:
                 break  # trace exhausted
         return taken_total
 
+    def advance_multi(self, sim, n_records: int) -> int:
+        # The cycle-quantum driver over per-core suspended runners; see
+        # repro.engine.multi_core for the schedule-preservation argument.
+        return batched_advance_multi(sim, n_records, self.quantum)
+
 
 def _select_mode(sim) -> str:
     if type(sim.core) is not O3Core:
@@ -113,37 +122,20 @@ def _select_mode(sim) -> str:
 def _ppf_eligible(sim) -> bool:
     """True when the fully fused kernel reproduces the scalar events.
 
-    Exact-type checks on purpose: a subclass overriding any hook would
-    silently diverge from the inlined logic, so anything non-stock takes
-    the generic kernel instead.
+    The hierarchy- and core-level predicates are shared with the
+    multi-core runners (``repro.engine.multi_core``); this wrapper adds
+    only the single-core framing.
     """
     hier = sim.hierarchy
-    if type(hier) is not MemoryHierarchy or hier.num_cores != 1:
+    if not _hier_eligible(hier) or hier.num_cores != 1:
         return False
     core = sim.core
-    if core.core_id != 0 or core.hierarchy is not hier:
+    if core.core_id != 0:
         return False
     pf = hier.prefetchers[0]
-    if type(pf) is not PPF or pf is not sim.prefetcher:
+    if pf is not sim.prefetcher:
         return False
-    if pf.recorder is not None:
-        return False
-    if not pf.use_reject_table or not pf.train_on_displacement:
-        return False
-    if type(pf.underlying) is not SPP:
-        return False
-    scfg = pf.underlying.config
-    if scfg.emit_all_candidates or not scfg.compound_confidence:
-        return False
-    filt = pf.filter
-    if type(filt) is not PerceptronFilter or not filt.engine_view()[4]:
-        return False
-    if type(hier.dram) is not DRAM:
-        return False
-    for cache in (hier.l1[0], hier.l2[0], hier.llc):
-        if cache.engine_view() is None:  # non-LRU replacement
-            return False
-    return True
+    return _ppf_core_eligible(hier, core, pf)
 
 
 def _run_generic_chunk(sim, records) -> None:

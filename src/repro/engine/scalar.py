@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 
 from ..registry import register
+from .multi_core import scalar_advance_multi
 
 
 @register("engine", "scalar")
@@ -27,3 +28,8 @@ class ScalarEngine:
             taken += 1
         sim.consumed += taken
         return taken
+
+    def advance_multi(self, sim, n_records: int) -> int:
+        # The verbatim multi-core loop, heap-scheduled (same picks, same
+        # tie breaks); extracted to repro.engine.multi_core.
+        return scalar_advance_multi(sim, n_records)

@@ -28,6 +28,14 @@ class SimConfig:
     #: results (the engines are event-order equivalent) — only a
     #: throughput/telemetry-granularity knob.
     engine_chunk: int = 4_096
+    #: Cap on the records one core may run inside a single scheduling
+    #: turn of the batched multi-core advance (0 = uncapped).  The cycle
+    #: bound that preserves the shared-resource interleaving is computed
+    #: per turn regardless, so — like ``engine_chunk`` — this is a pure
+    #: throughput/latency knob that cannot perturb results: a core cut
+    #: short by the cap is still the schedule's minimum and is re-picked
+    #: on the next turn.
+    engine_quantum: int = 4_096
     #: Content digests of the file-backed traces this run consumes
     #: (sorted; empty for synthetic workloads).  Folded into
     #: ``config_fingerprint`` automatically, so result caches, warmup

@@ -297,3 +297,51 @@ def test_batched_engine_is_at_least_3x_over_committed_baseline():
         f"speedups {[f'{s:.2f}x' for s in speedups]} vs baseline "
         f"{base_ns:.0f} ns/op"
     )
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI") is not None,
+    reason="wall-clock gate is advisory under CI (shared hosts); enforced locally",
+)
+def test_batched_multi_core_is_at_least_2_5x_over_scalar():
+    """``end_to_end_multi_core_batched`` vs the live scalar multi-core
+    engine, measured back-to-back in the same process.
+
+    Unlike the single-core gate (which compares against the committed
+    pre-PR baseline and clears 3x with ~20% margin), the multi-core
+    gate's margin over a *recorded* baseline is thin enough that the
+    ambient slowdown of a long-lived test process — allocator and GC
+    state after hundreds of prior tests — can eat it.  Pairing both
+    engines in one ``run_benchmarks`` call cancels that slowdown from
+    the ratio, the same discipline tests/test_telemetry_overhead.py
+    uses for its overhead bound.  The committed
+    ``end_to_end_multi_core`` baseline entry still anchors the
+    ``python -m repro bench`` regression comparison; here we assert it
+    exists and was recorded on the same op count so the two views stay
+    comparable.  Runs at scale 1.0: the multi-core benchmark's fixed
+    per-run setup is a larger fraction of a scaled-down run, which
+    would understate the steady-state speedup.
+    """
+    names = ["end_to_end_multi_core", "end_to_end_multi_core_batched"]
+    assert all(name in BENCHMARKS for name in names)
+    baseline = load_baseline(default_baseline_path())
+    assert baseline is not None, "committed baseline missing"
+    base = baseline["results"]["end_to_end_multi_core"]
+    assert base["ops"] == BENCHMARKS["end_to_end_multi_core"][1]
+    speedups = []
+    for _ in range(3):
+        results = {
+            r.name: r for r in run_benchmarks(names, scale=1.0, repeats=3)
+        }
+        batched = results["end_to_end_multi_core_batched"].best_wall_s
+        scalar = results["end_to_end_multi_core"].best_wall_s
+        assert batched > 0
+        speedup = scalar / batched
+        speedups.append(speedup)
+        if speedup >= 2.5:
+            return
+    pytest.fail(
+        f"batched multi-core engine missed the 2.5x gate in every attempt: "
+        f"speedups {[f'{s:.2f}x' for s in speedups]} vs the live scalar "
+        f"engine"
+    )
