@@ -1,0 +1,112 @@
+"""CI farm smoke (farm-smoke job).
+
+Runs the golden suite at smoke scale through the sweep farm — a broker
+plus two real worker subprocesses sharing a filesystem queue — and
+asserts the outcome is bit-identical to the in-process backend:
+
+1. reference sweep with the default local pool backend,
+2. the same sweep through ``FarmBackend`` with two spawned workers,
+3. a resubmission over the shared result cache (must be 100% hits),
+4. a resumed sweep over the already-drained queue (adopts, never
+   re-executes).
+
+Writes ``FARM_sweep.json`` (uploaded as a CI artifact next to the run
+ledger) and exits non-zero on any mismatch, so a determinism or
+queue-protocol regression fails the job instead of shipping.
+"""
+
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.farm import FarmBackend  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.suite import SuiteRunner  # noqa: E402
+from repro.workloads import find_workload  # noqa: E402
+
+CONFIG = SimConfig.quick(measure_records=2_000, warmup_records=500)
+SEED = 3
+WORKLOADS = ["605.mcf_s", "623.xalancbmk_s"]
+SCHEMES = ["spp", "ppf"]
+WORKERS = 2
+LEDGER_ARTIFACT = Path("farm-ledger.jsonl")
+
+
+def suite_stats(suite):
+    return json.dumps(
+        {f"{w}/{s}": dataclasses.asdict(r) for (w, s), r in sorted(suite.runs.items())},
+        sort_keys=True,
+    )
+
+
+def main() -> int:
+    workloads = [find_workload(name) for name in WORKLOADS]
+    reference = SuiteRunner(CONFIG, seed=SEED, jobs=1).sweep(workloads, SCHEMES)
+    reference_stats = suite_stats(reference)
+
+    with tempfile.TemporaryDirectory(prefix="repro-farm-smoke-") as td:
+        root = Path(td)
+        farm = SuiteRunner(
+            CONFIG,
+            seed=SEED,
+            jobs=1,
+            cache_dir=root / "cache",
+            ledger_path=LEDGER_ARTIFACT,
+            backend=FarmBackend(root / "queue", workers=WORKERS),
+        )
+        farm_result = farm.sweep(workloads, SCHEMES)
+        farm_stats = suite_stats(farm_result)
+        workers_seen = {
+            json.loads(line).get("worker")
+            for line in LEDGER_ARTIFACT.read_text().splitlines()
+            if '"worker"' in line
+        } - {None, "broker-inline"}
+
+        again = SuiteRunner(
+            CONFIG,
+            seed=SEED,
+            jobs=1,
+            cache_dir=root / "cache",
+            backend=FarmBackend(root / "queue2", workers=0),
+        )
+        again_result = again.sweep(workloads, SCHEMES)
+
+        resumed = SuiteRunner(
+            CONFIG, seed=SEED, jobs=1, backend=FarmBackend(root / "queue", workers=0)
+        )
+        resumed_stats = suite_stats(resumed.sweep(workloads, SCHEMES))
+
+    checks = {
+        "farm_sweep_complete": farm_result.failure_report.complete,
+        "farm_sweep_byte_identical": farm_stats == reference_stats,
+        "worker_subprocesses_executed_cells": len(workers_seen) >= 1,
+        "resubmission_all_cache_hits": again_result.cache_hit_rate == 1.0,
+        "resubmission_executed_nothing": again_result.executed == 0,
+        "resumed_queue_byte_identical": resumed_stats == farm_stats,
+        "resumed_simulated_nothing": resumed._exec.simulated == 0,
+    }
+    report = {
+        "cells": len(farm_result.runs),
+        "workers_seen": sorted(workers_seen),
+        "cache_hits_on_resubmission": again_result.cache_hits,
+        "cache_hit_rate_on_resubmission": again_result.cache_hit_rate,
+        "resumed_cells": resumed._exec.resumed,
+        "checks": checks,
+        "equal": all(checks.values()),
+    }
+    Path("FARM_sweep.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["equal"]:
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"farm smoke FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("farm smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

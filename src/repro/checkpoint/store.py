@@ -28,6 +28,15 @@ class SnapshotStore:
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.ckpt"
 
+    def contains(self, digest: str) -> bool:
+        """Whether an entry exists under ``digest`` (no accounting).
+
+        A cheap existence probe for dispatchers deciding *where* to run
+        work (the suite runner's hit/miss stats, the farm broker's
+        snapshot provenance) without charging the store a miss.
+        """
+        return self.path_for(digest).exists()
+
     def load(self, digest: str) -> Optional[Snapshot]:
         """The snapshot under ``digest``, or ``None`` on any miss."""
         path = self.path_for(digest)

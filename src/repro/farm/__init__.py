@@ -1,0 +1,47 @@
+"""Distributed, resumable, service-fronted sweep execution.
+
+The farm turns :class:`repro.sim.suite.SuiteRunner` into a multi-worker
+fleet without changing what a sweep *means*: every cell is still a pure
+deterministic function of ``(workload, prefetcher, config, seed)``, so
+a farm run is bit-identical to a single-host run — the fleet only
+changes where the work happens and how it survives crashes.
+
+Four pieces, bottom up:
+
+* :mod:`repro.farm.queue` — a durable, filesystem-backed work queue.
+  Cells are content-addressed ticket files; ownership is a claim/lease
+  file created atomically (``O_EXCL``) with lease-expiry takeover, so
+  any number of worker processes — local or on a shared filesystem —
+  pull safely and a dead worker's cells get reclaimed.
+* :mod:`repro.farm.worker` — the worker loop: claim a ticket, run the
+  cell (reusing warmup snapshots from the shared
+  :class:`~repro.checkpoint.SnapshotStore`), publish the result, retry
+  or poison per the queue's :class:`~repro.sim.suite.CellPolicy`
+  budget.
+* :mod:`repro.farm.broker` — :class:`FarmBackend`, a
+  :class:`repro.sim.suite.Backend`: expands a sweep's pending cells
+  into tickets, optionally spawns local worker subprocesses, streams
+  worker lifecycle events back into the runner's ledger/observers, and
+  adopts results into the existing content-addressed result cache.
+* :mod:`repro.farm.service` — an asyncio HTTP front end (stdlib only)
+  serving sweep submission, live progress (lifecycle events streamed
+  per job) and cached result lookup by config fingerprint.
+
+CLI: ``python -m repro farm {broker,worker,status}``,
+``python -m repro serve``, and ``python -m repro sweep --backend farm``.
+"""
+
+from .broker import FarmBackend
+from .queue import CellTicket, FarmQueue, Lease, QueueError
+from .service import FarmService
+from .worker import FarmWorker
+
+__all__ = [
+    "CellTicket",
+    "FarmBackend",
+    "FarmQueue",
+    "FarmService",
+    "FarmWorker",
+    "Lease",
+    "QueueError",
+]

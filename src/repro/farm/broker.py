@@ -1,0 +1,341 @@
+"""The farm broker: a :class:`repro.sim.suite.Backend` over a queue.
+
+``FarmBackend.execute`` is the fleet-side twin of the local pool: it
+expands the sweep's pending cells into durable tickets, lets workers
+(external processes, spawned subprocesses, or an in-process loopback
+drain) resolve them, streams the workers' lifecycle events back into
+the runner's ledger and observers, and adopts every published result
+into the runner's content-addressed caches.  The runner keeps owning
+everything around execution — cache lookups, failure semantics, the
+sweep summary — so ``sweep --backend farm`` degrades, resumes and
+reports exactly like a local sweep.
+
+Resumability falls out of the queue's content addressing: cells already
+resolved in the queue (a half-drained run) are adopted without
+re-execution, and a previously poisoned cell is given a fresh budget by
+retiring its tombstone before resubmission.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..sim.config import SimConfig
+from ..sim.fingerprint import fingerprint_digest
+from ..sim.suite import (
+    Backend,
+    CellFailure,
+    FailureReport,
+    SuiteResult,
+    SuiteRunner,
+    _Cell,
+    _worker_payload,
+)
+from ..sim.single_core import RunResult
+from ..workloads.spec2017 import WorkloadSpec
+from .queue import DEFAULT_LEASE_TTL, CellTicket, FarmQueue
+from .worker import FarmWorker
+
+
+class FarmBackend(Backend):
+    """Execute sweep cells through a durable multi-worker queue."""
+
+    name = "farm"
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        workers: int = 0,
+        poll_interval: float = 0.05,
+        lease_ttl: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> None:
+        """``workers`` local worker subprocesses are spawned per sweep
+        (0: rely on external workers, with an in-process loopback drain
+        so a bare ``sweep --backend farm`` still completes standalone).
+        ``lease_ttl`` defaults to the sweep's ``CellPolicy.timeout``
+        (or :data:`~repro.farm.queue.DEFAULT_LEASE_TTL`); it is the
+        farm's hang-recovery horizon.  ``wait_timeout`` bounds the whole
+        drain as a last-resort safety net — cells still outstanding
+        when it expires are reported unrecovered, never silently lost.
+        """
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.lease_ttl = lease_ttl
+        self.wait_timeout = wait_timeout
+        #: Populated per execute(): the queue this sweep ran over.
+        self.queue: Optional[FarmQueue] = None
+
+    # -- Backend entry point -----------------------------------------------------
+
+    def execute(
+        self,
+        runner: SuiteRunner,
+        pending: List[_Cell],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+    ) -> None:
+        ttl = self.lease_ttl
+        if ttl is None:
+            ttl = runner.policy.timeout if runner.policy.timeout is not None else DEFAULT_LEASE_TTL
+        queue = FarmQueue(self.queue_dir, lease_ttl=ttl)
+        queue.ensure(
+            retries=runner.policy.retries,
+            lease_ttl=ttl,
+            fingerprint=fingerprint_digest(config),
+            seed=runner.seed,
+        )
+        self.queue = queue
+
+        # Only worker events appended from here on belong to this sweep
+        # — a reused queue directory's historical log is not replayed.
+        try:
+            offset = queue.events_path.stat().st_size
+        except OSError:
+            offset = 0
+        #: (workload, prefetcher) keys this sweep has adopted; late
+        #: lifecycle records for them still reach the ledger/observers.
+        adopted: set = set()
+
+        # Split the pending cells: farmable ones become tickets, specs
+        # that can neither pickle nor rehydrate by name stay local.
+        local: List[_Cell] = []
+        outstanding: Dict[str, _Cell] = {}
+        snapshot_dir, checkpoint_every = runner._snapshot_args()
+        for cell in pending:
+            payload = _worker_payload(cell.spec)
+            if payload is None:
+                local.append(cell)
+                continue
+            cell_id = self._cell_id(cell.spec, cell.scheme, config, runner.seed)
+            if queue.has_result(cell_id) and self._adopt_result(
+                # Half-drained queue: adopt the previous run's work (a
+                # corrupt result file falls through to re-submission).
+                runner, queue, cell, cell_id, config, suite, report, adopted,
+                resumed=True,
+            ):
+                continue
+            ticket = CellTicket.build(
+                workload=cell.spec.name,
+                prefetcher=cell.scheme,
+                config=config,
+                seed=runner.seed,
+                cell_id=cell_id,
+                fingerprint=fingerprint_digest(config),
+                payload=payload if isinstance(payload, WorkloadSpec) else None,
+                snapshot_dir=snapshot_dir,
+                checkpoint_every=checkpoint_every,
+                result_path=cell.provenance.get("result_path"),
+            )
+            # A tombstone from an earlier run doesn't condemn this one:
+            # retire it so the cell gets a fresh retry budget.
+            queue.failed_path(cell_id).unlink(missing_ok=True)
+            queue.submit(ticket)
+            outstanding[cell_id] = cell
+
+        procs = self._spawn_workers() if (self.workers and outstanding) else []
+        inline = None if procs else FarmWorker(queue, worker_id="broker-inline")
+        try:
+            self._drain(
+                runner, queue, outstanding, config, suite, report, procs, inline,
+                adopted, offset,
+            )
+        finally:
+            self._reap(procs)
+        for cell in local:
+            runner._serial_cell(cell, config, suite, report, recovery=None)
+
+    # -- queue driving -----------------------------------------------------------
+
+    @staticmethod
+    def _cell_id(spec: WorkloadSpec, scheme: str, config: SimConfig, seed: int) -> str:
+        from ..sim.fingerprint import cell_digest
+
+        return cell_digest(spec.name, scheme, config, seed)
+
+    def _drain(
+        self,
+        runner: SuiteRunner,
+        queue: FarmQueue,
+        outstanding: Dict[str, _Cell],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+        procs: List[subprocess.Popen],
+        inline: Optional[FarmWorker],
+        adopted: set,
+        offset: int,
+    ) -> None:
+        deadline = None if self.wait_timeout is None else time.time() + self.wait_timeout
+        fallback: List[_Cell] = []
+        while outstanding:
+            offset = self._pump_events(runner, queue, outstanding, adopted, report, offset)
+            for cell_id in list(outstanding):
+                cell = outstanding[cell_id]
+                if queue.has_result(cell_id) and self._adopt_result(
+                    runner, queue, cell, cell_id, config, suite, report,
+                    adopted, resumed=False,
+                ):
+                    del outstanding[cell_id]
+                    continue
+                failure = queue.load_failure(cell_id)
+                if failure is not None:
+                    del outstanding[cell_id]
+                    adopted.add(cell.key)
+                    cell.attempts = int(failure.get("attempts", 1))
+                    cell.errors = list(failure.get("errors") or [failure.get("error", "?")])
+                    runner._exec.crashes += 1  # the final, poisoning attempt
+                    if runner.policy.fallback_serial:
+                        fallback.append(cell)
+                    else:
+                        runner._resolve_unrecovered(cell, report)
+            if not outstanding:
+                break
+            if deadline is not None and time.time() > deadline:
+                for cell in outstanding.values():
+                    cell.attempts += 1
+                    cell.errors.append(f"farm wait timeout after {self.wait_timeout:g}s")
+                    runner._resolve_unrecovered(cell, report)
+                outstanding.clear()
+                break
+            if inline is not None:
+                # Loopback drain: the broker is its own (single) worker.
+                if not inline.run_once():
+                    time.sleep(self.poll_interval)
+            else:
+                if procs and all(proc.poll() is not None for proc in procs):
+                    # Every spawned worker exited with cells still
+                    # outstanding (crashed fleet, or tickets claimed by
+                    # leases not yet expired): finish the job in-process
+                    # rather than hang — identical results either way.
+                    inline = FarmWorker(queue, worker_id="broker-inline")
+                    continue
+                time.sleep(self.poll_interval)
+        # Final event flush so late "finished" records still hit the
+        # ledger and live progress before the sweep summary.
+        self._pump_events(runner, queue, outstanding, adopted, report, offset)
+        for cell in fallback:
+            runner._serial_cell(cell, config, suite, report, recovery="serial-fallback")
+
+    def _pump_events(
+        self,
+        runner: SuiteRunner,
+        queue: FarmQueue,
+        outstanding: Dict[str, _Cell],
+        adopted: set,
+        report: FailureReport,
+        offset: int,
+    ) -> int:
+        records, offset = queue.events(offset)
+        for record in records:
+            cell_id = record.get("cell_id")
+            key = (record.get("workload"), record.get("prefetcher"))
+            if cell_id is not None and cell_id not in outstanding and key not in adopted:
+                continue  # another sweep's traffic on a shared queue
+            phase = record.get("phase")
+            if phase == "retried":
+                report.retries += 1
+                runner._exec.retries += 1
+                runner._exec.crashes += 1
+            elif phase == "reclaimed":
+                report.timeouts += 1
+                runner._exec.timeouts += 1
+                runner._exec.reclaimed += 1
+            runner.broadcast(record)
+        return offset
+
+    def _adopt_result(
+        self,
+        runner: SuiteRunner,
+        queue: FarmQueue,
+        cell: _Cell,
+        cell_id: str,
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+        adopted: set,
+        resumed: bool,
+    ) -> bool:
+        document = queue.load_result(cell_id)
+        if document is None:  # torn write racing us; retry next poll
+            return False
+        result = RunResult(**document["result"])
+        suite.runs[cell.key] = runner._record(cell.spec.name, cell.scheme, config, result)
+        adopted.add(cell.key)
+        attempts = int(document.get("attempts", 1))
+        wall_time = float(document.get("wall_time", 0.0))
+        if resumed:
+            runner._exec.resumed += 1
+            runner._lifecycle(
+                "cached", cell.spec.name, cell.scheme, source="farm-queue"
+            )
+        else:
+            runner._exec.simulated += 1
+            runner._wall.add(wall_time)
+        if attempts > 1:
+            report.failures.append(
+                CellFailure(
+                    workload=cell.spec.name,
+                    prefetcher=cell.scheme,
+                    attempts=attempts - 1,
+                    error=(cell.errors[-1] if cell.errors else "farm retry"),
+                    recovered=True,
+                    recovery="farm-retry",
+                )
+            )
+        runner._log(
+            event="cell",
+            workload=cell.spec.name,
+            prefetcher=cell.scheme,
+            status="ok",
+            source="farm-queue" if resumed else "farm",
+            worker=document.get("worker"),
+            attempts=attempts,
+            wall_time=wall_time,
+            error=None,
+            **cell.provenance,
+        )
+        return True
+
+    # -- worker subprocess management --------------------------------------------
+
+    def _spawn_workers(self) -> List[subprocess.Popen]:
+        import os
+
+        import repro
+
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "farm",
+            "worker",
+            "--queue-dir",
+            str(self.queue_dir),
+        ]
+        return [
+            subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+            for _ in range(self.workers)
+        ]
+
+    @staticmethod
+    def _reap(procs: List[subprocess.Popen]) -> None:
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()

@@ -1,0 +1,468 @@
+"""Durable, filesystem-backed work queue with claim/lease ownership.
+
+The queue is a directory — that is the whole deployment story for v1:
+point a broker and any number of workers (same host or peers on a
+shared filesystem) at one ``--queue-dir`` and the filesystem's atomic
+primitives do the coordination.  Layout::
+
+    queue_dir/
+      manifest.json        # schema, epoch, CellPolicy budget (retries/lease TTL)
+      cells/<id>.json      # pending ticket (self-contained: config + workload)
+      claims/<id>.json     # active lease of a claimed cell
+      results/<id>.json    # completed cell (RunResult + execution meta)
+      failed/<id>.json     # poisoned-cell tombstone (retry budget exhausted)
+      events.jsonl         # shared lifecycle append log (all workers)
+
+Cell ids are the content address from
+:func:`repro.sim.fingerprint.cell_digest` — ``(workload, prefetcher,
+config fingerprint, seed)`` — so re-submitting a suite into a
+half-drained queue re-uses completed results instead of re-running
+them, and two sweeps with different configs can share one directory
+without colliding.
+
+Ownership protocol (all via :mod:`repro.ioutil`):
+
+* **claim** — ``O_CREAT | O_EXCL`` on the lease file; exactly one
+  concurrent claimant wins.
+* **lease expiry** — the lease carries a wall-clock ``expires_at``.  A
+  worker that dies or hangs past its TTL loses ownership.
+* **takeover** — a claimant finding an *expired* lease atomically
+  replaces it with its own (rename = last-writer-wins) and then reads
+  the file back: whoever's token survived owns the cell, the loser
+  backs off.  Duplicated execution during the race window is benign —
+  cells are deterministic and results publish atomically to one
+  content-addressed path, so racers agree on the bytes.
+* **complete/fail** — the result (or tombstone) is published first,
+  then the ticket and lease are removed; a crash between the two
+  leaves a completed cell that any later claim simply observes as done.
+
+Wall-clock leases assume loosely synchronized clocks across hosts (NTP
+drift ≪ TTL); the default TTL is generous precisely so skew cannot
+cause spurious takeovers of healthy workers.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..ioutil import append_line, atomic_write, exclusive_create
+
+#: Bump when the on-disk ticket/lease/result layout changes.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Lease TTL when the sweep's CellPolicy has no timeout: long enough
+#: that a healthy slow cell finishes, short enough that a dead worker's
+#: cells come back within one coffee.
+DEFAULT_LEASE_TTL = 300.0
+
+
+class QueueError(RuntimeError):
+    """A malformed or misused farm queue directory."""
+
+
+def _b64_pickle(value: Any) -> str:
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _b64_unpickle(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+@dataclasses.dataclass
+class CellTicket:
+    """One self-contained unit of farm work.
+
+    Carries everything a worker on another host needs: the scheme, the
+    seed, the pickled :class:`~repro.sim.config.SimConfig`, and the
+    workload either by registry name (``workload``) or as a pickled
+    spec (``payload_b64``) for out-of-catalog specs.  ``result_path``
+    optionally names the broker's content-addressed result-cache entry
+    so workers publish straight into the "CDN" layer too.
+    """
+
+    cell_id: str
+    workload: str
+    prefetcher: str
+    seed: int
+    fingerprint: str
+    config_b64: str
+    payload_b64: Optional[str] = None
+    attempts: int = 0
+    errors: List[str] = dataclasses.field(default_factory=list)
+    snapshot_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    result_path: Optional[str] = None
+
+    @classmethod
+    def build(
+        cls,
+        workload: str,
+        prefetcher: str,
+        config: Any,
+        seed: int,
+        cell_id: str,
+        fingerprint: str,
+        payload: Any = None,
+        snapshot_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        result_path: Optional[str] = None,
+    ) -> "CellTicket":
+        return cls(
+            cell_id=cell_id,
+            workload=workload,
+            prefetcher=prefetcher,
+            seed=seed,
+            fingerprint=fingerprint,
+            config_b64=_b64_pickle(config),
+            payload_b64=None if payload is None else _b64_pickle(payload),
+            snapshot_dir=snapshot_dir,
+            checkpoint_every=checkpoint_every,
+            result_path=result_path,
+        )
+
+    def config(self) -> Any:
+        return _b64_unpickle(self.config_b64)
+
+    def payload(self) -> Any:
+        """What to hand the simulator: a pickled spec or the registry name."""
+        if self.payload_b64 is not None:
+            return _b64_unpickle(self.payload_b64)
+        return self.workload
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellTicket":
+        return cls(**json.loads(text))
+
+
+@dataclasses.dataclass
+class Lease:
+    """Proof of (current) ownership of one claimed cell."""
+
+    cell_id: str
+    worker: str
+    token: str
+    claimed_at: float
+    expires_at: float
+    #: True when this lease was taken over from an expired one — the
+    #: previous owner died or hung (surfaces as a "reclaimed" event).
+    reclaimed: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "cell_id": self.cell_id,
+                "worker": self.worker,
+                "token": self.token,
+                "claimed_at": self.claimed_at,
+                "expires_at": self.expires_at,
+            },
+            sort_keys=True,
+        )
+
+
+class FarmQueue:
+    """One queue directory: tickets in, leases held, results out."""
+
+    def __init__(self, root: Union[str, Path], lease_ttl: Optional[float] = None) -> None:
+        self.root = Path(root)
+        self._lease_ttl = lease_ttl
+        self.cells_dir = self.root / "cells"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        self.failed_dir = self.root / "failed"
+        self.events_path = self.root / "events.jsonl"
+        self.manifest_path = self.root / "manifest.json"
+        self._claim_counter = 0
+
+    # -- manifest ----------------------------------------------------------------
+
+    def ensure(self, **fields: Any) -> Dict[str, Any]:
+        """Create the queue layout and manifest (idempotent).
+
+        An existing manifest wins — a broker re-attaching to a
+        half-drained queue must agree with the budget its workers are
+        already honoring — but unknown-schema queues are refused rather
+        than silently reinterpreted.
+        """
+        for directory in (self.cells_dir, self.claims_dir, self.results_dir, self.failed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        existing = self.manifest()
+        if existing is not None:
+            if existing.get("schema") != QUEUE_SCHEMA_VERSION:
+                raise QueueError(
+                    f"{self.manifest_path}: queue schema "
+                    f"{existing.get('schema')!r} != {QUEUE_SCHEMA_VERSION}"
+                )
+            return existing
+        manifest = {
+            "schema": QUEUE_SCHEMA_VERSION,
+            "epoch": time.time(),
+            "retries": 1,
+            "lease_ttl": DEFAULT_LEASE_TTL,
+        }
+        manifest.update(fields)
+        with atomic_write(self.manifest_path, "w") as handle:
+            handle.write(json.dumps(manifest, sort_keys=True))
+        return manifest
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as err:
+            raise QueueError(f"{self.manifest_path}: unreadable manifest: {err}") from err
+
+    def require_manifest(self) -> Dict[str, Any]:
+        manifest = self.manifest()
+        if manifest is None:
+            raise QueueError(
+                f"{self.root}: not a farm queue (no manifest.json — "
+                "run a broker first, or `repro farm broker --queue-dir`)"
+            )
+        if manifest.get("schema") != QUEUE_SCHEMA_VERSION:
+            raise QueueError(
+                f"{self.manifest_path}: queue schema "
+                f"{manifest.get('schema')!r} != {QUEUE_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    @property
+    def lease_ttl(self) -> float:
+        if self._lease_ttl is not None:
+            return self._lease_ttl
+        manifest = self.manifest() or {}
+        return float(manifest.get("lease_ttl") or DEFAULT_LEASE_TTL)
+
+    # -- paths -------------------------------------------------------------------
+
+    def cell_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{cell_id}.json"
+
+    def claim_path(self, cell_id: str) -> Path:
+        return self.claims_dir / f"{cell_id}.json"
+
+    def result_path(self, cell_id: str) -> Path:
+        return self.results_dir / f"{cell_id}.json"
+
+    def failed_path(self, cell_id: str) -> Path:
+        return self.failed_dir / f"{cell_id}.json"
+
+    # -- submission / listing ----------------------------------------------------
+
+    def submit(self, ticket: CellTicket) -> bool:
+        """Enqueue one ticket; no-op when already queued or resolved."""
+        if self.result_path(ticket.cell_id).exists():
+            return False
+        if self.failed_path(ticket.cell_id).exists():
+            return False
+        if self.cell_path(ticket.cell_id).exists():
+            return False
+        with atomic_write(self.cell_path(ticket.cell_id), "w") as handle:
+            handle.write(ticket.to_json())
+        return True
+
+    def pending_ids(self) -> List[str]:
+        """Queued cell ids, sorted for a deterministic claim order."""
+        return sorted(path.stem for path in self.cells_dir.glob("*.json"))
+
+    def load_ticket(self, cell_id: str) -> Optional[CellTicket]:
+        try:
+            return CellTicket.from_json(self.cell_path(cell_id).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError) as err:
+            raise QueueError(f"{self.cell_path(cell_id)}: corrupt ticket: {err}") from err
+
+    def has_result(self, cell_id: str) -> bool:
+        return self.result_path(cell_id).exists()
+
+    def load_result(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.result_path(cell_id).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None  # torn/corrupt result: treat as not-yet-done
+
+    def load_failure(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.failed_path(cell_id).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+
+    # -- claim / lease -----------------------------------------------------------
+
+    def _new_lease(self, cell_id: str, worker: str, reclaimed: bool) -> Lease:
+        now = time.time()
+        self._claim_counter += 1
+        token = f"{worker}.{os.getpid()}.{self._claim_counter}.{os.urandom(4).hex()}"
+        return Lease(
+            cell_id=cell_id,
+            worker=worker,
+            token=token,
+            claimed_at=now,
+            expires_at=now + self.lease_ttl,
+            reclaimed=reclaimed,
+        )
+
+    def _read_lease_token(self, cell_id: str) -> Tuple[Optional[str], Optional[float]]:
+        """(token, expires_at) of the current lease, or (None, None)."""
+        try:
+            data = json.loads(self.claim_path(cell_id).read_text())
+        except (OSError, ValueError):
+            return None, None
+        return data.get("token"), data.get("expires_at")
+
+    def claim(self, cell_id: str, worker: str) -> Optional[Lease]:
+        """Try to take ownership of one queued cell.
+
+        Returns a :class:`Lease` on success, ``None`` when the cell is
+        already owned (fresh lease), already resolved, or lost the
+        takeover race for an expired lease.
+        """
+        if self.has_result(cell_id) or self.failed_path(cell_id).exists():
+            return None
+        if not self.cell_path(cell_id).exists():
+            return None
+        lease = self._new_lease(cell_id, worker, reclaimed=False)
+        if exclusive_create(self.claim_path(cell_id), lease.to_json()):
+            return lease
+        # Somebody holds (or held) it: reclaim only if their lease expired.
+        _token, expires_at = self._read_lease_token(cell_id)
+        if expires_at is not None and expires_at > time.time():
+            return None
+        takeover = self._new_lease(cell_id, worker, reclaimed=True)
+        with atomic_write(self.claim_path(cell_id), "w") as handle:
+            handle.write(takeover.to_json())
+        # Read-back confirm: concurrent takeovers both rename, the last
+        # writer's token survives and the loser backs off here.
+        current, _ = self._read_lease_token(cell_id)
+        if current != takeover.token:
+            return None
+        return takeover
+
+    def owns(self, lease: Lease) -> bool:
+        current, _ = self._read_lease_token(lease.cell_id)
+        return current == lease.token
+
+    def renew(self, lease: Lease) -> bool:
+        """Extend an owned lease by one TTL; False when ownership was lost."""
+        if not self.owns(lease):
+            return False
+        lease.expires_at = time.time() + self.lease_ttl
+        with atomic_write(self.claim_path(lease.cell_id), "w") as handle:
+            handle.write(lease.to_json())
+        return self.owns(lease)
+
+    def release(self, lease: Lease) -> None:
+        """Drop an owned lease (a stolen one is left to its new owner)."""
+        if self.owns(lease):
+            self.claim_path(lease.cell_id).unlink(missing_ok=True)
+
+    # -- resolution --------------------------------------------------------------
+
+    def complete(self, lease: Lease, document: Dict[str, Any]) -> None:
+        """Publish one finished cell and retire its ticket and lease.
+
+        The document is written order-preserving (no ``sort_keys``):
+        the broker re-serialises the embedded ``result`` into the
+        runner's content-addressed cache, and the farm/local
+        bit-identity guarantee needs dict order to survive the
+        round-trip unchanged.
+        """
+        with atomic_write(self.result_path(lease.cell_id), "w") as handle:
+            handle.write(json.dumps(document))
+        self.cell_path(lease.cell_id).unlink(missing_ok=True)
+        self.release(lease)
+
+    def fail(self, lease: Lease, ticket: CellTicket, error: str, retries: int) -> str:
+        """Record one failed attempt; requeue or poison per the budget.
+
+        Returns ``"retry"`` (ticket rewritten with the attempt charged)
+        or ``"poisoned"`` (tombstone published, ticket retired).
+        """
+        ticket.attempts += 1
+        ticket.errors.append(error)
+        if ticket.attempts <= retries:
+            with atomic_write(self.cell_path(ticket.cell_id), "w") as handle:
+                handle.write(ticket.to_json())
+            self.release(lease)
+            return "retry"
+        tombstone = {
+            "cell_id": ticket.cell_id,
+            "workload": ticket.workload,
+            "prefetcher": ticket.prefetcher,
+            "attempts": ticket.attempts,
+            "errors": ticket.errors,
+            "error": error,
+            "worker": lease.worker,
+        }
+        with atomic_write(self.failed_path(ticket.cell_id), "w") as handle:
+            handle.write(json.dumps(tombstone, sort_keys=True))
+        self.cell_path(ticket.cell_id).unlink(missing_ok=True)
+        self.release(lease)
+        return "poisoned"
+
+    # -- events ------------------------------------------------------------------
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one lifecycle record to the shared event log."""
+        append_line(self.events_path, json.dumps(record, sort_keys=True))
+
+    def events(self, offset: int = 0) -> Tuple[List[Dict[str, Any]], int]:
+        """Whole records appended since byte ``offset`` (plus new offset).
+
+        Tail-safe: a partially appended last line (no trailing newline
+        yet) is left for the next poll, so pollers never see torn JSON.
+        """
+        try:
+            with self.events_path.open("rb") as handle:
+                handle.seek(offset)
+                blob = handle.read()
+        except FileNotFoundError:
+            return [], offset
+        if not blob:
+            return [], offset
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        records = []
+        for line in blob[: end + 1].splitlines():
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # a torn write from a pre-crash appender
+        return records, offset + end + 1
+
+    # -- introspection -----------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        now = time.time()
+        expired = 0
+        for path in self.claims_dir.glob("*.json"):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if (data.get("expires_at") or 0) <= now:
+                expired += 1
+        return {
+            "queued": len(list(self.cells_dir.glob("*.json"))),
+            "claimed": len(list(self.claims_dir.glob("*.json"))),
+            "expired_leases": expired,
+            "results": len(list(self.results_dir.glob("*.json"))),
+            "failed": len(list(self.failed_dir.glob("*.json"))),
+        }

@@ -1,0 +1,401 @@
+"""Asyncio HTTP front end for sweep submission, progress and results.
+
+``python -m repro serve`` turns the sweep machinery into a small
+service — stdlib only (``asyncio`` streams and a hand-rolled sliver of
+HTTP/1.1), so it adds no dependency and stays honest about what it is:
+a thin, observable shell over :class:`~repro.sim.suite.SuiteRunner`.
+
+The serving story is deliberately cache-first.  Every job runs against
+one shared ``cache_dir`` keyed by config fingerprint, so the expensive
+path executes once and every re-submission — the "millions of users"
+asking for the same figure — is served from the content-addressed
+result cache; each job reports its hit rate so that efficiency is a
+number, not a hope.  With a ``queue_dir`` the execution itself goes
+through the farm backend, making the service a front door to a worker
+fleet rather than to this process's CPUs.
+
+Endpoints::
+
+    GET  /healthz                         liveness + schema
+    GET  /sweeps                          all jobs, newest first
+    POST /sweeps                          submit {workloads?, prefetchers?,
+                                          records?, seed?, engine?} -> job
+    GET  /sweeps/<job>                    status + summary (hit rate, geomeans)
+    GET  /sweeps/<job>/events[?since=N]   live lifecycle stream (chunked JSONL)
+    GET  /results/<fp>/<workload>/<scheme>[?seed=1]   cached RunResult lookup
+
+The event stream is the same record stream the TTY live progress and
+the run ledger consume — one observer fan-out, three subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Bump when the HTTP payload shapes change.
+SERVICE_SCHEMA_VERSION = 1
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is already a pathological sweep spec
+
+
+class ServiceError(ValueError):
+    """A client-side problem with a submitted request (HTTP 4xx)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass
+class Job:
+    """One submitted sweep and everything observable about it."""
+
+    id: str
+    spec: Dict[str, Any]
+    fingerprint: str
+    total_cells: int
+    created: float
+    status: str = "running"  # running | done | failed
+    events: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    summary: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def view(self) -> Dict[str, Any]:
+        return {
+            "job": self.id,
+            "status": self.status,
+            "spec": self.spec,
+            "fingerprint": self.fingerprint,
+            "cells": self.total_cells,
+            "events": len(self.events),
+            "summary": self.summary,
+            "error": self.error,
+        }
+
+
+class FarmService:
+    """The application object behind ``python -m repro serve``."""
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path] = "sweep-cache",
+        jobs: Optional[int] = None,
+        seed: int = 1,
+        records: int = 4_000,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        queue_dir: Optional[Union[str, Path]] = None,
+        farm_workers: int = 0,
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.jobs = jobs
+        self.seed = seed
+        self.records = records
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self.queue_dir = Path(queue_dir) if queue_dir else None
+        self.farm_workers = farm_workers
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+        #: Bound port once serving (useful with ``port=0`` in tests).
+        self.port: Optional[int] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Job:
+        """Validate one sweep spec and launch it on a worker thread."""
+        from ..sim.fingerprint import fingerprint_digest
+
+        config, workloads, schemes = self._resolve_spec(spec)
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq}",
+                spec={
+                    "workloads": [w.name for w in workloads],
+                    "prefetchers": schemes,
+                    "records": config.measure_records,
+                    "seed": int(spec.get("seed", self.seed)),
+                    "engine": config.engine,
+                },
+                fingerprint=fingerprint_digest(config),
+                total_cells=len(workloads) * len(schemes),
+                created=time.time(),
+            )
+            self._jobs[job.id] = job
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(job, config, workloads, schemes, int(spec.get("seed", self.seed))),
+            name=f"repro-{job.id}",
+            daemon=True,
+        )
+        thread.start()
+        return job
+
+    def _resolve_spec(self, spec: Dict[str, Any]) -> Tuple[Any, List[Any], List[str]]:
+        from .. import registry
+        from ..registry import UnknownComponentError
+        from ..sim.config import SimConfig
+        from ..workloads import find_workload, suite
+
+        if not isinstance(spec, dict):
+            raise ServiceError("sweep spec must be a JSON object")
+        records = spec.get("records", self.records)
+        if not isinstance(records, int) or records <= 0:
+            raise ServiceError("records must be a positive integer")
+        config = SimConfig.quick(measure_records=records, warmup_records=records // 4)
+        engine = spec.get("engine")
+        if engine is not None:
+            try:
+                registry.create("engine", engine)
+            except UnknownComponentError as err:
+                raise ServiceError(str(err)) from err
+            config = dataclasses.replace(config, engine=engine)
+        names = spec.get("workloads")
+        try:
+            if names:
+                if not isinstance(names, list):
+                    raise ServiceError("workloads must be a list of names")
+                workloads = [find_workload(name) for name in names]
+            else:
+                workloads = [w for w in suite("spec2017") if w.memory_intensive]
+        except UnknownComponentError as err:
+            raise ServiceError(str(err)) from err
+        schemes = spec.get("prefetchers", ["spp", "ppf"])
+        if not isinstance(schemes, list) or not schemes:
+            raise ServiceError("prefetchers must be a non-empty list of names")
+        known = set(registry.names("prefetcher"))
+        for scheme in schemes:
+            if scheme not in known:
+                raise ServiceError(
+                    f"unknown prefetcher {scheme!r}; known: {sorted(known)}"
+                )
+        if "none" not in schemes:
+            schemes = ["none"] + list(schemes)
+        return config, workloads, list(schemes)
+
+    def _make_runner(self, config: Any, seed: int, observer) -> Any:
+        from ..sim.suite import SuiteRunner
+
+        backend = None
+        if self.queue_dir is not None:
+            from .broker import FarmBackend
+
+            backend = FarmBackend(self.queue_dir, workers=self.farm_workers)
+        return SuiteRunner(
+            config,
+            seed=seed,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            snapshot_dir=self.snapshot_dir,
+            observers=[observer],
+            backend=backend,
+        )
+
+    def _run_job(self, job: Job, config, workloads, schemes, seed: int) -> None:
+        try:
+            runner = self._make_runner(config, seed, job.events.append)
+            result = runner.sweep(workloads, schemes, include_baseline=False)
+            geomeans = {}
+            for scheme in schemes:
+                if scheme == "none":
+                    continue
+                try:
+                    geomeans[scheme] = result.geomean_speedup(scheme)
+                except ValueError:
+                    pass
+            job.summary = {
+                "cells": len(result.runs),
+                "cache_hits": result.cache_hits,
+                "executed": result.executed,
+                "cache_hit_rate": round(result.cache_hit_rate, 6),
+                "unrecovered": len(result.failure_report.unrecovered),
+                "geomean_speedup": geomeans,
+            }
+            job.status = "done" if result.failure_report.complete else "failed"
+            if not result.failure_report.complete:
+                job.error = result.failure_report.summary()
+        except Exception as err:  # noqa: BLE001 — jobs report, never crash the server
+            job.status = "failed"
+            job.error = f"{type(err).__name__}: {err}"
+
+    # -- cached result lookup ----------------------------------------------------
+
+    def lookup_result(
+        self, fingerprint: str, workload: str, prefetcher: str, seed: int
+    ) -> Optional[Dict[str, Any]]:
+        from ..sim.suite import result_cache_path_for_digest
+
+        path = result_cache_path_for_digest(
+            self.cache_dir, workload, prefetcher, fingerprint, seed
+        )
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    # -- the HTTP layer ----------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            if length > _MAX_BODY:
+                await self._respond(writer, 413, {"error": "body too large"})
+                return
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method, target, body, writer)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(
+        self, method: str, target: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        url = urlsplit(target)
+        segments = [unquote(s) for s in url.path.strip("/").split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if method == "GET" and segments in ([], ["healthz"]):
+                await self._respond(writer, 200, {
+                    "ok": True,
+                    "schema": SERVICE_SCHEMA_VERSION,
+                    "jobs": len(self._jobs),
+                    "cache_dir": str(self.cache_dir),
+                    "backend": "farm" if self.queue_dir else "local",
+                })
+            elif segments == ["sweeps"] and method == "POST":
+                try:
+                    spec = json.loads(body or b"{}")
+                except ValueError as err:
+                    raise ServiceError(f"invalid JSON body: {err}") from err
+                job = self.submit(spec)
+                await self._respond(writer, 202, {
+                    "job": job.id,
+                    "fingerprint": job.fingerprint,
+                    "cells": job.total_cells,
+                    "events_url": f"/sweeps/{job.id}/events",
+                })
+            elif segments == ["sweeps"] and method == "GET":
+                jobs = sorted(self._jobs.values(), key=lambda j: j.created, reverse=True)
+                await self._respond(writer, 200, {"jobs": [j.view() for j in jobs]})
+            elif len(segments) == 2 and segments[0] == "sweeps" and method == "GET":
+                job = self._jobs.get(segments[1])
+                if job is None:
+                    raise ServiceError(f"no such job {segments[1]!r}", status=404)
+                await self._respond(writer, 200, job.view())
+            elif (
+                len(segments) == 3
+                and segments[0] == "sweeps"
+                and segments[2] == "events"
+                and method == "GET"
+            ):
+                job = self._jobs.get(segments[1])
+                if job is None:
+                    raise ServiceError(f"no such job {segments[1]!r}", status=404)
+                since = int(query.get("since", 0))
+                await self._stream_events(writer, job, since)
+            elif len(segments) == 4 and segments[0] == "results" and method == "GET":
+                _, fingerprint, workload, prefetcher = segments
+                seed = int(query.get("seed", self.seed))
+                document = self.lookup_result(fingerprint, workload, prefetcher, seed)
+                if document is None:
+                    raise ServiceError(
+                        f"no cached result for ({workload}, {prefetcher}) "
+                        f"@ {fingerprint} seed={seed}",
+                        status=404,
+                    )
+                await self._respond(writer, 200, document)
+            else:
+                raise ServiceError(f"no route for {method} {url.path}", status=404)
+        except ServiceError as err:
+            await self._respond(writer, err.status, {"error": str(err)})
+        except ValueError as err:
+            await self._respond(writer, 400, {"error": str(err)})
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int, payload: Dict) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+    @staticmethod
+    async def _stream_events(writer: asyncio.StreamWriter, job: Job, since: int) -> None:
+        """Chunked JSONL: every lifecycle record from ``since`` to job end."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head)
+        await writer.drain()
+        index = max(0, since)
+        while True:
+            while index < len(job.events):
+                line = (json.dumps(job.events[index]) + "\n").encode()
+                writer.write(f"{len(line):X}\r\n".encode() + line + b"\r\n")
+                index += 1
+            await writer.drain()
+            if job.status != "running" and index >= len(job.events):
+                break
+            await asyncio.sleep(0.05)
+        tail = json.dumps({"event": "job", "job": job.id, "status": job.status}) + "\n"
+        blob = tail.encode()
+        writer.write(f"{len(blob):X}\r\n".encode() + blob + b"\r\n" + b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- server lifecycle --------------------------------------------------------
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 8943,
+                    ready: Optional[threading.Event] = None) -> None:
+        """Serve until :meth:`request_stop` (or cancellation)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host, port)
+        self.port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready.set()
+        async with server:
+            await self._stop.wait()
+
+    def run_blocking(self, host: str = "127.0.0.1", port: int = 8943,
+                     ready: Optional[threading.Event] = None) -> None:
+        asyncio.run(self.serve(host, port, ready))
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown signal (used by tests and signal handlers)."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)

@@ -1,0 +1,183 @@
+"""The farm worker: claim a ticket, simulate it, publish the result.
+
+A worker is deliberately dumb — all policy lives in the queue manifest
+(retry budget, lease TTL) and all meaning lives in the ticket (config,
+workload, seed).  The execution path is *the same function* the local
+pool backend runs (:func:`repro.sim.suite._simulate_cell`), which is
+what makes farm results bit-identical to single-host results by
+construction rather than by luck.
+
+Crash semantics: a worker that dies mid-cell leaves its ticket and its
+lease behind; once the lease expires any other worker's
+:meth:`FarmQueue.claim` takes the cell over (surfaced as a
+``reclaimed`` lifecycle event).  The lease TTL is therefore the farm's
+hang timeout — the moral equivalent of ``CellPolicy.timeout``, enforced
+by ownership transfer instead of in-process preemption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .queue import CellTicket, FarmQueue, Lease
+
+#: Schema of the result documents workers publish into ``results/``.
+RESULT_SCHEMA_VERSION = 1
+
+
+class FarmWorker:
+    """Drains a farm queue, one claimed cell at a time."""
+
+    def __init__(
+        self,
+        queue: Union[FarmQueue, str, Path],
+        worker_id: Optional[str] = None,
+    ) -> None:
+        self.queue = queue if isinstance(queue, FarmQueue) else FarmQueue(queue)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        manifest = self.queue.require_manifest()
+        self.retries = int(manifest.get("retries", 1))
+        self.epoch = float(manifest.get("epoch", 0.0))
+        #: Cells this worker completed / failed attempts it charged.
+        self.completed = 0
+        self.failed_attempts = 0
+
+    # -- event plumbing ----------------------------------------------------------
+
+    def _emit(self, phase: str, ticket: CellTicket, **extra: Any) -> None:
+        record = {
+            "event": "lifecycle",
+            "phase": phase,
+            "workload": ticket.workload,
+            "prefetcher": ticket.prefetcher,
+            "cell_id": ticket.cell_id,
+            "t": round(time.time() - self.epoch, 6),
+            "worker": self.worker_id,
+        }
+        record.update(extra)
+        self.queue.emit(record)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_once(self) -> bool:
+        """Claim and resolve at most one cell; False when none claimable."""
+        for cell_id in self.queue.pending_ids():
+            lease = self.queue.claim(cell_id, self.worker_id)
+            if lease is None:
+                continue
+            ticket = self.queue.load_ticket(cell_id)
+            if ticket is None:
+                # Resolved between listing and claim; drop the stale lease.
+                self.queue.release(lease)
+                continue
+            self._execute(lease, ticket)
+            return True
+        return False
+
+    def drain(
+        self,
+        max_cells: Optional[int] = None,
+        follow: bool = False,
+        poll: float = 0.2,
+        idle_timeout: Optional[float] = None,
+    ) -> int:
+        """Run cells until the queue is drained (or budget/idle limits hit).
+
+        Without ``follow``, the worker exits once no tickets remain.
+        Tickets held by *other* workers keep it polling — they will
+        either resolve or expire into reclaimability — bounded by
+        ``idle_timeout`` seconds without progress (None: unbounded).
+        With ``follow``, an empty queue is idled through instead: the
+        worker waits for a broker to submit more work.
+        """
+        done = 0
+        idle_since: Optional[float] = None
+        while True:
+            if max_cells is not None and done >= max_cells:
+                return done
+            if self.run_once():
+                done += 1
+                idle_since = None
+                continue
+            if not self.queue.pending_ids() and not follow:
+                return done
+            now = time.time()
+            idle_since = idle_since if idle_since is not None else now
+            if idle_timeout is not None and now - idle_since >= idle_timeout:
+                return done
+            time.sleep(poll)
+
+    def _execute(self, lease: Lease, ticket: CellTicket) -> None:
+        from ..sim.single_core import RunResult  # noqa: F401  (schema home)
+        from ..sim.suite import _simulate_cell
+
+        if lease.reclaimed:
+            self._emit("reclaimed", ticket, attempt=ticket.attempts + 1)
+        self._emit("started", ticket, attempt=ticket.attempts + 1)
+        start = time.time()
+        try:
+            result = _simulate_cell(
+                ticket.payload(),
+                ticket.prefetcher,
+                ticket.config(),
+                ticket.seed,
+                ticket.snapshot_dir,
+                ticket.checkpoint_every,
+            )
+        except Exception as err:  # noqa: BLE001 — any cell failure is data
+            error = f"{type(err).__name__}: {err}"
+            self.failed_attempts += 1
+            outcome = self.queue.fail(lease, ticket, error, self.retries)
+            if outcome == "retry":
+                self._emit("retried", ticket, attempt=ticket.attempts, error=error)
+            else:
+                self._emit(
+                    "finished", ticket, ok=False, attempts=ticket.attempts, error=error
+                )
+            return
+        elapsed = time.time() - start
+        document = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "cell_id": ticket.cell_id,
+            "workload": ticket.workload,
+            "prefetcher": ticket.prefetcher,
+            "seed": ticket.seed,
+            "fingerprint": ticket.fingerprint,
+            "worker": self.worker_id,
+            "attempts": ticket.attempts + 1,
+            "wall_time": elapsed,
+            "reclaimed": lease.reclaimed,
+            "result": dataclasses.asdict(result),
+        }
+        self.queue.complete(lease, document)
+        if ticket.result_path:
+            # Publish straight into the broker's content-addressed
+            # result cache as well — the fingerprint-keyed "CDN" layer
+            # every later sweep (and the HTTP front end) reads from.
+            self._publish_cache_entry(ticket.result_path, document["result"])
+        self.completed += 1
+        self._emit(
+            "finished",
+            ticket,
+            ok=True,
+            attempts=ticket.attempts + 1,
+            wall_time=round(elapsed, 6),
+            reclaimed=lease.reclaimed,
+        )
+
+    @staticmethod
+    def _publish_cache_entry(path: str, result: Dict[str, Any]) -> None:
+        import json
+
+        from ..ioutil import atomic_write
+
+        try:
+            with atomic_write(path, "w") as handle:
+                handle.write(json.dumps(result))
+        except OSError:
+            pass  # the cache is an accelerator; the queue result is canonical

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 from typing import Any, Tuple
 
 from ..checkpoint.schema import CHECKPOINT_SCHEMA_VERSION
@@ -70,3 +71,28 @@ def fingerprint_digest(config: Any) -> str:
     """A short stable hex digest of :func:`config_fingerprint`."""
     blob = repr(config_fingerprint(config)).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def token_digest(*parts: Any, length: int = 32) -> str:
+    """A short stable hex digest of a JSON-encodable token list.
+
+    The shared key recipe behind every content-addressed artifact that
+    is named by *coordinates* rather than by config alone: result-cache
+    entries, per-cell checkpoints, and farm queue cell ids all reduce a
+    list of primitives to one hex name through this function, so any two
+    subsystems that agree on the parts agree on the address.
+    """
+    blob = json.dumps(list(parts)).encode()
+    return hashlib.sha256(blob).hexdigest()[:length]
+
+
+def cell_digest(workload: str, prefetcher: str, config: Any, seed: int) -> str:
+    """Content address of one sweep cell.
+
+    Keys the cell's periodic mid-measure checkpoint in the snapshot
+    store and its ticket/claim/result files in a farm work queue —
+    because the digest folds in :func:`fingerprint_digest`, two sweeps
+    over different configs can share one queue directory without their
+    cells colliding.
+    """
+    return token_digest("cell", workload, prefetcher, fingerprint_digest(config), seed)

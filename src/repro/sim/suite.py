@@ -29,13 +29,18 @@ Workers rehydrate workloads by name through the component registry
 (:func:`repro.workloads.find_workload`); workload specs whose builders
 are picklable are shipped directly, so custom out-of-catalog specs
 parallelize too, and anything else transparently runs in-process.
+
+Execution itself sits behind the :class:`Backend` seam: the runner owns
+cell expansion, caching, the ledger and failure semantics, while a
+backend decides *where* pending cells run — the in-process
+:class:`LocalPoolBackend` here, or :class:`repro.farm.FarmBackend`,
+which feeds a durable work queue drained by any number of worker
+processes (see ``docs/architecture.md`` "Sweep farm & service").
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import itertools
 import json
 import os
 import pickle
@@ -47,10 +52,11 @@ from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..checkpoint import SnapshotStore
+from ..ioutil import atomic_write
 from ..stats import Accumulator, StatGroup, StatsNode
 from ..workloads.spec2017 import WorkloadSpec
 from .config import SimConfig
-from .fingerprint import config_fingerprint, fingerprint_digest
+from .fingerprint import cell_digest, config_fingerprint, fingerprint_digest, token_digest
 from .metrics import geometric_mean
 from .single_core import RunResult, run_single_core, warmup_digest
 
@@ -59,9 +65,6 @@ from .single_core import RunResult, run_single_core, warmup_digest
 #: result_path, snapshot_path, seed) and the config fingerprint itself
 #: now folds in the checkpoint schema version.
 CACHE_SCHEMA_VERSION = 3
-
-#: Distinguishes concurrent writers publishing into one cache_dir.
-_TMP_COUNTER = itertools.count()
 
 
 class DegradedSweepError(RuntimeError):
@@ -170,10 +173,24 @@ class SuiteResult:
     ``failure_report`` distinguishes a *complete* sweep from a
     *degraded* one: cells listed as unrecovered are absent from
     ``runs`` and every aggregate skips them.
+
+    ``cache_hits``/``executed`` split the served cells into ones
+    answered straight from the result cache (memory or disk) and ones
+    that ran a simulation somewhere — the "CDN" efficiency of the
+    fingerprint cache, which is the number that matters once sweeps are
+    service-fronted: a re-submitted suite should be ~all hits.
     """
 
     runs: Dict[Tuple[str, str], RunResult] = dataclasses.field(default_factory=dict)
     failure_report: FailureReport = dataclasses.field(default_factory=FailureReport)
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of served cells answered from the result cache."""
+        total = self.cache_hits + self.executed
+        return self.cache_hits / total if total else 0.0
 
     def run_for(self, workload: str, prefetcher: str) -> RunResult:
         try:
@@ -286,6 +303,9 @@ class SweepStats(StatGroup):
     snapshot_misses: int = 0
     #: Completed cells adopted from a prior run's ledger (crash-resume).
     resumed: int = 0
+    #: Farm cells whose lease expired (dead/hung worker) and were
+    #: reclaimed by another worker.
+    reclaimed: int = 0
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -295,10 +315,45 @@ class SweepStats(StatGroup):
     unrecovered: int = 0
 
 
-def _cell_digest(workload: str, prefetcher: str, config: SimConfig, seed: int) -> str:
-    """Content address of one sweep cell (names its periodic checkpoint)."""
-    token = json.dumps(["cell", workload, prefetcher, fingerprint_digest(config), seed])
-    return hashlib.sha256(token.encode()).hexdigest()[:32]
+# The cell content address moved to repro.sim.fingerprint so the farm
+# queue can name tickets/claims/results without importing this module;
+# the alias keeps existing callers and tests working.
+_cell_digest = cell_digest
+
+
+def result_cache_path_for_digest(
+    cache_dir: Union[str, Path],
+    workload: str,
+    prefetcher: str,
+    fingerprint: str,
+    seed: int,
+) -> Path:
+    """Result-cache entry for already-digested config coordinates.
+
+    The HTTP front end resolves cached-result lookups with nothing but
+    the fingerprint digest a client quoted back — no config object ever
+    crosses the wire.
+    """
+    digest = token_digest(CACHE_SCHEMA_VERSION, workload, prefetcher, fingerprint, seed)
+    return Path(cache_dir) / f"{digest}.json"
+
+
+def result_cache_path(
+    cache_dir: Union[str, Path],
+    workload: str,
+    prefetcher: str,
+    config: SimConfig,
+    seed: int,
+) -> Path:
+    """Where one cell's cached :class:`RunResult` lives under ``cache_dir``.
+
+    This *is* the result cache's key recipe — shared by the suite
+    runner, farm workers publishing results from other processes, and
+    the HTTP front end serving cached lookups by fingerprint.
+    """
+    return result_cache_path_for_digest(
+        cache_dir, workload, prefetcher, fingerprint_digest(config), seed
+    )
 
 
 def _simulate_cell(
@@ -367,17 +422,6 @@ def _worker_payload(spec: WorkloadSpec) -> Optional[Union[str, WorkloadSpec]]:
         return None
 
 
-def _unique_tmp(path: Path) -> Path:
-    """A per-writer temporary sibling of ``path``.
-
-    Concurrent runners sharing one cache_dir must not interleave writes
-    into the same staging file, or the atomic rename publishes a
-    corrupt entry — so the name carries the pid plus a process-local
-    counter.
-    """
-    return path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
-
-
 class _Cell:
     """Mutable execution state of one pending sweep cell."""
 
@@ -399,6 +443,60 @@ class _Cell:
         return (self.spec.name, self.scheme)
 
 
+class Backend:
+    """How a sweep's cache-missing cells get executed.
+
+    :meth:`SuiteRunner.sweep` owns everything *around* execution — cell
+    expansion, cache lookups, ledger writes, lifecycle fan-out, the
+    failure report and degraded-sweep semantics — and delegates only the
+    actual running of pending cells to a backend.  Implementations must
+    uphold two contracts:
+
+    * every pending cell ends up either in ``suite.runs`` (recorded via
+      ``runner._record`` so the caches agree) or in
+      ``report.failures`` as unrecovered — never silently dropped;
+    * execution is a pure function of ``(workload, prefetcher, config,
+      seed)``, so *where* a cell runs can never change *what* it
+      produces (the farm/local bit-identity tests pin this down).
+
+    :class:`LocalPoolBackend` is the in-process default;
+    :class:`repro.farm.FarmBackend` executes through a durable work
+    queue shared with external worker processes.
+    """
+
+    name = "abstract"
+
+    def execute(
+        self,
+        runner: "SuiteRunner",
+        pending: List["_Cell"],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+    ) -> None:
+        raise NotImplementedError
+
+
+class LocalPoolBackend(Backend):
+    """The classic single-host executor: process pool with recovery."""
+
+    name = "local"
+
+    def execute(
+        self,
+        runner: "SuiteRunner",
+        pending: List["_Cell"],
+        config: SimConfig,
+        suite: SuiteResult,
+        report: FailureReport,
+    ) -> None:
+        if len(pending) > 1 and runner.jobs > 1:
+            runner._run_parallel(pending, config, suite, report)
+        else:
+            for cell in pending:
+                runner._serial_cell(cell, config, suite, report, recovery=None)
+
+
 class SuiteRunner:
     """Parallel sweep executor with caches, retries and a run ledger."""
 
@@ -413,6 +511,7 @@ class SuiteRunner:
         snapshot_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         observers: Optional[Sequence] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.config = config or SimConfig.default()
         self.seed = seed
@@ -443,6 +542,8 @@ class SuiteRunner:
         #: retried/finished) as it happens — the live progress renderer
         #: and anything else that wants to watch a sweep breathe.
         self.observers: List = list(observers or [])
+        #: Execution strategy for cache-missing cells (see :class:`Backend`).
+        self.backend: Backend = backend if backend is not None else LocalPoolBackend()
         self._sweep_epoch = perf_counter()
 
     def add_observer(self, observer) -> None:
@@ -464,6 +565,15 @@ class SuiteRunner:
             "t": round(perf_counter() - self._sweep_epoch, 6),
         }
         record.update(extra)
+        self.broadcast(record)
+
+    def broadcast(self, record: Dict) -> None:
+        """Feed one already-built record to the ledger and every observer.
+
+        The farm backend re-emits worker-produced lifecycle records
+        through here, so remote execution feeds the same ledger and the
+        same live-progress/HTTP subscribers as in-process execution.
+        """
         self._log(**record)
         for observer in self.observers:
             try:
@@ -495,12 +605,8 @@ class SuiteRunner:
         return (workload, prefetcher, config_fingerprint(config), self.seed)
 
     def _disk_path(self, workload: str, prefetcher: str, config: SimConfig) -> Path:
-        token = json.dumps(
-            [CACHE_SCHEMA_VERSION, workload, prefetcher, fingerprint_digest(config), self.seed]
-        )
-        digest = hashlib.sha256(token.encode()).hexdigest()[:32]
         assert self.cache_dir is not None
-        return self.cache_dir / f"{digest}.json"
+        return result_cache_path(self.cache_dir, workload, prefetcher, config, self.seed)
 
     def _disk_load(self, workload: str, prefetcher: str, config: SimConfig) -> Optional[RunResult]:
         if self.cache_dir is None:
@@ -519,15 +625,12 @@ class SuiteRunner:
     ) -> None:
         if self.cache_dir is None:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(workload, prefetcher, config)
-        tmp = _unique_tmp(path)
-        try:
-            tmp.write_text(json.dumps(dataclasses.asdict(result)))
-            tmp.replace(path)  # atomic publish; concurrent writers agree on content
-        except OSError:
-            tmp.unlink(missing_ok=True)
-            raise
+        # Unique-tmp + rename via the shared helper: concurrent writers
+        # racing on one path agree on content, readers never see a
+        # partial entry.
+        with atomic_write(path, "w") as handle:
+            handle.write(json.dumps(dataclasses.asdict(result)))
 
     def _lookup(
         self, workload: str, prefetcher: str, config: SimConfig
@@ -591,7 +694,7 @@ class SuiteRunner:
         if self.snapshot_store is None:
             return
         digest = warmup_digest(workload, prefetcher, config, self.seed)
-        if self.snapshot_store.path_for(digest).exists():
+        if self.snapshot_store.contains(digest):
             self._exec.snapshot_hits += 1
         else:
             self._exec.snapshot_misses += 1
@@ -721,19 +824,19 @@ class SuiteRunner:
                     pending.append(cell)
                     self._lifecycle("queued", spec.name, scheme)
 
-        if len(pending) > 1 and self.jobs > 1:
-            self._run_parallel(pending, config, suite, report)
-        else:
-            for cell in pending:
-                self._serial_cell(cell, config, suite, report, recovery=None)
+        self.backend.execute(self, pending, config, suite, report)
 
+        suite.cache_hits = served["memory"] + served["disk"]
+        suite.executed = len(suite.runs) - suite.cache_hits
         self._log(
             event="sweep",
+            backend=self.backend.name,
             cells=len(pending) + served["memory"] + served["disk"],
             ok=len(suite.runs),
             failed=len(report.unrecovered),
             memory_hits=served["memory"],
             disk_hits=served["disk"],
+            cache_hit_rate=round(suite.cache_hit_rate, 6),
             retries=report.retries,
             timeouts=report.timeouts,
             pool_breaks=report.pool_breaks,

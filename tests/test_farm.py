@@ -1,0 +1,478 @@
+"""The sweep farm: queue protocol, worker faults, broker bit-identity.
+
+The fault builders live at module level so farmed tickets can pickle
+the specs by reference.  Unlike the pool fault tests, farm faults must
+fire for *in-process* workers too (the broker's loopback drain runs
+cells in the broker process), so misbehavior is keyed off counter
+files in ``REPRO_FAULT_DIR`` rather than worker-process detection.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.farm import CellTicket, FarmBackend, FarmQueue, FarmWorker
+from repro.farm.queue import DEFAULT_LEASE_TTL, QueueError
+from repro.sim.config import SimConfig
+from repro.sim.fingerprint import cell_digest, fingerprint_digest
+from repro.sim.suite import CellPolicy, SuiteRunner
+from repro.workloads.spec2017 import WorkloadSpec, workload_by_name
+
+TINY = SimConfig.quick(measure_records=1_200, warmup_records=300)
+_BASE = workload_by_name("619.lbm_s")
+
+
+def _fault_dir() -> Path:
+    return Path(os.environ["REPRO_FAULT_DIR"])
+
+
+def _good_builder(n, seed):
+    return _BASE.builder(n, seed)
+
+
+def _doomed_builder(n, seed):
+    raise RuntimeError("injected unconditional crash")
+
+
+def _flaky_once_builder(n, seed):
+    """Crashes on its first attempt anywhere, succeeds afterwards."""
+    counter = _fault_dir() / "farm-flaky-attempts"
+    attempts = int(counter.read_text()) if counter.exists() else 0
+    counter.write_text(str(attempts + 1))
+    if attempts < 1:
+        raise RuntimeError("injected flaky crash")
+    return _BASE.builder(n, seed)
+
+
+def _spec(name, builder):
+    return WorkloadSpec(
+        name=name,
+        suite="fault-injection",
+        memory_intensive=True,
+        description=f"farm fault probe {name}",
+        builder=builder,
+    )
+
+
+GOOD = _spec("farm-good", _good_builder)
+DOOMED = _spec("farm-doomed", _doomed_builder)
+FLAKY = _spec("farm-flaky", _flaky_once_builder)
+
+
+def _ticket(queue_dir, workload="619.lbm_s", scheme="none", seed=2, config=TINY):
+    cell_id = cell_digest(workload, scheme, config, seed)
+    return CellTicket.build(
+        workload=workload,
+        prefetcher=scheme,
+        config=config,
+        seed=seed,
+        cell_id=cell_id,
+        fingerprint=fingerprint_digest(config),
+    )
+
+
+class TestQueueProtocol:
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = FarmQueue(tmp_path, lease_ttl=60.0)
+        queue.ensure()
+        ticket = _ticket(tmp_path)
+        assert queue.submit(ticket)
+        assert not queue.submit(ticket)  # idempotent re-submission
+        first = queue.claim(ticket.cell_id, "worker-a")
+        assert first is not None and not first.reclaimed
+        # Duplicate claim race: the second claimant must lose outright.
+        assert queue.claim(ticket.cell_id, "worker-b") is None
+        assert queue.owns(first)
+
+    def test_expired_lease_is_reclaimed_with_takeover_confirm(self, tmp_path):
+        queue = FarmQueue(tmp_path, lease_ttl=0.05)
+        queue.ensure()
+        ticket = _ticket(tmp_path)
+        queue.submit(ticket)
+        dead = queue.claim(ticket.cell_id, "dead-worker")
+        assert dead is not None
+        time.sleep(0.08)
+        takeover = queue.claim(ticket.cell_id, "live-worker")
+        assert takeover is not None and takeover.reclaimed
+        # The dead worker lost ownership: its release is now a no-op
+        # and its completion attempt would not clobber the new lease.
+        assert not queue.owns(dead)
+        assert queue.owns(takeover)
+        queue.release(dead)
+        assert queue.owns(takeover)
+
+    def test_renew_extends_only_owned_leases(self, tmp_path):
+        queue = FarmQueue(tmp_path, lease_ttl=0.05)
+        queue.ensure()
+        ticket = _ticket(tmp_path)
+        queue.submit(ticket)
+        lease = queue.claim(ticket.cell_id, "worker-a")
+        assert queue.renew(lease)
+        time.sleep(0.08)
+        stolen = queue.claim(ticket.cell_id, "worker-b")
+        assert stolen is not None
+        assert not queue.renew(lease)
+
+    def test_complete_retires_ticket_and_lease(self, tmp_path):
+        queue = FarmQueue(tmp_path, lease_ttl=60.0)
+        queue.ensure()
+        ticket = _ticket(tmp_path)
+        queue.submit(ticket)
+        lease = queue.claim(ticket.cell_id, "worker-a")
+        queue.complete(lease, {"cell_id": ticket.cell_id, "result": {}})
+        assert queue.has_result(ticket.cell_id)
+        assert queue.pending_ids() == []
+        assert queue.claim(ticket.cell_id, "worker-b") is None
+        counts = queue.counts()
+        assert counts["results"] == 1 and counts["claimed"] == 0
+
+    def test_fail_requeues_then_poisons(self, tmp_path):
+        queue = FarmQueue(tmp_path, lease_ttl=60.0)
+        queue.ensure()
+        ticket = _ticket(tmp_path)
+        queue.submit(ticket)
+        lease = queue.claim(ticket.cell_id, "worker-a")
+        assert queue.fail(lease, ticket, "boom 1", retries=1) == "retry"
+        assert queue.pending_ids() == [ticket.cell_id]
+        lease = queue.claim(ticket.cell_id, "worker-a")
+        requeued = queue.load_ticket(ticket.cell_id)
+        assert queue.fail(lease, requeued, "boom 2", retries=1) == "poisoned"
+        tombstone = queue.load_failure(ticket.cell_id)
+        assert tombstone["attempts"] == 2
+        assert tombstone["errors"] == ["boom 1", "boom 2"]
+        assert queue.pending_ids() == []
+
+    def test_event_log_is_tail_safe(self, tmp_path):
+        queue = FarmQueue(tmp_path)
+        queue.ensure()
+        queue.emit({"n": 1})
+        queue.emit({"n": 2})
+        records, offset = queue.events(0)
+        assert [r["n"] for r in records] == [1, 2]
+        # A torn append (no trailing newline) stays invisible until the
+        # writer finishes the line.
+        with queue.events_path.open("a") as handle:
+            handle.write('{"n": 3')
+        records, offset2 = queue.events(offset)
+        assert records == [] and offset2 == offset
+        with queue.events_path.open("a") as handle:
+            handle.write('}\n')
+        records, _ = queue.events(offset2)
+        assert [r["n"] for r in records] == [3]
+
+    def test_schema_mismatch_is_refused(self, tmp_path):
+        queue = FarmQueue(tmp_path)
+        queue.ensure()
+        manifest = json.loads(queue.manifest_path.read_text())
+        manifest["schema"] = 99
+        queue.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(QueueError):
+            FarmQueue(tmp_path).ensure()
+        with pytest.raises(QueueError):
+            FarmWorker(tmp_path)
+
+    def test_worker_requires_a_queue(self, tmp_path):
+        with pytest.raises(QueueError):
+            FarmWorker(tmp_path / "nowhere")
+
+
+@pytest.mark.timeout(120)
+class TestFarmBackend:
+    def test_loopback_farm_matches_local_backend_bit_for_bit(self, tmp_path):
+        local = SuiteRunner(TINY, seed=2, jobs=1, cache_dir=tmp_path / "cache-local")
+        reference = local.sweep([GOOD], ["none", "spp"], include_baseline=False)
+        farm = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            cache_dir=tmp_path / "cache-farm",
+            backend=FarmBackend(tmp_path / "queue"),
+        )
+        result = farm.sweep([GOOD], ["none", "spp"], include_baseline=False)
+        assert result.failure_report.complete
+        assert result.runs.keys() == reference.runs.keys()
+        for key in reference.runs:
+            assert dataclasses.asdict(result.runs[key]) == dataclasses.asdict(
+                reference.runs[key]
+            )
+        # The content-addressed cache entries agree byte for byte.
+        for entry in sorted((tmp_path / "cache-local").glob("*.json")):
+            twin = tmp_path / "cache-farm" / entry.name
+            assert twin.read_bytes() == entry.read_bytes()
+
+    def test_expired_lease_recovers_cell_from_dead_worker(self, tmp_path):
+        # A "worker" claims the cell and dies without ever executing;
+        # the broker's drain must reclaim it after the lease expires.
+        config = TINY
+        cell_id = cell_digest(GOOD.name, "none", config, 2)
+        queue = FarmQueue(tmp_path / "queue", lease_ttl=0.3)
+        queue.ensure(
+            retries=1, lease_ttl=0.3, fingerprint=fingerprint_digest(config), seed=2
+        )
+        queue.submit(
+            CellTicket.build(
+                workload=GOOD.name,
+                prefetcher="none",
+                config=config,
+                seed=2,
+                cell_id=cell_id,
+                fingerprint=fingerprint_digest(config),
+                payload=GOOD,
+            )
+        )
+        assert queue.claim(cell_id, "dead-worker") is not None
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            backend=FarmBackend(tmp_path / "queue", lease_ttl=0.3),
+        )
+        result = runner.sweep([GOOD], ["none"], include_baseline=False)
+        assert result.failure_report.complete
+        assert result.failure_report.timeouts == 1
+        assert runner.stats.snapshot()["cells.reclaimed"] == 1
+        reference = SuiteRunner(TINY, seed=2, jobs=1).sweep(
+            [GOOD], ["none"], include_baseline=False
+        )
+        assert dataclasses.asdict(result.runs[(GOOD.name, "none")]) == (
+            dataclasses.asdict(reference.runs[(GOOD.name, "none")])
+        )
+
+    def test_flaky_cell_recovers_within_farm_retry_budget(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            policy=CellPolicy(retries=1),
+            backend=FarmBackend(tmp_path / "queue"),
+        )
+        result = runner.sweep([FLAKY], ["none"], include_baseline=False)
+        assert result.failure_report.complete
+        assert result.failure_report.retries == 1
+        [failure] = result.failure_report.failures
+        assert failure.recovered and failure.recovery == "farm-retry"
+        assert "injected flaky crash" in failure.error or failure.attempts == 1
+
+    def test_poisoned_cell_exhausts_retries_into_failure_report(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path))
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            policy=CellPolicy(retries=1, fallback_serial=False),
+            backend=FarmBackend(tmp_path / "queue"),
+        )
+        result = runner.sweep([GOOD, DOOMED], ["none"], include_baseline=False)
+        report = result.failure_report
+        assert not report.complete
+        [failure] = report.unrecovered
+        assert failure.workload == "farm-doomed"
+        assert not failure.recovered
+        assert "injected unconditional crash" in failure.error
+        # The healthy sibling still completed.
+        assert (GOOD.name, "none") in result.runs
+        # The queue holds the tombstone for post-mortems...
+        backend = runner.backend
+        tombstone = backend.queue.load_failure(
+            cell_digest(DOOMED.name, "none", TINY, 2)
+        )
+        assert tombstone["attempts"] == 2
+        # ...and a fresh sweep over the same queue retires it, giving
+        # the cell a new budget instead of refusing forever.
+        retry_runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            policy=CellPolicy(retries=1, fallback_serial=False),
+            backend=FarmBackend(tmp_path / "queue"),
+        )
+        retry = retry_runner.sweep([DOOMED], ["none"], include_baseline=False)
+        assert not retry.failure_report.complete  # still doomed, but re-attempted
+        assert retry.failure_report.unrecovered[0].attempts == 2
+
+    def test_half_drained_queue_resumes_without_reexecution(self, tmp_path):
+        config = TINY
+        fingerprint = fingerprint_digest(config)
+        queue = FarmQueue(tmp_path / "queue")
+        queue.ensure(retries=1, lease_ttl=DEFAULT_LEASE_TTL, fingerprint=fingerprint, seed=2)
+        for scheme in ("none", "spp"):
+            queue.submit(
+                CellTicket.build(
+                    workload="619.lbm_s",
+                    prefetcher=scheme,
+                    config=config,
+                    seed=2,
+                    cell_id=cell_digest("619.lbm_s", scheme, config, 2),
+                    fingerprint=fingerprint,
+                )
+            )
+        # A worker drains exactly one cell, then "crashes".
+        drained = FarmWorker(queue, worker_id="partial").drain(max_cells=1)
+        assert drained == 1
+        assert len(queue.pending_ids()) == 1
+        # The resuming sweep adopts the drained cell and only executes
+        # the remaining one.
+        runner = SuiteRunner(
+            TINY, seed=2, jobs=1, backend=FarmBackend(tmp_path / "queue")
+        )
+        result = runner.sweep(
+            [workload_by_name("619.lbm_s")], ["none", "spp"], include_baseline=False
+        )
+        assert result.failure_report.complete
+        assert len(result.runs) == 2
+        snapshot = runner.stats.snapshot()
+        assert snapshot["cells.resumed"] == 1
+        assert snapshot["cells.simulated"] == 1
+        reference = SuiteRunner(TINY, seed=2, jobs=1).sweep(
+            [workload_by_name("619.lbm_s")], ["none", "spp"], include_baseline=False
+        )
+        for key in reference.runs:
+            assert dataclasses.asdict(result.runs[key]) == dataclasses.asdict(
+                reference.runs[key]
+            )
+
+    def test_resubmission_is_served_from_the_result_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = SuiteRunner(
+            TINY, seed=2, jobs=1, cache_dir=cache, backend=FarmBackend(tmp_path / "q1")
+        ).sweep([GOOD], ["none", "spp"], include_baseline=False)
+        assert first.cache_hit_rate == 0.0
+        assert first.executed == 2
+        again = SuiteRunner(
+            TINY, seed=2, jobs=1, cache_dir=cache, backend=FarmBackend(tmp_path / "q2")
+        ).sweep([GOOD], ["none", "spp"], include_baseline=False)
+        assert again.cache_hits == 2
+        assert again.executed == 0
+        assert again.cache_hit_rate == 1.0
+
+    def test_worker_events_reach_ledger_and_observers(self, tmp_path):
+        seen = []
+        runner = SuiteRunner(
+            TINY,
+            seed=2,
+            jobs=1,
+            ledger_path=tmp_path / "ledger.jsonl",
+            backend=FarmBackend(tmp_path / "queue"),
+        )
+        runner.add_observer(seen.append)
+        runner.sweep([GOOD], ["none"], include_baseline=False)
+        phases = [r.get("phase") for r in seen if r.get("event") == "lifecycle"]
+        assert "queued" in phases and "started" in phases and "finished" in phases
+        entries = [
+            json.loads(line)
+            for line in (tmp_path / "ledger.jsonl").read_text().splitlines()
+        ]
+        cell_entries = [e for e in entries if e.get("event") == "cell"]
+        assert cell_entries and cell_entries[0]["source"] == "farm"
+        assert cell_entries[0]["worker"] == "broker-inline"
+        [sweep_entry] = [e for e in entries if e.get("event") == "sweep"]
+        assert sweep_entry["backend"] == "farm"
+        assert "cache_hit_rate" in sweep_entry
+
+
+@pytest.mark.timeout(180)
+class TestWorkerSubprocess:
+    def test_external_worker_process_drains_the_queue(self, tmp_path):
+        config = SimConfig.quick(measure_records=600, warmup_records=150)
+        fingerprint = fingerprint_digest(config)
+        queue = FarmQueue(tmp_path / "queue")
+        queue.ensure(retries=1, lease_ttl=60.0, fingerprint=fingerprint, seed=1)
+        cell_id = cell_digest("619.lbm_s", "none", config, 1)
+        queue.submit(
+            CellTicket.build(
+                workload="619.lbm_s",
+                prefetcher="none",
+                config=config,
+                seed=1,
+                cell_id=cell_id,
+                fingerprint=fingerprint,
+            )
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "farm",
+                "worker",
+                "--queue-dir",
+                str(tmp_path / "queue"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "completed 1 cell(s)" in proc.stdout
+        document = queue.load_result(cell_id)
+        assert document["workload"] == "619.lbm_s"
+        assert document["result"]["instructions"] > 0
+
+
+@pytest.mark.timeout(120)
+class TestFarmCLI:
+    def test_sweep_backend_farm_reports_hit_rate(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sweep",
+            "--workloads",
+            "619.lbm_s",
+            "--prefetchers",
+            "spp",
+            "--records",
+            "1200",
+            "--seed",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--backend",
+            "farm",
+            "--queue-dir",
+            str(tmp_path / "queue"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "hit_rate=0.0%" in first
+        assert main(argv) == 0
+        again = capsys.readouterr().out
+        assert "cached=2 executed=0 hit_rate=100.0%" in again
+
+    def test_queue_dir_requires_farm_backend(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(["sweep", "--queue-dir", str(tmp_path / "queue"), "--quiet"]) == 2
+        )
+        assert "--backend farm" in capsys.readouterr().err
+
+    def test_farm_status_reports_counts(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        queue = FarmQueue(tmp_path / "queue")
+        queue.ensure()
+        queue.submit(_ticket(tmp_path / "queue"))
+        assert main(["farm", "status", "--queue-dir", str(tmp_path / "queue")]) == 0
+        out = capsys.readouterr().out
+        assert "queued" in out and "manifest.schema = 1" in out
+
+    def test_farm_status_without_queue_fails_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["farm", "status", "--queue-dir", str(tmp_path / "nope")]) == 2
+        assert "no queue" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""The HTTP front end: submission, live event streams, cached lookups.
+
+The service binds port 0 (ephemeral) on loopback in a daemon thread;
+every test talks to it over real sockets with stdlib ``urllib`` so the
+hand-rolled HTTP layer — status lines, content-length bodies, chunked
+event streams — is exercised end to end.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.farm.service import FarmService, ServiceError
+
+
+def _start(service: FarmService) -> str:
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=service.run_blocking,
+        kwargs={"host": "127.0.0.1", "port": 0, "ready": ready},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10), "service never came up"
+    return f"http://127.0.0.1:{service.port}"
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(base: str, path: str, payload) -> tuple:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _stream(base: str, path: str):
+    """All JSONL records of one (chunked) event stream, fully drained."""
+    with urllib.request.urlopen(base + path, timeout=120) as response:
+        return [json.loads(line) for line in response]
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    service = FarmService(
+        cache_dir=tmp_path_factory.mktemp("service-cache"), jobs=1, records=600
+    )
+    base = _start(service)
+    yield service, base
+    service.request_stop()
+
+
+SPEC = {"workloads": ["619.lbm_s"], "prefetchers": ["spp"], "records": 600}
+
+
+@pytest.mark.timeout(180)
+class TestSweepJobs:
+    def test_submit_stream_and_summary(self, service):
+        _service, base = service
+        status, submitted = _post(base, "/sweeps", SPEC)
+        assert status == 202
+        assert submitted["cells"] == 2  # baseline folded in
+        records = _stream(base, submitted["events_url"])
+        phases = [r.get("phase") for r in records if r.get("event") == "lifecycle"]
+        assert phases.count("queued") == 2
+        assert "finished" in phases
+        assert records[-1] == {
+            "event": "job",
+            "job": submitted["job"],
+            "status": "done",
+        }
+        status, view = _get(base, f"/sweeps/{submitted['job']}")
+        assert status == 200
+        assert view["status"] == "done"
+        assert view["summary"]["cells"] == 2
+        assert view["summary"]["unrecovered"] == 0
+        assert view["summary"]["geomean_speedup"]["spp"] > 0
+        status, listing = _get(base, "/sweeps")
+        assert submitted["job"] in [job["job"] for job in listing["jobs"]]
+
+    def test_resubmission_served_from_cache_with_hit_rate(self, service):
+        _service, base = service
+        _status, first = _post(base, "/sweeps", SPEC)
+        _stream(base, first["events_url"])  # wait for completion
+        _status, again = _post(base, "/sweeps", SPEC)
+        records = _stream(base, again["events_url"])
+        assert again["fingerprint"] == first["fingerprint"]
+        _status, view = _get(base, f"/sweeps/{again['job']}")
+        assert view["summary"]["cache_hit_rate"] == 1.0
+        assert view["summary"]["executed"] == 0
+        # Nothing simulated: the stream is all cached lifecycle events.
+        phases = {r.get("phase") for r in records if r.get("event") == "lifecycle"}
+        assert "started" not in phases
+        assert "cached" in phases
+
+    def test_cached_result_lookup_by_fingerprint(self, service):
+        _service, base = service
+        _status, submitted = _post(base, "/sweeps", SPEC)
+        _stream(base, submitted["events_url"])
+        fingerprint = submitted["fingerprint"]
+        status, document = _get(
+            base, f"/results/{fingerprint}/619.lbm_s/spp?seed=1"
+        )
+        assert status == 200
+        assert document["workload"] == "619.lbm_s"
+        assert document["prefetcher"] == "spp"
+        assert document["instructions"] > 0
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, f"/results/{fingerprint}/619.lbm_s/spp?seed=7")
+        assert excinfo.value.code == 404
+
+
+@pytest.mark.timeout(60)
+class TestRequestValidation:
+    def test_healthz(self, service):
+        _service, base = service
+        status, body = _get(base, "/healthz")
+        assert status == 200
+        assert body["ok"] is True and body["backend"] == "local"
+
+    def test_unknown_routes_are_404(self, service):
+        _service, base = service
+        for path in ("/nope", "/sweeps/job-999", "/results/f/w/p"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base, path)
+            assert excinfo.value.code == 404
+
+    def test_bad_specs_are_400_with_reasons(self, service):
+        _service, base = service
+        for payload, fragment in (
+            ({"workloads": ["no-such-workload"]}, "unknown workload"),
+            ({"prefetchers": ["warp-drive"]}, "unknown prefetcher"),
+            ({"records": -5}, "records"),
+            ({"workloads": "619.lbm_s"}, "list"),
+            ({"engine": "imaginary"}, "imaginary"),
+            ([1, 2, 3], "object"),
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, "/sweeps", payload)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert fragment in body["error"]
+
+    def test_invalid_json_body_is_400(self, service):
+        _service, base = service
+        request = urllib.request.Request(
+            base + "/sweeps", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_service_error_carries_status(self):
+        err = ServiceError("nope", status=404)
+        assert err.status == 404
+        assert ServiceError("default").status == 400

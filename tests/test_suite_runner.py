@@ -263,7 +263,9 @@ class TestDiskCacheAtomicity:
     """Regression: concurrent writers must never share a staging file."""
 
     def test_tmp_names_are_unique_per_call(self, tmp_path):
-        from repro.sim.suite import _unique_tmp
+        # The suite runner's staging files now come from the shared
+        # repro.ioutil helper (one tmp-rename idiom repo-wide).
+        from repro.ioutil import unique_tmp as _unique_tmp
 
         target = tmp_path / "entry.json"
         first, second = _unique_tmp(target), _unique_tmp(target)
