@@ -1,0 +1,92 @@
+"""CI zoo smoke (zoo-smoke job).
+
+Exercises the prefetcher zoo end to end at smoke scale:
+
+1. the generality cross-product — {spp, pythia, two-level} ×
+   {unfiltered, filtered:<base>} over two workload families — through
+   the default local pool backend,
+2. the same cross-product through ``FarmBackend`` with a real worker
+   subprocess, asserting the per-run stats are byte-identical (every
+   zoo prefetcher must checkpoint/serialize deterministically for this
+   to hold),
+3. the seam identity: ``filtered:spp`` must reproduce ``ppf`` bit for
+   bit on a golden-scale cell.
+
+Writes the comparison artifact ``ZOO_generality.json`` (the
+``document()`` form of the cross-product, uploaded by CI) and exits
+non-zero on any failed check.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.farm import FarmBackend  # noqa: E402
+from repro.harness.generality import run_generality, suite_stats  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.single_core import run_single_core  # noqa: E402
+from repro.workloads import find_workload  # noqa: E402
+
+CONFIG = SimConfig.quick(measure_records=1_500, warmup_records=400)
+SEED = 3
+PREFETCHERS = ("spp", "pythia", "two-level")
+FAMILIES = ("spec2017", "cloudsuite")
+ARTIFACT = Path("ZOO_generality.json")
+
+
+def main() -> int:
+    local = run_generality(
+        config=CONFIG,
+        seed=SEED,
+        prefetchers=PREFETCHERS,
+        families=FAMILIES,
+        per_family=1,
+        jobs=1,
+    )
+    local_stats = suite_stats(local)
+
+    with tempfile.TemporaryDirectory(prefix="repro-zoo-smoke-") as td:
+        farmed = run_generality(
+            config=CONFIG,
+            seed=SEED,
+            prefetchers=PREFETCHERS,
+            families=FAMILIES,
+            per_family=1,
+            jobs=1,
+            backend=FarmBackend(Path(td) / "queue", workers=1),
+        )
+        farmed_stats = suite_stats(farmed)
+
+    golden_config = SimConfig.quick(measure_records=2_000, warmup_records=500)
+    workload = find_workload("605.mcf_s")
+    seam = run_single_core(workload, "filtered:spp", golden_config, seed=SEED)
+    reference = run_single_core(workload, "ppf", golden_config, seed=SEED)
+
+    checks = {
+        "local_cross_product_complete": local.suite.failure_report.complete,
+        "farm_cross_product_complete": farmed.suite.failure_report.complete,
+        "every_cell_has_a_row": len(local.rows) == len(PREFETCHERS) * len(FAMILIES),
+        "farm_byte_identical_to_local": farmed_stats == local_stats,
+        "filtered_spp_is_ppf": (
+            seam.instructions == reference.instructions
+            and seam.cycles == reference.cycles
+            and seam.stats == reference.stats
+        ),
+    }
+    artifact = local.document()
+    artifact["checks"] = checks
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(json.dumps({"rows": len(local.rows), "checks": checks}, indent=2))
+    if not all(checks.values()):
+        failed = [name for name, ok in checks.items() if not ok]
+        print(f"zoo smoke FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("zoo smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,10 +52,14 @@ Subcommands:
 * ``checkpoint diff A B``    — leaf-level comparison of two snapshots
   (exit 1 when they differ)
 * ``workloads``              — list the modelled benchmark suites
+* ``registry list [--kind K]`` — every registered (kind, name) with its
+  factory docstring one-liner (exit 2 on an unknown kind)
 
 Component choices (prefetchers, workloads, suites) come from the
 component registry, so a newly registered prefetcher is immediately
-available to ``bench``/``sweep`` without touching this module.
+available to ``bench``/``sweep`` without touching this module — and
+``--prefetcher``/``--prefetchers`` accept ``filtered:<inner>`` specs
+composing the perceptron filter over any registered prefetcher.
 """
 
 from __future__ import annotations
@@ -218,6 +222,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_suite(args)
     try:
         workload = find_workload(args.workload)
+        from .zoo.filtered import validate_prefetcher_spec
+
+        validate_prefetcher_spec(args.prefetcher)
     except UnknownComponentError as err:
         print(f"repro bench: error: {err}", file=sys.stderr)
         return 2
@@ -283,6 +290,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     try:
         config = _apply_engine(config, args.engine)
+        # Eager spec validation (mirrors --engine): typos in
+        # --prefetchers, including filtered:<inner> specs, fail here
+        # with a did-you-mean instead of deep inside cell expansion.
+        from .zoo.filtered import validate_prefetcher_spec
+
+        for spec_name in args.prefetchers:
+            validate_prefetcher_spec(spec_name)
         if args.workloads:
             workloads = [find_workload(name) for name in args.workloads]
         elif args.trace_files:
@@ -487,6 +501,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """``registry list [--kind K]``: the full component catalog.
+
+    Importing the component-defining packages here is what fills the
+    registry — the registry itself is populated purely by import side
+    effects, so discovery must pull every package in first.
+    """
+    from . import prefetchers, traces  # noqa: F401
+    from .core import features  # noqa: F401
+    from .engine import make_engine  # noqa: F401
+    from .memory import replacement  # noqa: F401
+    from .telemetry import probes  # noqa: F401
+
+    kinds = registry.kinds()
+    if args.kind is not None:
+        if args.kind not in kinds:
+            known = ", ".join(kinds)
+            print(
+                f"repro registry: error: unknown component kind {args.kind!r}; "
+                f"known kinds: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        kinds = [args.kind]
+    for kind in kinds:
+        for name in registry.names(kind):
+            factory = registry.get(kind, name)
+            doc = (factory.__doc__ or "").strip().splitlines()
+            one_liner = doc[0] if doc else ""
+            print(f"{kind:14s} {name:24s} {one_liner}")
+    return 0
+
+
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from .checkpoint import SnapshotError, load_snapshot, save_snapshot
     from .checkpoint.inspect import diff_snapshots, summarize
@@ -499,6 +546,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         )
         try:
             workload = find_workload(args.workload)
+            from .zoo.filtered import validate_prefetcher_spec
+
+            validate_prefetcher_spec(args.prefetcher)
         except UnknownComponentError as err:
             print(f"repro checkpoint: error: {err}", file=sys.stderr)
             return 2
@@ -572,6 +622,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.action == "record":
         try:
             workload = find_workload(args.workload)
+            from .zoo.filtered import validate_prefetcher_spec
+
+            validate_prefetcher_spec(args.prefetcher)
         except UnknownComponentError as err:
             print(f"repro trace: error: {err}", file=sys.stderr)
             return 2
@@ -700,8 +753,6 @@ def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    prefetcher_names = registry.names("prefetcher")
-
     sub.add_parser("experiments", help="list paper experiments")
 
     run_parser = sub.add_parser("run", help="regenerate one table/figure")
@@ -744,7 +795,12 @@ def main(argv: list | None = None) -> int:
         help="workload name for a quick simulation run; omit to run the "
         "microbenchmark suite and write BENCH_sim.json",
     )
-    bench_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
+    bench_parser.add_argument(
+        "--prefetcher",
+        default="ppf",
+        metavar="SPEC",
+        help="prefetcher name or filtered:<inner> spec (registry-validated)",
+    )
     bench_parser.add_argument("--records", type=int, default=20_000)
     bench_parser.add_argument(
         "--smoke", action="store_true", help="reduced op counts (CI smoke job)"
@@ -801,7 +857,12 @@ def main(argv: list | None = None) -> int:
             help="workload names (default: memory-intensive SPEC 2017 subset)",
         )
         target.add_argument(
-            "--prefetchers", nargs="+", default=["spp", "ppf"], choices=prefetcher_names
+            "--prefetchers",
+            nargs="+",
+            default=["spp", "ppf"],
+            metavar="SPEC",
+            help="prefetcher names and/or filtered:<inner> specs "
+            "(registry-validated eagerly, with did-you-mean)",
         )
         target.add_argument(
             "--jobs", type=int, default=None, help="worker processes (default: all cores)"
@@ -1008,7 +1069,12 @@ def main(argv: list | None = None) -> int:
     )
     save_parser.add_argument("path", help="snapshot file to write")
     save_parser.add_argument("--workload", required=True)
-    save_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
+    save_parser.add_argument(
+        "--prefetcher",
+        default="ppf",
+        metavar="SPEC",
+        help="prefetcher name or filtered:<inner> spec (registry-validated)",
+    )
     save_parser.add_argument("--records", type=int, default=20_000)
     save_parser.add_argument("--seed", type=int, default=1)
     inspect_parser = checkpoint_sub.add_parser(
@@ -1054,7 +1120,12 @@ def main(argv: list | None = None) -> int:
         "record", help="run one traced simulation and export its artifacts"
     )
     record_parser.add_argument("--workload", required=True)
-    record_parser.add_argument("--prefetcher", default="ppf", choices=prefetcher_names)
+    record_parser.add_argument(
+        "--prefetcher",
+        default="ppf",
+        metavar="SPEC",
+        help="prefetcher name or filtered:<inner> spec (registry-validated)",
+    )
     record_parser.add_argument("--records", type=int, default=20_000)
     record_parser.add_argument("--seed", type=int, default=1)
     record_parser.add_argument(
@@ -1080,6 +1151,20 @@ def main(argv: list | None = None) -> int:
 
     sub.add_parser("workloads", help="list modelled workloads")
 
+    registry_parser = sub.add_parser(
+        "registry", help="inspect the component registry"
+    )
+    registry_sub = registry_parser.add_subparsers(dest="action", required=True)
+    list_parser = registry_sub.add_parser(
+        "list", help="every registered (kind, name) with its docstring one-liner"
+    )
+    list_parser.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="restrict to one component kind (prefetcher, engine, probe, ...)",
+    )
+
     validate_parser = sub.add_parser("validate", help="run the reproduction scorecard")
     validate_parser.add_argument("--records", type=int, default=15_000)
     validate_parser.add_argument(
@@ -1096,6 +1181,7 @@ def main(argv: list | None = None) -> int:
         "serve": _cmd_serve,
         "trace": _cmd_trace,
         "checkpoint": _cmd_checkpoint,
+        "registry": _cmd_registry,
         "workloads": _cmd_workloads,
         "validate": _cmd_validate,
     }

@@ -14,6 +14,10 @@ The operation each layer counts:
 * ``spp_train``            — SPP training events (L2 demand accesses)
 * ``filter_inference``     — perceptron inferences
 * ``filter_training``      — perceptron training updates
+* ``filter_inference_pythia`` — Pythia RL decisions (Q lookup, action
+  choice, EQ feedback) per L2 demand access
+* ``end_to_end_single_core_pythia`` — trace records through a full
+  Pythia run (the zoo's end-to-end cost vs the PPF pair)
 * ``end_to_end_single_core`` — trace records through a full PPF run
 * ``end_to_end_single_core_batched`` — the same run pinned to the
   batched engine (the ``batched_vs_scalar`` pair: its ops_per_sec over
@@ -181,6 +185,31 @@ def _bench_spp(ops: int) -> Callable[[], int]:
     return run
 
 
+@_benchmark("filter_inference_pythia", ops=60_000)
+def _bench_pythia_train(ops: int) -> Callable[[], int]:
+    """Pythia's per-access decision loop on the same stream as
+    ``spp_train``, so the two learned prefetchers' hot-path costs are
+    directly comparable in every BENCH_sim.json."""
+    from ..workloads.spec2017 import workload_by_name
+    from ..zoo.pythia import Pythia
+
+    stream = [
+        (rec.pc, rec.addr)
+        for rec in workload_by_name("623.xalancbmk_s").trace(ops, seed=2)
+    ]
+
+    def run() -> int:
+        pythia = Pythia()
+        train = pythia.train
+        cycle = 0
+        for pc, addr in stream:
+            train(addr, pc, False, cycle)
+            cycle += 10
+        return len(stream)
+
+    return run
+
+
 # -- layer 3: perceptron filter -------------------------------------------------
 
 
@@ -290,6 +319,11 @@ def _bench_end_to_end_ppf_batched(ops: int) -> Callable[[], int]:
 @_benchmark("end_to_end_no_prefetch", ops=10_000)
 def _bench_end_to_end_none(ops: int) -> Callable[[], int]:
     return _end_to_end("none", ops)
+
+
+@_benchmark("end_to_end_single_core_pythia", ops=10_000)
+def _bench_end_to_end_pythia(ops: int) -> Callable[[], int]:
+    return _end_to_end("pythia", ops)
 
 
 @_benchmark("telemetry_disabled_overhead", ops=10_000)

@@ -327,6 +327,26 @@ class PerceptronFilter:
             stats.negative_updates += 1
         return True
 
+    def retune(
+        self, tau_hi: Optional[int] = None, tau_lo: Optional[int] = None
+    ) -> None:
+        """Adjust the inference thresholds in place.
+
+        The hook for adaptive outer stages (the two-level filter moves
+        its thresholds to chase a target accept accuracy).  Training
+        thresholds are deliberately not retunable — only the
+        accept/reject operating point moves.  A replacement
+        :class:`FilterConfig` is constructed so its invariants
+        (``tau_lo <= tau_hi``) keep holding.
+        """
+        cfg = self.config
+        self.config = FilterConfig(
+            tau_hi=cfg.tau_hi if tau_hi is None else tau_hi,
+            tau_lo=cfg.tau_lo if tau_lo is None else tau_lo,
+            theta_p=cfg.theta_p,
+            theta_n=cfg.theta_n,
+        )
+
     # -- introspection ------------------------------------------------------------
 
     @property

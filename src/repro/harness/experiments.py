@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..sim.config import SimConfig
 from . import ablations, constraints, figure01, figure09, figure10, figure13
-from . import figures02_05, figures06_08, figures11_12, phase_plot, tables
+from . import figures02_05, figures06_08, figures11_12, generality, phase_plot, tables
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,10 @@ def _phase(config: Optional[SimConfig]) -> str:
     return phase_plot.report(phase_plot.run_phase_plot(config=config))
 
 
+def _generality(config: Optional[SimConfig]) -> str:
+    return generality.report(generality.run_generality(config=config))
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in (
@@ -98,6 +102,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fig13", "Figure 13", "cross-validation on unseen workloads", _fig13),
         Experiment("ablations", "DESIGN.md", "PPF design-choice ablations", _ablations),
         Experiment("phase", "Telemetry", "probe time-series phase plot", _phase),
+        Experiment(
+            "generality",
+            "ROADMAP item 5",
+            "prefetcher zoo x filter cross-product",
+            _generality,
+        ),
     )
 }
 

@@ -36,6 +36,7 @@ from ..telemetry.probes import ProbeSet
 from ..telemetry.session import _UNSET, Telemetry
 from ..telemetry.session import resolve as _resolve_telemetry
 from ..workloads.spec2017 import WorkloadSpec
+from ..zoo.filtered import FILTER_SPEC_PREFIX, make_filtered  # registers the zoo
 from .config import SimConfig
 from .fingerprint import fingerprint_digest
 
@@ -45,7 +46,15 @@ PREFETCHER_FACTORIES = registry.view("prefetcher")
 
 
 def make_prefetcher(name: str) -> Prefetcher:
-    """Instantiate a registered prefetcher by name."""
+    """Instantiate a prefetcher by name or ``filtered:<inner>`` spec.
+
+    The single chokepoint every driver (CLI, suite workers, farm
+    workers, checkpoints) resolves prefetchers through — which is why
+    the filter seam lives here: a ``filtered:`` spec rehydrates
+    identically in any process.
+    """
+    if name.startswith(FILTER_SPEC_PREFIX):
+        return make_filtered(name[len(FILTER_SPEC_PREFIX):])
     return registry.create("prefetcher", name)
 
 

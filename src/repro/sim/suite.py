@@ -791,6 +791,12 @@ class SuiteRunner:
         names = list(prefetchers)
         if include_baseline and "none" not in names:
             names = ["none"] + names
+        # Fail fast on typos (with did-you-mean) before any cell is
+        # expanded, cached or shipped to a worker process.
+        from ..zoo.filtered import validate_prefetcher_spec
+
+        for scheme in names:
+            validate_prefetcher_spec(scheme)
 
         sweep_start = perf_counter()
         self._sweep_epoch = sweep_start

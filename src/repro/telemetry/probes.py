@@ -302,6 +302,74 @@ def _ppf_probe(sim: Any) -> Optional[Probe]:
     return PPFProbe(ppf_filter)
 
 
+class PythiaProbe(Probe):
+    """Pythia's learning health: Q saturation, vault churn, reward mix."""
+
+    name = "pythia"
+    units = {
+        "mean_abs_q": "reward",
+        "q_saturation": "fraction",
+        "vault_occupancy": "fraction",
+        "eq_occupancy": "fraction",
+        "reward_accurate_timely_frac": "fraction",
+        "reward_accurate_late_frac": "fraction",
+        "reward_inaccurate_frac": "fraction",
+        "reward_no_prefetch_frac": "fraction",
+    }
+
+    def __init__(self, pythia: Any) -> None:
+        self._pythia = pythia
+
+    def observe(self) -> Dict[str, float]:
+        return self._pythia.qvalue_summary()
+
+
+@register("probe", "pythia")
+def _pythia_probe(sim: Any) -> Optional[Probe]:
+    prefetcher = getattr(sim, "prefetcher", None)
+    if hasattr(prefetcher, "qvalue_summary"):
+        return PythiaProbe(prefetcher)
+    underlying = getattr(prefetcher, "underlying", None)
+    if hasattr(underlying, "qvalue_summary"):
+        return PythiaProbe(underlying)
+    return None
+
+
+class FilterSeamProbe(Probe):
+    """Accept/reject flow through a perceptron filter, labelled per
+    inner prefetcher (``filter.<inner>.*``) so cross-product sweeps can
+    compare how the same filter treats different candidate streams."""
+
+    units = {"accepts": "count", "rejects": "count", "accept_rate": "fraction"}
+
+    def __init__(self, inner: str, perceptron: Any) -> None:
+        self.name = f"filter.{inner}"
+        self._perceptron = perceptron
+
+    def observe(self) -> Dict[str, float]:
+        stats = self._perceptron.stats
+        return {
+            "accepts": float(stats.accepted_l2 + stats.accepted_llc),
+            "rejects": float(stats.rejected),
+            "accept_rate": stats.accept_rate,
+        }
+
+
+@register("probe", "filter_seam")
+def _filter_seam_probe(sim: Any) -> Optional[Probe]:
+    prefetcher = getattr(sim, "prefetcher", None)
+    perceptron = getattr(prefetcher, "filter", None)
+    if perceptron is None or not hasattr(perceptron, "stats"):
+        return None
+    inner = getattr(prefetcher, "inner_name", None)
+    if inner is None:
+        underlying = getattr(prefetcher, "underlying", None)
+        inner = getattr(underlying, "name", None) if underlying is not None else None
+    if inner is None:
+        inner = "self"  # a prefetcher filtering its own candidates
+    return FilterSeamProbe(inner, perceptron)
+
+
 class CoreProbe(Probe):
     """ROB-window occupancy and measurement-window IPC."""
 

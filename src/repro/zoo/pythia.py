@@ -1,0 +1,386 @@
+"""Pythia: table-driven online reinforcement-learning prefetching.
+
+A deterministic, checkpointable reduction of Bera et al., "Pythia: A
+Customizable Hardware Prefetching Framework Using Online Reinforcement
+Learning" (MICRO 2021) to this repo's table-driven idiom:
+
+* **Feature-vector states** — each L2 demand access is compressed into a
+  state signature folding the triggering PC, the per-page delta and a
+  shifted-XOR path of the last few deltas (the paper's PC+Delta and
+  delta-sequence program features), plus the page offset.
+* **Q-value vault (QVStore)** — a bounded LRU table mapping state
+  signatures to one fixed-point Q value per action, with explicit
+  EVICT/insert semantics: inserting a new state into a full vault evicts
+  the least-recently-used row wholesale.
+* **Actions** — a fixed list of prefetch offsets (in blocks) including
+  the no-prefetch action ``0``.  Inference is a deterministic argmax
+  over the state's Q row; a counter-based exploration schedule replaces
+  the paper's epsilon-greedy RNG so runs are reproducible and snapshots
+  are exact.
+* **Prefetch-quality rewards** — learned from demand feedback through an
+  evaluation queue (EQ) of in-flight decisions: a demand access that
+  *hits* on an EQ block is accurate-timely, a demand *miss* on an EQ
+  block is accurate-late (the prefetch was right but not early enough),
+  an entry aging out of the EQ unused is inaccurate, and the
+  no-prefetch action earns its own (mildly negative) reward so the
+  agent is pushed to prefetch when any offset would pay.
+
+Q updates use integer fixed-point (``Q_SCALE``) with a shift-based
+learning rate and a one-shift discount on the current state's best Q as
+the bootstrap, so all arithmetic is exact and platform-independent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checkpoint.state import group_state, load_group
+from ..memory.address import encode_delta
+from ..prefetchers.base import PrefetchCandidate, Prefetcher
+from ..registry import register
+from ..stats import StatGroup, StatsNode
+
+#: Fixed-point scale for stored Q values (rewards are scaled by this).
+Q_SCALE = 256
+
+
+@dataclass
+class PythiaConfig:
+    """Structure sizes, action list and reward levels.
+
+    Sizes follow the spirit of the paper's Table 6 configuration
+    (QVStore of a few thousand Q values, a 256-entry EQ, 16 actions);
+    rewards follow its accurate-timely > accurate-late > no-prefetch >
+    inaccurate ordering.  ``docs/paper_map.md`` maps each knob to the
+    paper.
+    """
+
+    #: Prefetch offsets in blocks; action 0 is "don't prefetch".
+    actions: Tuple[int, ...] = (0, 1, -1, 2, -2, 3, -3, 4, -4, 6, -6, 8, 10, 12, 16, 32)
+    vault_entries: int = 1024  # QVStore rows (states); LRU EVICT/insert
+    eq_entries: int = 256  # evaluation queue depth
+    page_table_entries: int = 256  # per-page last-offset tracker (delta source)
+    lr_shift: int = 4  # learning rate 1/16 in fixed point
+    gamma_shift: int = 1  # discount 1/2 on the bootstrap term
+    reward_accurate_timely: int = 20
+    reward_accurate_late: int = 12
+    reward_inaccurate: int = -14
+    reward_no_prefetch: int = -4
+    #: Take the scheduled exploratory action every N decisions (the
+    #: deterministic stand-in for epsilon-greedy; N≈1/epsilon).
+    explore_every: int = 64
+    #: Q values are clamped to ±(clamp · Q_SCALE).
+    q_clamp: int = 64
+    #: Emit the top-``fanout`` positive-Q actions per trigger (1 = the
+    #: paper's single argmax action).
+    fanout: int = 1
+    #: Minimum fixed-point Q for a prefetch action to issue.
+    issue_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.actions or 0 not in self.actions:
+            raise ValueError("action list must include the no-prefetch action 0")
+        if self.vault_entries <= 0 or self.eq_entries <= 0:
+            raise ValueError("vault and EQ must have positive capacity")
+
+    @classmethod
+    def default(cls) -> "PythiaConfig":
+        return cls()
+
+    @classmethod
+    def aggressive(cls) -> "PythiaConfig":
+        """Pythia re-tuned to sit under an external perceptron filter.
+
+        Mirrors §4.1 of the PPF paper: internal throttling is discarded
+        so the filter owns accept/reject.  The agent emits its four best
+        actions per trigger, and negative-Q actions may still issue
+        (``issue_threshold`` drops below the clamp floor), so far more —
+        and far less certain — candidates reach the perceptron.
+        """
+        return cls(fanout=4, issue_threshold=-(64 * Q_SCALE))
+
+
+@dataclass
+class PythiaStats(StatGroup):
+    """Reward mix and vault churn beyond the shared prefetcher counters."""
+
+    rewards_accurate_timely: int = 0
+    rewards_accurate_late: int = 0
+    rewards_inaccurate: int = 0
+    rewards_no_prefetch: int = 0
+    q_evictions: int = 0
+    eq_overflows: int = 0
+    explorations: int = 0
+
+
+class _EQEntry:
+    """One in-flight decision awaiting demand feedback."""
+
+    __slots__ = ("state", "action")
+
+    def __init__(self, state: int, action: int) -> None:
+        self.state = state
+        self.action = action
+
+
+@register("prefetcher", "pythia")
+class Pythia(Prefetcher):
+    """Online-RL prefetcher: QVStore + evaluation queue + reward classes."""
+
+    name = "pythia"
+
+    def __init__(self, config: Optional[PythiaConfig] = None) -> None:
+        super().__init__()
+        self.config = config or PythiaConfig.default()
+        self.pythia_stats = PythiaStats()
+        #: QVStore: state signature -> [Q per action], LRU EVICT/insert.
+        self._vault: "OrderedDict[int, List[int]]" = OrderedDict()
+        #: Evaluation queue: block address -> in-flight decision, FIFO.
+        self._eq: "OrderedDict[int, _EQEntry]" = OrderedDict()
+        #: page -> last block offset, LRU (the per-page delta source).
+        self._pages: "OrderedDict[int, int]" = OrderedDict()
+        #: Shifted-XOR fold of recent deltas (the delta-sequence feature).
+        self._delta_path = 0
+        #: Decision counter driving the deterministic exploration schedule.
+        self._decisions = 0
+
+    # -- state construction ------------------------------------------------------
+
+    def _state_signature(self, pc: int, offset: int, delta: int) -> int:
+        """Fold the program features into one vault key.
+
+        PC bits, the encoded trigger delta, the delta-sequence path and
+        the page offset each occupy their own field so distinct feature
+        vectors collide only through the vault's own capacity limit.
+        """
+        pc_bits = (pc >> 2) ^ (pc >> 13)
+        return (
+            ((pc_bits & 0x3FF) << 21)
+            ^ ((encode_delta(delta) & 0x7F) << 14)
+            ^ ((self._delta_path & 0xFFF) << 6)
+            ^ (offset & 0x3F)
+        )
+
+    def _q_row(self, state: int) -> List[int]:
+        """The state's Q row, inserted (with LRU eviction) if missing."""
+        vault = self._vault
+        row = vault.get(state)
+        if row is not None:
+            vault.move_to_end(state)
+            return row
+        if len(vault) >= self.config.vault_entries:
+            vault.popitem(last=False)
+            self.pythia_stats.q_evictions += 1
+        row = [0] * len(self.config.actions)
+        vault[state] = row
+        return row
+
+    # -- learning ----------------------------------------------------------------
+
+    def _update_q(self, state: int, action: int, reward: int, bootstrap_q: int) -> None:
+        """One fixed-point SARSA-style update toward R + gamma·Q'."""
+        cfg = self.config
+        row = self._q_row(state)
+        target = reward * Q_SCALE + (bootstrap_q >> cfg.gamma_shift)
+        value = row[action] + ((target - row[action]) >> cfg.lr_shift)
+        clamp = cfg.q_clamp * Q_SCALE
+        if value > clamp:
+            value = clamp
+        elif value < -clamp:
+            value = -clamp
+        row[action] = value
+
+    def _resolve_feedback(self, block: int, cache_hit: bool, bootstrap_q: int) -> None:
+        """Reward an in-flight decision the demand stream just judged."""
+        entry = self._eq.pop(block, None)
+        if entry is None:
+            return
+        cfg = self.config
+        stats = self.pythia_stats
+        if cache_hit:
+            stats.rewards_accurate_timely += 1
+            reward = cfg.reward_accurate_timely
+        else:
+            stats.rewards_accurate_late += 1
+            reward = cfg.reward_accurate_late
+        self._update_q(entry.state, entry.action, reward, bootstrap_q)
+
+    def _eq_insert(self, block: int, state: int, action: int) -> None:
+        eq = self._eq
+        if block in eq:
+            eq.move_to_end(block)
+            eq[block] = _EQEntry(state, action)
+            return
+        if len(eq) >= self.config.eq_entries:
+            _, aged = eq.popitem(last=False)
+            self.pythia_stats.eq_overflows += 1
+            self.pythia_stats.rewards_inaccurate += 1
+            # No next state is at hand when a decision ages out; the
+            # update is the undiscounted inaccuracy penalty.
+            self._update_q(aged.state, aged.action, self.config.reward_inaccurate, 0)
+        eq[block] = _EQEntry(state, action)
+
+    # -- main hook ---------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        cfg = self.config
+        block = addr >> 6
+        page = addr >> 12
+        offset = block & 63
+
+        pages = self._pages
+        last_offset = pages.get(page)
+        if last_offset is not None:
+            pages.move_to_end(page)
+            delta = offset - last_offset
+        else:
+            if len(pages) >= cfg.page_table_entries:
+                pages.popitem(last=False)
+            delta = 0
+        pages[page] = offset
+        state = self._state_signature(pc, offset, delta)
+        if delta != 0:
+            self._delta_path = ((self._delta_path << 3) ^ encode_delta(delta)) & 0xFFF
+
+        row = self._q_row(state)
+        best_q = max(row)
+        # Feedback first: the current state's best Q is the bootstrap for
+        # any decision this demand access resolves.
+        self._resolve_feedback(block, cache_hit, best_q)
+        # Feedback updates may have evicted and re-inserted this state's
+        # row; re-fetch so inference reads the live Q values.
+        row = self._q_row(state)
+
+        self._decisions += 1
+        actions = cfg.actions
+        if cfg.explore_every > 0 and self._decisions % cfg.explore_every == 0:
+            primary = (self._decisions // cfg.explore_every) % len(actions)
+            self.pythia_stats.explorations += 1
+        else:
+            primary = 0
+            top = row[0]
+            for index in range(1, len(actions)):
+                if row[index] > top:
+                    top = row[index]
+                    primary = index
+        chosen: List[int] = [primary]
+        if cfg.fanout > 1:
+            order = sorted(range(len(actions)), key=lambda i: (-row[i], i))
+            for index in order:
+                if len(chosen) >= cfg.fanout:
+                    break
+                if index != primary:
+                    chosen.append(index)
+
+        candidates: List[PrefetchCandidate] = []
+        for index in chosen:
+            action_delta = actions[index]
+            if action_delta == 0 or row[index] < cfg.issue_threshold:
+                self.pythia_stats.rewards_no_prefetch += 1
+                self._update_q(state, index, cfg.reward_no_prefetch, best_q)
+                continue
+            target = offset + action_delta
+            if not 0 <= target < 64:  # stay in the physical page
+                self.pythia_stats.rewards_no_prefetch += 1
+                self._update_q(state, index, cfg.reward_no_prefetch, best_q)
+                continue
+            target_block = (page << 6) | target
+            q_value = row[index]
+            confidence = (q_value * 100) // (cfg.q_clamp * Q_SCALE)
+            candidates.append(
+                PrefetchCandidate(
+                    target_block << 6,
+                    True,
+                    {
+                        "pc": pc,
+                        "delta": action_delta,
+                        "signature": self._delta_path,
+                        "confidence": 0 if confidence < 0 else (100 if confidence > 100 else confidence),
+                        "depth": 1,
+                    },
+                )
+            )
+            self._eq_insert(target_block, state, index)
+        return candidates
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def qvalue_summary(self) -> Dict[str, float]:
+        """Q-vault health for telemetry: magnitude, saturation, occupancy.
+
+        Pure read — safe to sample mid-run.  ``q_saturation`` is the
+        fraction of stored Q values pinned at the clamp rails, the
+        early-warning sign that rewards have outrun the fixed-point
+        range; the reward mix fractions expose what the agent is
+        actually being taught.
+        """
+        clamp = self.config.q_clamp * Q_SCALE
+        total = 0
+        count = 0
+        saturated = 0
+        for row in self._vault.values():
+            for value in row:
+                total += value if value >= 0 else -value
+                if value <= -clamp or value >= clamp:
+                    saturated += 1
+                count += 1
+        stats = self.pythia_stats
+        rewards = (
+            stats.rewards_accurate_timely
+            + stats.rewards_accurate_late
+            + stats.rewards_inaccurate
+            + stats.rewards_no_prefetch
+        )
+        return {
+            "mean_abs_q": (total / (count * Q_SCALE)) if count else 0.0,
+            "q_saturation": (saturated / count) if count else 0.0,
+            "vault_occupancy": len(self._vault) / self.config.vault_entries,
+            "eq_occupancy": len(self._eq) / self.config.eq_entries,
+            "reward_accurate_timely_frac": (stats.rewards_accurate_timely / rewards) if rewards else 0.0,
+            "reward_accurate_late_frac": (stats.rewards_accurate_late / rewards) if rewards else 0.0,
+            "reward_inaccurate_frac": (stats.rewards_inaccurate / rewards) if rewards else 0.0,
+            "reward_no_prefetch_frac": (stats.rewards_no_prefetch / rewards) if rewards else 0.0,
+        }
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.pythia_stats.reset()
+
+    def attach_stats(self, node: StatsNode) -> None:
+        super().attach_stats(node)
+        node.attach("pythia", self.pythia_stats)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Vault, EQ and page-table pair lists preserve LRU/FIFO order."""
+        state = super().state_dict()
+        state.update(
+            vault=[[sig, list(row)] for sig, row in self._vault.items()],
+            eq=[[block, [entry.state, entry.action]] for block, entry in self._eq.items()],
+            pages=[[page, offset] for page, offset in self._pages.items()],
+            delta_path=self._delta_path,
+            decisions=self._decisions,
+            pythia_stats=group_state(self.pythia_stats),
+        )
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        self._vault = OrderedDict(
+            (int(sig), [int(q) for q in row]) for sig, row in state["vault"]
+        )
+        self._eq = OrderedDict(
+            (int(block), _EQEntry(int(entry_state), int(action)))
+            for block, (entry_state, action) in state["eq"]
+        )
+        self._pages = OrderedDict(
+            (int(page), int(offset)) for page, offset in state["pages"]
+        )
+        self._delta_path = int(state["delta_path"])
+        self._decisions = int(state["decisions"])
+        load_group(self.pythia_stats, state["pythia_stats"])

@@ -1,0 +1,372 @@
+"""Two-level neural off-chip predictor with adaptive prefetch filtering.
+
+A table-driven reduction of Jamet et al.'s two-level scheme — the
+closest modern descendant of PPF, implemented here for the explicit
+head-to-head the paper calls for:
+
+* **Level 1** is a cheap per-PC stride/delta predictor: a bounded LRU
+  table keyed by a PC hash that tracks the last block and last delta per
+  instruction and, once a delta repeats (confidence builds), emits a run
+  of ``degree`` stride-spaced candidates.
+* **Level 2** is a hashed :class:`~repro.core.filter.PerceptronFilter`
+  over a *small, custom* feature subset (deliberately not the PPF
+  production catalog — the point of the comparison is the second
+  level's budget), with its own Prefetch/Reject tables providing demand
+  feedback exactly like PPF's.
+* **Adaptive thresholds** — the paper's adaptive filtering stage: every
+  ``adapt_interval`` decisions the accept accuracy over the window is
+  compared against a target band and the perceptron's tau thresholds
+  shift one step stricter or looser (via
+  :meth:`~repro.core.filter.PerceptronFilter.retune`), bounded by
+  ``tau_min``/``tau_max``.  All integer math, so adaptation is
+  deterministic and snapshots restore it exactly.
+
+With ``internal_filter=False`` the second level is bypassed entirely
+and level 1's raw candidate stream is emitted — the §4.1-style tuning
+used when an external PPF wraps this prefetcher (``filtered:two-level``)
+so the two filters don't fight.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checkpoint.state import group_state, load_group
+from ..core.features import (
+    Feature,
+    _confidence_xor_depth,
+    _page_address,
+    _page_offset,
+    _pc_xor_delta,
+)
+from ..core.filter import PREFETCH_L2_CODE, FilterConfig, PerceptronFilter
+from ..core.ppf import _CandidateContext, _table_adapter
+from ..core.tables import PrefetchTable, RejectTable
+from ..prefetchers.base import PrefetchCandidate, Prefetcher
+from ..registry import register
+from ..stats import StatGroup, StatsNode
+
+
+def two_level_features() -> List[Feature]:
+    """The second level's compact feature catalog.
+
+    Reuses production extractors at smaller table sizes (the budget is
+    the experiment), so the filter takes the generic per-feature walk
+    rather than the fused production kernel.
+    """
+    return [
+        Feature("page_address", 2048, _page_address),
+        Feature("pc_xor_delta", 2048, _pc_xor_delta),
+        Feature("confidence_xor_depth", 256, _confidence_xor_depth),
+        Feature("page_offset", 64, _page_offset),
+    ]
+
+
+@dataclass
+class TwoLevelConfig:
+    """Level-1 predictor geometry plus the adaptive filter band."""
+
+    l1_entries: int = 512  # per-PC stride rows, LRU
+    degree: int = 4  # candidates per confident trigger
+    min_confidence: int = 4  # 0..15 saturating per-row counter
+    max_stride: int = 64  # |delta| cap for emitted strides (blocks)
+    internal_filter: bool = True  # the level-2 perceptron stage
+    adapt_interval: int = 512  # decisions between threshold moves
+    #: Target accept-accuracy band, in percent: below the floor the
+    #: thresholds tighten, above the ceiling they loosen.
+    target_accuracy_lo: int = 40
+    target_accuracy_hi: int = 75
+    tau_min: int = -24
+    tau_max: int = 8
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0 or self.l1_entries <= 0:
+            raise ValueError("degree and l1_entries must be positive")
+        if self.target_accuracy_lo > self.target_accuracy_hi:
+            raise ValueError("target accuracy band is inverted")
+        if self.tau_min > self.tau_max:
+            raise ValueError("tau bounds are inverted")
+
+    @classmethod
+    def default(cls) -> "TwoLevelConfig":
+        return cls()
+
+    @classmethod
+    def unfiltered(cls) -> "TwoLevelConfig":
+        """Level 1 alone, tuned aggressive, for use under an external PPF.
+
+        Mirrors §4.1: the internal throttles are discarded (no second
+        level, lower confidence bar, deeper degree) so the external
+        perceptron filter owns every accept/reject decision.
+        """
+        return cls(internal_filter=False, degree=6, min_confidence=2)
+
+
+@dataclass
+class TwoLevelStats(StatGroup):
+    """Level-1 churn and adaptive-stage activity."""
+
+    l1_hits: int = 0
+    l1_evictions: int = 0
+    triggers: int = 0  # confident rows that emitted candidates
+    reject_recoveries: int = 0
+    displacement_trainings: int = 0
+    adaptations_tightened: int = 0
+    adaptations_loosened: int = 0
+
+
+class _L1Row:
+    """One per-PC stride row: last block seen, last delta, confidence."""
+
+    __slots__ = ("last_block", "last_delta", "confidence")
+
+    def __init__(self, last_block: int, last_delta: int = 0, confidence: int = 0) -> None:
+        self.last_block = last_block
+        self.last_delta = last_delta
+        self.confidence = confidence
+
+
+@register("prefetcher", "two-level")
+class TwoLevelFilter(Prefetcher):
+    """Two-level predictor: per-PC strides filtered by an adaptive perceptron."""
+
+    name = "two-level"
+
+    def __init__(self, config: Optional[TwoLevelConfig] = None) -> None:
+        super().__init__()
+        self.config = config or TwoLevelConfig.default()
+        self.two_level_stats = TwoLevelStats()
+        self._l1: "OrderedDict[int, _L1Row]" = OrderedDict()
+        self.filter = PerceptronFilter(two_level_features())
+        self.prefetch_table = PrefetchTable()
+        self.reject_table = RejectTable()
+        self._pcs: Tuple[int, int, int] = (0, 0, 0)
+        self._ctx = _CandidateContext()
+        # Adaptive-stage window counters (checkpointed, not stats: they
+        # must survive the measurement-boundary stats reset).
+        self._window_decisions = 0
+        self._window_accepted = 0
+        self._window_useful = 0
+
+    # -- level 1 -----------------------------------------------------------------
+
+    @staticmethod
+    def _pc_key(pc: int) -> int:
+        return (pc >> 2) ^ (pc >> 17)
+
+    def _l1_predict(self, block: int, pc: int) -> Tuple[int, int]:
+        """Update the PC's stride row; return (delta, confidence)."""
+        cfg = self.config
+        table = self._l1
+        key = self._pc_key(pc)
+        row = table.get(key)
+        if row is None:
+            if len(table) >= cfg.l1_entries:
+                table.popitem(last=False)
+                self.two_level_stats.l1_evictions += 1
+            table[key] = _L1Row(block)
+            return 0, 0
+        table.move_to_end(key)
+        self.two_level_stats.l1_hits += 1
+        delta = block - row.last_block
+        if delta != 0 and delta == row.last_delta:
+            row.confidence = min(row.confidence + 2, 15)
+        elif row.confidence > 0:
+            row.confidence -= 1
+        row.last_delta = delta
+        row.last_block = block
+        return delta, row.confidence
+
+    # -- main hook ---------------------------------------------------------------
+
+    def train(
+        self, addr: int, pc: int, cache_hit: bool, cycle: int
+    ) -> List[PrefetchCandidate]:
+        if self.config.internal_filter:
+            self._train_on_demand(addr)
+        pcs = (pc, self._pcs[0], self._pcs[1])
+        self._pcs = pcs
+
+        cfg = self.config
+        block = addr >> 6
+        delta, confidence = self._l1_predict(block, pc)
+        if (
+            delta == 0
+            or confidence < cfg.min_confidence
+            or not -cfg.max_stride <= delta <= cfg.max_stride
+        ):
+            return []
+        self.two_level_stats.triggers += 1
+
+        conf_pct = (100 * confidence) // 15
+        signature = self._pc_key(pc) & 0xFFF
+        candidates: List[PrefetchCandidate] = []
+        for depth in range(1, cfg.degree + 1):
+            target_block = block + delta * depth
+            if target_block < 0:
+                break
+            meta_conf = conf_pct - 12 * (depth - 1)
+            candidates.append(
+                PrefetchCandidate(
+                    target_block << 6,
+                    True,
+                    {
+                        "pc": pc,
+                        "delta": delta,
+                        "signature": signature,
+                        "confidence": meta_conf if meta_conf > 0 else 0,
+                        "depth": depth,
+                    },
+                )
+            )
+        self.note_candidates(len(candidates))
+        if not cfg.internal_filter:
+            return candidates
+        return self._filter_candidates(addr, pc, pcs, signature, candidates)
+
+    # -- level 2 -----------------------------------------------------------------
+
+    def _filter_candidates(
+        self,
+        addr: int,
+        pc: int,
+        pcs: Tuple[int, int, int],
+        signature: int,
+        candidates: List[PrefetchCandidate],
+    ) -> List[PrefetchCandidate]:
+        ctx = self._ctx
+        ctx.trigger_addr = addr
+        ctx.pcs = pcs
+        ctx.last_signature = 0
+        decide = self.filter.decide
+        accepted: List[PrefetchCandidate] = []
+        for candidate in candidates:
+            meta = candidate.meta
+            ctx.candidate_addr = candidate.addr
+            ctx.pc = meta["pc"]
+            ctx.delta = meta["delta"]
+            ctx.depth = meta["depth"]
+            ctx.signature = meta["signature"]
+            ctx.confidence = meta["confidence"]
+            code, total, indices = decide(ctx)
+            self._window_decisions += 1
+            if code:
+                displaced = self.prefetch_table.insert(candidate.addr, indices, True, total)
+                if displaced is not None and not displaced.useful:
+                    self.two_level_stats.displacement_trainings += 1
+                    self.filter.train(displaced.feature_indices, positive=False)
+                candidate.fill_l2 = code == PREFETCH_L2_CODE
+                accepted.append(candidate)
+                self._window_accepted += 1
+            else:
+                self.reject_table.insert(candidate.addr, indices, False, total)
+        if self._window_decisions >= self.config.adapt_interval:
+            self._adapt_thresholds()
+        return accepted
+
+    def _train_on_demand(self, addr: int) -> None:
+        entry = self.prefetch_table.lookup(addr)
+        if entry is not None:
+            entry.useful = True
+            self._window_useful += 1
+            self.filter.train(entry.feature_indices, positive=True)
+            self.prefetch_table.invalidate(addr)
+        rejected = self.reject_table.lookup(addr)
+        if rejected is not None:
+            self.two_level_stats.reject_recoveries += 1
+            self.filter.train(rejected.feature_indices, positive=True)
+            self.reject_table.invalidate(addr)
+
+    def on_eviction(self, addr: int, was_prefetch: bool, was_used: bool) -> None:
+        super().on_eviction(addr, was_prefetch, was_used)
+        if not self.config.internal_filter:
+            return
+        if was_prefetch and not was_used:
+            entry = self.prefetch_table.lookup(addr)
+            if entry is not None and not entry.useful:
+                self.filter.train(entry.feature_indices, positive=False)
+                self.prefetch_table.invalidate(addr)
+
+    # -- adaptive stage ----------------------------------------------------------
+
+    def _adapt_thresholds(self) -> None:
+        """Move the tau thresholds one step toward the accuracy band."""
+        cfg = self.config
+        accepted = self._window_accepted
+        useful = self._window_useful
+        self._window_decisions = 0
+        self._window_accepted = 0
+        self._window_useful = 0
+        if accepted == 0:
+            return
+        filter_cfg = self.filter.config
+        if 100 * useful < cfg.target_accuracy_lo * accepted:
+            # Too permissive: raise both thresholds (stricter).
+            if filter_cfg.tau_hi < cfg.tau_max:
+                self.filter.retune(
+                    tau_hi=filter_cfg.tau_hi + 1, tau_lo=filter_cfg.tau_lo + 1
+                )
+                self.two_level_stats.adaptations_tightened += 1
+        elif 100 * useful > cfg.target_accuracy_hi * accepted:
+            # Accurate but possibly leaving coverage behind: loosen.
+            if filter_cfg.tau_lo > cfg.tau_min:
+                self.filter.retune(
+                    tau_hi=filter_cfg.tau_hi - 1, tau_lo=filter_cfg.tau_lo - 1
+                )
+                self.two_level_stats.adaptations_loosened += 1
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.two_level_stats.reset()
+        self.filter.stats.reset()
+        self.prefetch_table.reset_counters()
+        self.reject_table.reset_counters()
+
+    def attach_stats(self, node: StatsNode) -> None:
+        super().attach_stats(node)
+        node.attach("two_level", self.two_level_stats)
+        if self.config.internal_filter:
+            node.attach("filter", self.filter.stats)
+            node.attach("prefetch_table", _table_adapter(self.prefetch_table))
+            node.attach("reject_table", _table_adapter(self.reject_table))
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            l1=[
+                [key, [row.last_block, row.last_delta, row.confidence]]
+                for key, row in self._l1.items()
+            ],
+            filter=self.filter.state_dict(),
+            prefetch_table=self.prefetch_table.state_dict(),
+            reject_table=self.reject_table.state_dict(),
+            pcs=list(self._pcs),
+            tau=[self.filter.config.tau_hi, self.filter.config.tau_lo],
+            window=[self._window_decisions, self._window_accepted, self._window_useful],
+            two_level_stats=group_state(self.two_level_stats),
+        )
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        self._l1 = OrderedDict(
+            (int(key), _L1Row(int(block), int(delta), int(confidence)))
+            for key, (block, delta, confidence) in state["l1"]
+        )
+        self.filter.load_state(state["filter"])
+        self.prefetch_table.load_state(state["prefetch_table"])
+        self.reject_table.load_state(state["reject_table"])
+        self._pcs = tuple(int(pc) for pc in state["pcs"])
+        tau_hi, tau_lo = state["tau"]
+        self.filter.retune(tau_hi=int(tau_hi), tau_lo=int(tau_lo))
+        decisions, accepted, useful = state["window"]
+        self._window_decisions = int(decisions)
+        self._window_accepted = int(accepted)
+        self._window_useful = int(useful)
+        load_group(self.two_level_stats, state["two_level_stats"])

@@ -87,9 +87,9 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
 
-    def test_bench_rejects_unknown_prefetcher(self):
-        with pytest.raises(SystemExit):
-            main(["bench", "641.leela_s", "--prefetcher", "oracle"])
+    def test_bench_rejects_unknown_prefetcher(self, capsys):
+        assert main(["bench", "641.leela_s", "--prefetcher", "oracle"]) == 2
+        assert "unknown prefetcher" in capsys.readouterr().err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

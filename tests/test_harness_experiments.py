@@ -32,6 +32,7 @@ class TestRegistry:
             "fig13",
             "ablations",
             "phase",
+            "generality",
         }
 
     def test_experiments_have_anchors(self):

@@ -124,6 +124,7 @@ class TestProbes:
             "dram",
             "ppf",
             "spp",
+            "filter.spp",  # the zoo's seam probe labels ppf's inner SPP
         }
 
     def test_inapplicable_probes_skipped_on_no_prefetch(self):
